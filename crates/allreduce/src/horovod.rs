@@ -1,0 +1,220 @@
+//! The Horovod-style BSP data-parallel iteration simulator.
+//!
+//! Each participating GPU trains a full model replica on its own
+//! minibatch; an iteration takes `max_i(compute_i) + allreduce(params)`.
+//! In a heterogeneous cluster the slowest GPU paces everyone — the
+//! straggler problem HetPipe's ED/HD policies avoid (Sections 1, 8.3).
+//!
+//! GPUs whose memory cannot hold the full model are excluded up-front
+//! (with [`HorovodError::NoCapableGpu`] if none remain); this is the
+//! Table-4 "X" entry — ResNet-152 cannot run Horovod on the 16-GPU set
+//! because the RTX 2060s cannot hold it.
+
+use crate::ring::RingAllreduce;
+use hetpipe_cluster::{Cluster, DeviceId};
+use hetpipe_model::{ModelGraph, TrainingMemoryModel};
+use std::fmt;
+
+/// Why the baseline cannot run at all.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HorovodError {
+    /// No GPU in the set can hold the full model.
+    NoCapableGpu,
+}
+
+impl fmt::Display for HorovodError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HorovodError::NoCapableGpu => write!(f, "no GPU can hold the full model"),
+        }
+    }
+}
+
+impl std::error::Error for HorovodError {}
+
+/// Result of a Horovod baseline evaluation.
+#[derive(Debug, Clone)]
+pub struct HorovodReport {
+    /// Devices that participate (memory-capable subset).
+    pub devices: Vec<DeviceId>,
+    /// Devices excluded because the model does not fit them.
+    pub excluded: Vec<DeviceId>,
+    /// Seconds per iteration (compute + all-reduce).
+    pub iteration_secs: f64,
+    /// Slowest replica's compute seconds.
+    pub compute_secs: f64,
+    /// All-reduce seconds.
+    pub allreduce_secs: f64,
+    /// Aggregate throughput in images/second.
+    pub images_per_sec: f64,
+    /// Cross-node bytes moved per iteration by the all-reduce
+    /// (for the traffic comparison of Section 8.3).
+    pub cross_node_bytes_per_iter: u64,
+}
+
+/// The Horovod-like BSP data-parallel baseline.
+#[derive(Debug, Clone)]
+pub struct HorovodBaseline;
+
+impl HorovodBaseline {
+    /// Evaluates the baseline for `model` over `devices` on `cluster`.
+    ///
+    /// Devices that cannot hold the full model are excluded (matching
+    /// the paper, which runs ResNet-152 Horovod on 12 of 16 GPUs).
+    pub fn evaluate(
+        cluster: &Cluster,
+        model: &ModelGraph,
+        devices: &[DeviceId],
+    ) -> Result<HorovodReport, HorovodError> {
+        let (capable, excluded): (Vec<DeviceId>, Vec<DeviceId>) = devices
+            .iter()
+            .partition(|&&d| TrainingMemoryModel::fits_full_model(model, &cluster.spec_of(d)));
+        if capable.is_empty() {
+            return Err(HorovodError::NoCapableGpu);
+        }
+
+        // Slowest replica paces the BSP iteration.
+        let compute_secs = capable
+            .iter()
+            .map(|&d| hetpipe_model::profile::range_time_secs(model.layers(), &cluster.spec_of(d)))
+            .fold(0.0, f64::max);
+
+        let (allreduce_secs, cross_node_bytes) = if capable.len() >= 2 {
+            let ring = RingAllreduce::new(cluster, &capable);
+            // Per-link volume: cross-node share of ring hops times the
+            // reduced payload.
+            let n = capable.len();
+            let cross_hops = (0..n)
+                .filter(|&i| !cluster.same_node(capable[i], capable[(i + 1) % n]))
+                .count();
+            let per_link =
+                (2.0 * (n as f64 - 1.0) / n as f64 * model.total_param_bytes() as f64) as u64;
+            (
+                ring.allreduce_secs(model.total_param_bytes()),
+                per_link * cross_hops as u64 / n.max(1) as u64,
+            )
+        } else {
+            (0.0, 0)
+        };
+
+        // Horovod overlaps the all-reduce of already-computed gradients
+        // with the remaining backward pass (tensor fusion); model the
+        // overlap as hiding half of whichever is smaller — the backward
+        // 2/3 of compute or the all-reduce itself.
+        let overlap = 0.5 * (compute_secs * 2.0 / 3.0).min(allreduce_secs);
+        // One forward + one backward dispatch per iteration, same
+        // framework overhead the pipeline stages pay.
+        let iteration_secs = compute_secs + allreduce_secs - overlap
+            + 2.0 * hetpipe_model::profile::STAGE_TASK_OVERHEAD_SECS;
+        let images_per_iter = (capable.len() * model.batch_size) as f64;
+        Ok(HorovodReport {
+            devices: capable,
+            excluded,
+            iteration_secs,
+            compute_secs,
+            allreduce_secs,
+            images_per_sec: images_per_iter / iteration_secs,
+            cross_node_bytes_per_iter: cross_node_bytes,
+        })
+    }
+
+    /// Convenience: evaluate over every GPU of the cluster.
+    pub fn evaluate_all(
+        cluster: &Cluster,
+        model: &ModelGraph,
+    ) -> Result<HorovodReport, HorovodError> {
+        let devices: Vec<DeviceId> = cluster.devices().collect();
+        Self::evaluate(cluster, model, &devices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetpipe_cluster::GpuKind;
+
+    #[test]
+    fn resnet152_excludes_rtx2060() {
+        // Section 8.3: "For ResNet-152, the whole model is too large to
+        // be loaded into a single GPU with G type, and thus, Horovod
+        // uses only 12 GPUs."
+        let c = Cluster::paper_testbed();
+        let g = hetpipe_model::resnet152(32);
+        let r = HorovodBaseline::evaluate_all(&c, &g).unwrap();
+        assert_eq!(r.devices.len(), 12);
+        assert_eq!(r.excluded.len(), 4);
+        for &d in &r.excluded {
+            assert_eq!(c.kind_of(d), GpuKind::Rtx2060);
+        }
+    }
+
+    #[test]
+    fn vgg19_uses_all_16() {
+        let c = Cluster::paper_testbed();
+        let g = hetpipe_model::vgg19(32);
+        let r = HorovodBaseline::evaluate_all(&c, &g).unwrap();
+        assert_eq!(r.devices.len(), 16);
+        assert!(r.excluded.is_empty());
+    }
+
+    #[test]
+    fn whimpy_only_cluster_cannot_run_resnet() {
+        // Table 4's "X": no HetPipe means no ResNet-152 on G-only sets.
+        let c = Cluster::testbed_subset(&[GpuKind::Rtx2060]);
+        let g = hetpipe_model::resnet152(32);
+        assert!(matches!(
+            HorovodBaseline::evaluate_all(&c, &g),
+            Err(HorovodError::NoCapableGpu)
+        ));
+    }
+
+    #[test]
+    fn straggler_paces_everyone() {
+        // Adding a slow GPU to a fast node reduces per-GPU efficiency:
+        // the mixed iteration is paced by the P4000.
+        let c = Cluster::paper_testbed();
+        let g = hetpipe_model::vgg19(32);
+        let v_only: Vec<DeviceId> = (0..4).map(DeviceId).collect();
+        let mixed: Vec<DeviceId> = vec![DeviceId(0), DeviceId(1), DeviceId(12), DeviceId(13)];
+        let fast = HorovodBaseline::evaluate(&c, &g, &v_only).unwrap();
+        let slow = HorovodBaseline::evaluate(&c, &g, &mixed).unwrap();
+        assert!(slow.compute_secs > fast.compute_secs);
+    }
+
+    #[test]
+    fn table4_calibration_anchor_vgg_4v() {
+        // Table 4: Horovod VGG-19 on 4[V] = 164 images/s. The model
+        // should land in the right neighbourhood (shape, not exactness).
+        let c = Cluster::testbed_subset(&[GpuKind::TitanV]);
+        let g = hetpipe_model::vgg19(32);
+        let r = HorovodBaseline::evaluate_all(&c, &g).unwrap();
+        assert!(
+            r.images_per_sec > 120.0 && r.images_per_sec < 260.0,
+            "Horovod 4[V] VGG-19 = {:.0} img/s",
+            r.images_per_sec
+        );
+    }
+
+    #[test]
+    fn adding_gpus_increases_throughput() {
+        use GpuKind::*;
+        let g = hetpipe_model::vgg19(32);
+        let mut last = 0.0;
+        for kinds in [
+            vec![TitanV],
+            vec![TitanV, TitanRtx],
+            vec![TitanV, TitanRtx, QuadroP4000],
+            vec![TitanV, TitanRtx, QuadroP4000, Rtx2060],
+        ] {
+            let c = Cluster::testbed_subset(&kinds);
+            let r = HorovodBaseline::evaluate_all(&c, &g).unwrap();
+            assert!(
+                r.images_per_sec > last,
+                "throughput must grow with GPUs: {} after {}",
+                r.images_per_sec,
+                last
+            );
+            last = r.images_per_sec;
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! The Horovod-like data-parallel baseline.
+//!
+//! The paper's baseline is "the state-of-the-art DP via Horovod that
+//! uses AllReduce communication" (Section 8.1): every GPU holds a full
+//! model replica, processes its own minibatch, and synchronizes
+//! gradients with a bandwidth-optimal ring all-reduce after every
+//! iteration (BSP).
+//!
+//! - [`ring`] — the Patarasuk–Yuan ring all-reduce cost model over the
+//!   simulated cluster's links.
+//! - [`horovod`] — the iteration simulator: slowest-replica compute
+//!   plus the all-reduce, with the per-GPU memory feasibility gate
+//!   (ResNet-152 at batch 32 does not fit the RTX 2060, so Horovod can
+//!   only use 12 of the 16 GPUs — Section 8.3, Table 4).
+
+pub mod horovod;
+pub mod ring;
+
+pub use horovod::{HorovodBaseline, HorovodError, HorovodReport};
+pub use ring::RingAllreduce;

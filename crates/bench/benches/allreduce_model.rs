@@ -1,0 +1,30 @@
+//! Criterion micro-bench: Horovod baseline evaluation.
+//!
+//! The Table-4 harness evaluates the baseline for every GPU subset;
+//! each evaluation profiles the whole model on each GPU.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetpipe_allreduce::{HorovodBaseline, RingAllreduce};
+use hetpipe_cluster::{Cluster, DeviceId};
+
+fn bench_allreduce(c: &mut Criterion) {
+    let cluster = Cluster::paper_testbed();
+    let vgg = hetpipe_model::vgg19(32);
+    let resnet = hetpipe_model::resnet152(32);
+
+    let mut group = c.benchmark_group("allreduce");
+    group.bench_function("ring_model_16gpus", |b| {
+        let devices: Vec<DeviceId> = cluster.devices().collect();
+        let ring = RingAllreduce::new(&cluster, &devices);
+        b.iter(|| ring.allreduce_secs(548 << 20));
+    });
+    for (name, graph) in [("vgg19", &vgg), ("resnet152", &resnet)] {
+        group.bench_with_input(BenchmarkId::new("horovod_evaluate", name), graph, |b, g| {
+            b.iter(|| HorovodBaseline::evaluate_all(&cluster, g).expect("capable GPUs exist"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_allreduce);
+criterion_main!(benches);

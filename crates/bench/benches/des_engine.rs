@@ -1,0 +1,47 @@
+//! Criterion micro-bench: discrete-event engine throughput.
+//!
+//! The Figure-4 harness simulates minutes of cluster time; the engine
+//! needs to process millions of events per second for the experiment
+//! suite to stay interactive.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetpipe_des::{Engine, SimTime};
+
+fn bench_engine(c: &mut Criterion) {
+    c.bench_function("engine_cascade_100k_events", |b| {
+        b.iter(|| {
+            let mut e: Engine<u64> = Engine::new();
+            e.schedule_in(SimTime::from_nanos(1), 0);
+            let mut count = 0u64;
+            while let Some(n) = e.next_event() {
+                count += 1;
+                if n < 100_000 {
+                    e.schedule_in(SimTime::from_nanos(1), n + 1);
+                }
+            }
+            count
+        });
+    });
+
+    c.bench_function("queue_mixed_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut e: Engine<u32> = Engine::new();
+            for i in 0..10_000u32 {
+                // Pseudo-random interleave of times.
+                e.schedule_at(
+                    SimTime::from_nanos(((i as u64).wrapping_mul(2654435761)) % 1_000_000),
+                    i,
+                );
+            }
+            let mut last = SimTime::ZERO;
+            while let Some(_) = e.next_event() {
+                debug_assert!(e.now() >= last);
+                last = e.now();
+            }
+            last
+        });
+    });
+}
+
+criterion_group!(benches, bench_engine);
+criterion_main!(benches);

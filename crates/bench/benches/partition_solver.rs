@@ -1,0 +1,37 @@
+//! Criterion micro-bench: the min–max partition solvers.
+//!
+//! The paper solves this with CPLEX offline; our exact DP must be fast
+//! enough to run inside `Max_m` probing and stage-order search (up to
+//! 24 orders x 7 Nm values per virtual worker at build time).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use hetpipe_cluster::{GpuKind, LinkKind};
+use hetpipe_partition::{PartitionProblem, PartitionSolver};
+
+fn bench_solvers(c: &mut Criterion) {
+    let resnet = hetpipe_model::resnet152(32);
+    let vgg = hetpipe_model::vgg19(32);
+    let gpus = vec![
+        GpuKind::TitanV.spec(),
+        GpuKind::TitanRtx.spec(),
+        GpuKind::Rtx2060.spec(),
+        GpuKind::QuadroP4000.spec(),
+    ];
+    let links = vec![LinkKind::Pcie, LinkKind::Infiniband, LinkKind::Pcie];
+
+    let mut group = c.benchmark_group("partition_solver");
+    for (name, graph) in [("resnet152", &resnet), ("vgg19", &vgg)] {
+        group.bench_with_input(BenchmarkId::new("dp_exact", name), graph, |b, g| {
+            let p = PartitionProblem::new(g, gpus.clone(), links.clone(), 4);
+            b.iter(|| PartitionSolver::solve(&p).expect("feasible"));
+        });
+        group.bench_with_input(BenchmarkId::new("greedy_binsearch", name), graph, |b, g| {
+            let p = PartitionProblem::new(g, gpus.clone(), links.clone(), 4);
+            b.iter(|| PartitionSolver::solve_greedy(&p).expect("feasible"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Criterion micro-bench: end-to-end simulation cost.
+//!
+//! Measures full HetPipe system builds (allocation + order search +
+//! Max_m probing + partitioning) and short simulation runs.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetpipe_cluster::Cluster;
+use hetpipe_core::{AllocationPolicy, HetPipeSystem, Placement, SystemConfig};
+use hetpipe_des::SimTime;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let cluster = Cluster::paper_testbed();
+    let graph = hetpipe_model::vgg19(32);
+    let config = SystemConfig {
+        policy: AllocationPolicy::EqualDistribution,
+        placement: Placement::Local,
+        staleness_bound: 0,
+        ..SystemConfig::default()
+    };
+
+    c.bench_function("system_build_ed_vgg19", |b| {
+        b.iter(|| HetPipeSystem::build(&cluster, &graph, &config).expect("builds"));
+    });
+
+    let sys = HetPipeSystem::build(&cluster, &graph, &config).expect("builds");
+    c.bench_function("simulate_10s_ed_local_vgg19", |b| {
+        b.iter(|| sys.run(SimTime::from_secs(10.0)));
+    });
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

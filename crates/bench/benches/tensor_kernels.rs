@@ -1,0 +1,32 @@
+//! Criterion micro-bench: the trainer's tensor kernels.
+//!
+//! The convergence experiments run hundreds of thousands of MLP steps;
+//! the matmul and backprop kernels dominate that time.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetpipe_train::{Matrix, Mlp};
+
+fn bench_kernels(c: &mut Criterion) {
+    let a = Matrix::from_fn(32, 128, |r, cc| ((r * 7 + cc) as f32 * 0.01).sin());
+    let w = Matrix::from_fn(128, 64, |r, cc| ((r + cc * 3) as f32 * 0.01).cos());
+    c.bench_function("matmul_32x128x64", |b| b.iter(|| a.matmul(&w)));
+
+    let model = Mlp::new(&[24, 48, 32, 8], 1);
+    let x = Matrix::from_fn(32, 24, |r, cc| ((r + cc) as f32 * 0.13).sin());
+    let y: Vec<usize> = (0..32).map(|i| i % 8).collect();
+    c.bench_function("mlp_loss_and_gradients_b32", |b| {
+        b.iter(|| model.loss_and_gradients(&x, &y));
+    });
+
+    let flat = model.to_flat();
+    c.bench_function("mlp_flat_roundtrip", |b| {
+        let mut m = model.clone();
+        b.iter(|| {
+            m.load_flat(&flat);
+            m.to_flat()
+        });
+    });
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

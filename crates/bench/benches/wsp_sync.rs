@@ -1,0 +1,42 @@
+//! Criterion micro-bench: the real threaded WSP parameter server.
+//!
+//! Measures a short four-worker WSP training burst (lock + condvar
+//! coordination plus real gradient computation) and the bare
+//! push/pull-wait cycle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetpipe_train::{train, Dataset, Mode, ParameterServer, TrainConfig};
+
+fn bench_wsp(c: &mut Criterion) {
+    let dataset = Dataset::gaussian_blobs(16, 4, 1024, 128, 0.4, 3);
+
+    c.bench_function("threaded_wsp_4workers_64steps", |b| {
+        let config = TrainConfig {
+            mode: Mode::Wsp { nm: 4, d: 0 },
+            workers: 4,
+            dims: vec![16, 32, 4],
+            batch: 32,
+            lr: 0.05,
+            momentum: 0.9,
+            steps_per_worker: 64,
+            seed: 1,
+            snapshot_every: 0,
+            ..TrainConfig::default()
+        };
+        b.iter(|| train(&dataset, &config));
+    });
+
+    c.bench_function("ps_push_pull_cycle", |b| {
+        let ps = ParameterServer::new(vec![0.0f32; 4096], 1, 0);
+        let delta = vec![0.001f32; 4096];
+        let mut wave = 0u64;
+        b.iter(|| {
+            ps.push(0, &delta, 4);
+            wave += 1;
+            ps.pull_wait(wave - 1)
+        });
+    });
+}
+
+criterion_group!(benches, bench_wsp);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Figure 1: the pipelined execution schedule of one virtual worker.
+//!
+//! Renders the simulated schedule of a 4-GPU virtual worker processing
+//! minibatches `M_{p,k}` as an ASCII Gantt chart, directly from the
+//! discrete-event trace — forward passes (F) flow down the stages,
+//! backward passes (B) flow back up, the last stage fuses F+B, and the
+//! three scheduling conditions of Section 4 are visible: forwards in
+//! minibatch order, backwards in minibatch order, FIFO per GPU.
+
+use hetpipe_cluster::{Cluster, DeviceId};
+use hetpipe_core::exec::SpanTag;
+use hetpipe_core::{AllocationPolicy, HetPipeSystem, Placement, SystemConfig};
+use hetpipe_des::SimTime;
+
+fn main() {
+    let cluster = Cluster::paper_testbed();
+    let graph = hetpipe_model::vgg19(32);
+    let config = SystemConfig {
+        policy: AllocationPolicy::Custom(vec![(0..4).map(DeviceId).collect()]),
+        placement: Placement::Default,
+        staleness_bound: 0,
+        nm_override: Some(4),
+        sync_transfers: false,
+        ..SystemConfig::default()
+    };
+    let sys = HetPipeSystem::build(&cluster, &graph, &config).expect("builds");
+    let (_, stats) = sys.run_with_stats(SimTime::from_secs(3.0));
+
+    println!("Figure 1: pipeline schedule of one VVVV virtual worker (VGG-19, Nm = 4)\n");
+    // One row per stage GPU; one column slot per task, in start order.
+    for stage in 0..4usize {
+        let rid = stats.gpu_resources[stage];
+        let mut tasks: Vec<(SimTime, String)> = stats
+            .trace
+            .spans()
+            .iter()
+            .filter(|s| s.resource == rid)
+            .filter_map(|s| match s.tag {
+                SpanTag::Forward { mb, .. } => Some((s.start, format!("F{mb}"))),
+                SpanTag::Backward { mb, stage: st, .. } => {
+                    // The last stage's span is the fused F+B task.
+                    let label = if st == 3 {
+                        format!("FB{mb}")
+                    } else {
+                        format!("B{mb}")
+                    };
+                    Some((s.start, label))
+                }
+                _ => None,
+            })
+            .collect();
+        tasks.sort_by_key(|(t, _)| *t);
+        let line: Vec<String> = tasks.into_iter().take(18).map(|(_, l)| l).collect();
+        println!("GPU{}: {}", stage + 1, line.join(" "));
+    }
+    println!(
+        "\nRead: F = forward, B = backward, FB = fused forward+backward (last stage).\n\
+         Forwards and backwards each appear in minibatch order per GPU (conditions 1-2)\n\
+         and interleave FIFO (condition 3); GPU1 holds up to Nm in-flight minibatches\n\
+         while GPU4 finishes each immediately — the memory asymmetry of Section 4."
+    );
+}

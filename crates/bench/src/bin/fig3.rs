@@ -1,0 +1,98 @@
+//! Figure 3: single-virtual-worker throughput and GPU utilization as
+//! the number of concurrent minibatches `Nm` varies.
+//!
+//! Reproduces both panels for ResNet-152 and VGG-19 across the seven
+//! VW configurations of Table 3 (`VVVV`, `RRRR`, `GGGG`, `QQQQ`,
+//! `VRGQ`, `VVQQ`, `RRGG`). For each `(config, Nm)` the harness builds
+//! a single-VW HetPipe system (Custom allocation) and simulates it;
+//! memory-infeasible points print as `x` — the paper's missing data
+//! points ("the GPU memory cannot accommodate such situations").
+//!
+//! Expected shape (paper): throughput rises with `Nm` and saturates;
+//! `Nm = 1` absolute img/s ordering `VVVV > RRRR > GGGG ~ RRGG >
+//! VVQQ > QQQQ > VRGQ`-ish; heterogeneous VWs show skewed per-stage
+//! utilization.
+
+use hetpipe_bench::{fig3_configs, fmt_ips, maybe_write_json, print_table};
+use hetpipe_cluster::Cluster;
+use hetpipe_core::{AllocationPolicy, HetPipeSystem, Placement, SystemConfig};
+use hetpipe_des::SimTime;
+use serde_json::json;
+
+fn main() {
+    let cluster = Cluster::paper_testbed();
+    let mut dump = Vec::new();
+
+    for (model_name, graph) in [
+        ("ResNet-152", hetpipe_model::resnet152(32)),
+        ("VGG-19", hetpipe_model::vgg19(32)),
+    ] {
+        let mut rows = Vec::new();
+        for (label, devices) in fig3_configs() {
+            let mut cells = vec![label.to_string()];
+            let mut base = None;
+            let mut series = Vec::new();
+            for nm in 1..=7usize {
+                let config = SystemConfig {
+                    policy: AllocationPolicy::Custom(vec![devices.clone()]),
+                    placement: Placement::Default,
+                    staleness_bound: 0,
+                    nm_override: Some(nm),
+                    // Figure 3 measures standalone virtual workers.
+                    sync_transfers: false,
+                    ..SystemConfig::default()
+                };
+                match HetPipeSystem::build(&cluster, &graph, &config) {
+                    Ok(sys) => {
+                        let report = sys.run(SimTime::from_secs(40.0));
+                        let ips = report.throughput_images_per_sec();
+                        let util = report.max_stage_utilization[0];
+                        if base.is_none() {
+                            base = Some(ips);
+                        }
+                        let norm = ips / base.expect("set above");
+                        cells.push(format!("{:.2}x/{:.0}%", norm, util * 100.0));
+                        series.push(json!({
+                            "nm": nm,
+                            "images_per_sec": ips,
+                            "normalized": norm,
+                            "max_stage_utilization": util,
+                        }));
+                    }
+                    Err(_) => {
+                        cells.push("x".to_string());
+                    }
+                }
+            }
+            cells.push(base.map_or("-".into(), fmt_ips));
+            rows.push(cells);
+            dump.push(json!({
+                "model": model_name,
+                "config": label,
+                "series": series,
+            }));
+        }
+        print_table(
+            &format!("Figure 3 ({model_name}): normalized throughput / max stage GPU util vs Nm"),
+            &[
+                "config",
+                "Nm=1",
+                "Nm=2",
+                "Nm=3",
+                "Nm=4",
+                "Nm=5",
+                "Nm=6",
+                "Nm=7",
+                "abs@Nm=1 (img/s)",
+            ],
+            &rows,
+        );
+    }
+
+    println!(
+        "\nPaper reference (Nm = 1 absolute img/s): ResNet-152 VVVV 96, RRRR 87, GGGG 58, \
+         QQQQ 43, VRGQ 42, VVQQ 53, RRGG 58; VGG-19 VVVV 119, RRRR 107, GGGG 62, QQQQ 51, \
+         VRGQ 60, VVQQ 116, RRGG 68."
+    );
+    maybe_write_json(&json!(dump));
+}

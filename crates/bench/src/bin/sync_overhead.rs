@@ -1,0 +1,93 @@
+//! Section 8.4's synchronization-overhead analysis: waiting time vs
+//! true idle time as `D` varies.
+//!
+//! The paper reports (VGG-19, ED-local): average waiting time at D = 4
+//! is ~62% of that at D = 0, and only ~18% of waiting time is true
+//! idleness because the pipeline keeps executing already-admitted
+//! minibatches while waiting.
+//!
+//! ED-local virtual workers are identical, so in a perfectly
+//! deterministic simulation they barely wait; the NP policy's
+//! heterogeneous VWs show the effect at full strength, so both are
+//! reported.
+
+use hetpipe_bench::{maybe_write_json, print_table, run_hetpipe, HORIZON_SECS};
+use hetpipe_cluster::Cluster;
+use hetpipe_core::{AllocationPolicy, Placement};
+use serde_json::json;
+
+fn main() {
+    let cluster = Cluster::paper_testbed();
+    let graph = hetpipe_model::vgg19(32);
+
+    let mut rows = Vec::new();
+    let mut dump = Vec::new();
+
+    for (policy_name, policy, placement) in [
+        ("NP", AllocationPolicy::NodePartition, Placement::Default),
+        (
+            "ED-local",
+            AllocationPolicy::EqualDistribution,
+            Placement::Local,
+        ),
+    ] {
+        let mut d0_wait: Option<f64> = None;
+        for d in [0usize, 4] {
+            let (nm, report) = run_hetpipe(
+                &cluster,
+                &graph,
+                policy.clone(),
+                placement,
+                d,
+                None,
+                HORIZON_SECS,
+            )
+            .expect("builds");
+            let wait = report.total_pull_wait_secs();
+            let idle = report.total_idle_in_wait_secs();
+            let vs_d0 = match d0_wait {
+                None => {
+                    d0_wait = Some(wait);
+                    "100%".to_string()
+                }
+                Some(w0) if w0 > 0.0 => format!("{:.0}%", wait / w0 * 100.0),
+                Some(_) => "-".to_string(),
+            };
+            let idle_frac = report
+                .idle_fraction_of_wait()
+                .map_or("-".to_string(), |f| format!("{:.0}%", f * 100.0));
+            rows.push(vec![
+                format!("{policy_name} D={d} (Nm={nm})"),
+                format!("{:.0}", report.throughput_images_per_sec()),
+                format!("{wait:.2}s"),
+                vs_d0,
+                idle_frac,
+            ]);
+            dump.push(json!({
+                "policy": policy_name,
+                "d": d,
+                "waiting_secs": wait,
+                "idle_secs": idle,
+                "throughput": report.throughput_images_per_sec(),
+            }));
+        }
+    }
+
+    print_table(
+        "Section 8.4: pull waiting vs true idle time (VGG-19, 60s simulated)",
+        &[
+            "configuration",
+            "img/s",
+            "total waiting",
+            "vs D=0",
+            "idle/waiting",
+        ],
+        &rows,
+    );
+    println!(
+        "\nPaper reference (ED-local): waiting at D=4 is ~62% of D=0; true idle is only \
+         ~18% of waiting because the pipeline continues while waiting. Heterogeneous \
+         policies (NP) show the effect at full strength in a deterministic simulation."
+    );
+    maybe_write_json(&json!(dump));
+}

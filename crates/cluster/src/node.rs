@@ -1,0 +1,212 @@
+//! Nodes and heterogeneous clusters.
+//!
+//! The paper's testbed (Section 8.1) is four nodes, each with two Xeon
+//! E5-2620 v4 processors, 64 GB of host memory, and four homogeneous
+//! GPUs; the GPU model differs per node. [`Cluster::paper_testbed`]
+//! builds exactly that configuration.
+
+use crate::gpu::{GpuKind, GpuSpec};
+use crate::topology::{DeviceId, NodeId};
+
+/// A machine hosting a homogeneous set of GPUs.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// The GPU model installed in this node.
+    pub gpu_kind: GpuKind,
+    /// Number of GPUs installed.
+    pub gpu_count: usize,
+    /// Host DRAM in bytes (64 GB in the paper's testbed).
+    pub host_memory_bytes: u64,
+}
+
+impl Node {
+    /// Creates a node with `gpu_count` GPUs of the given kind and the
+    /// testbed's 64 GB of host memory.
+    pub fn new(gpu_kind: GpuKind, gpu_count: usize) -> Self {
+        Node {
+            gpu_kind,
+            gpu_count,
+            host_memory_bytes: 64 * crate::gpu::GIB,
+        }
+    }
+}
+
+/// A heterogeneous GPU cluster: an ordered list of nodes.
+///
+/// Device IDs are assigned densely in node order: node 0 holds devices
+/// `0..n0`, node 1 holds `n0..n0+n1`, and so on.
+#[derive(Debug, Clone, Default)]
+pub struct Cluster {
+    nodes: Vec<Node>,
+    /// Flat device table: `(node, kind)` per DeviceId, derived from `nodes`.
+    devices: Vec<(NodeId, GpuKind)>,
+}
+
+impl Cluster {
+    /// Creates an empty cluster.
+    pub fn new() -> Self {
+        Cluster::default()
+    }
+
+    /// Appends a node, assigning fresh device IDs to its GPUs, and
+    /// returns the new node's ID.
+    pub fn add_node(&mut self, node: Node) -> NodeId {
+        let id = NodeId(self.nodes.len());
+        for _ in 0..node.gpu_count {
+            self.devices.push((id, node.gpu_kind));
+        }
+        self.nodes.push(node);
+        id
+    }
+
+    /// Builds the paper's exact testbed: four nodes of four GPUs each —
+    /// TITAN V, TITAN RTX, GeForce RTX 2060, Quadro P4000 (Table 1,
+    /// Section 8.1) — 16 GPUs in total.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hetpipe_cluster::Cluster;
+    /// let c = Cluster::paper_testbed();
+    /// assert_eq!(c.device_count(), 16);
+    /// assert_eq!(c.node_count(), 4);
+    /// ```
+    pub fn paper_testbed() -> Self {
+        let mut c = Cluster::new();
+        c.add_node(Node::new(GpuKind::TitanV, 4));
+        c.add_node(Node::new(GpuKind::TitanRtx, 4));
+        c.add_node(Node::new(GpuKind::Rtx2060, 4));
+        c.add_node(Node::new(GpuKind::QuadroP4000, 4));
+        c
+    }
+
+    /// Builds a sub-testbed with only the listed node GPU kinds, four
+    /// GPUs per node. Used by the incremental-whimpy-GPU experiment
+    /// (Table 4: `4[V]`, `8[VR]`, `12[VRQ]`, `16[VRQG]`).
+    pub fn testbed_subset(kinds: &[GpuKind]) -> Self {
+        let mut c = Cluster::new();
+        for &k in kinds {
+            c.add_node(Node::new(k, 4));
+        }
+        c
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of GPUs across all nodes.
+    pub fn device_count(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// The node hosting `device`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range for this cluster.
+    pub fn node_of(&self, device: DeviceId) -> NodeId {
+        self.devices[device.0].0
+    }
+
+    /// The GPU model of `device`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `device` is out of range for this cluster.
+    pub fn kind_of(&self, device: DeviceId) -> GpuKind {
+        self.devices[device.0].1
+    }
+
+    /// The full spec of `device`.
+    pub fn spec_of(&self, device: DeviceId) -> GpuSpec {
+        self.kind_of(device).spec()
+    }
+
+    /// Whether two devices share a node (and hence a PCIe fabric).
+    pub fn same_node(&self, a: DeviceId, b: DeviceId) -> bool {
+        self.node_of(a) == self.node_of(b)
+    }
+
+    /// Iterates over all device IDs in the cluster.
+    pub fn devices(&self) -> impl Iterator<Item = DeviceId> + '_ {
+        (0..self.devices.len()).map(DeviceId)
+    }
+
+    /// Device IDs hosted on `node`.
+    pub fn devices_on(&self, node: NodeId) -> Vec<DeviceId> {
+        self.devices()
+            .filter(|&d| self.node_of(d) == node)
+            .collect()
+    }
+
+    /// All devices of a given GPU kind.
+    pub fn devices_of_kind(&self, kind: GpuKind) -> Vec<DeviceId> {
+        self.devices()
+            .filter(|&d| self.kind_of(d) == kind)
+            .collect()
+    }
+
+    /// The node table.
+    pub fn nodes(&self) -> &[Node] {
+        &self.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_layout() {
+        let c = Cluster::paper_testbed();
+        assert_eq!(c.node_count(), 4);
+        assert_eq!(c.device_count(), 16);
+        // Devices 0..4 are TITAN V on node 0, 12..16 are P4000 on node 3.
+        assert_eq!(c.kind_of(DeviceId(0)), GpuKind::TitanV);
+        assert_eq!(c.node_of(DeviceId(3)), NodeId(0));
+        assert_eq!(c.kind_of(DeviceId(12)), GpuKind::QuadroP4000);
+        assert_eq!(c.node_of(DeviceId(15)), NodeId(3));
+    }
+
+    #[test]
+    fn same_node_resolution() {
+        let c = Cluster::paper_testbed();
+        assert!(c.same_node(DeviceId(0), DeviceId(3)));
+        assert!(!c.same_node(DeviceId(3), DeviceId(4)));
+    }
+
+    #[test]
+    fn devices_on_and_of_kind() {
+        let c = Cluster::paper_testbed();
+        assert_eq!(c.devices_on(NodeId(1)).len(), 4);
+        assert_eq!(c.devices_of_kind(GpuKind::Rtx2060).len(), 4);
+        assert_eq!(
+            c.devices_of_kind(GpuKind::Rtx2060)[0],
+            DeviceId(8),
+            "RTX 2060 node is third"
+        );
+    }
+
+    #[test]
+    fn subset_testbeds_for_table4() {
+        use GpuKind::*;
+        let c4 = Cluster::testbed_subset(&[TitanV]);
+        assert_eq!(c4.device_count(), 4);
+        let c12 = Cluster::testbed_subset(&[TitanV, TitanRtx, QuadroP4000]);
+        assert_eq!(c12.device_count(), 12);
+        assert_eq!(c12.kind_of(DeviceId(8)), QuadroP4000);
+    }
+
+    #[test]
+    fn heterogeneous_node_sizes() {
+        let mut c = Cluster::new();
+        c.add_node(Node::new(GpuKind::TitanV, 2));
+        c.add_node(Node::new(GpuKind::Rtx2060, 6));
+        assert_eq!(c.device_count(), 8);
+        assert_eq!(c.node_of(DeviceId(1)), NodeId(0));
+        assert_eq!(c.node_of(DeviceId(2)), NodeId(1));
+        assert_eq!(c.devices_on(NodeId(1)).len(), 6);
+    }
+}

@@ -1,0 +1,41 @@
+//! Device identities and cluster topology queries.
+//!
+//! A cluster is a list of nodes; a node hosts a list of GPUs. Devices are
+//! addressed by a flat [`DeviceId`] that is stable across the whole
+//! cluster, plus a [`NodeId`] for placement-sensitive logic (parameter
+//! placement, PCIe-vs-InfiniBand path resolution).
+
+use std::fmt;
+
+/// Identifier of a node (machine) within a cluster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeId(pub usize);
+
+/// Cluster-wide flat identifier of a single GPU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId(pub usize);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node{}", self.0)
+    }
+}
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "gpu{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_order_and_display() {
+        assert!(DeviceId(0) < DeviceId(1));
+        assert!(NodeId(2) > NodeId(1));
+        assert_eq!(DeviceId(3).to_string(), "gpu3");
+        assert_eq!(NodeId(0).to_string(), "node0");
+    }
+}

@@ -1,0 +1,245 @@
+//! Resource-allocation policies (Section 8.1, Table 3).
+//!
+//! Given a heterogeneous cluster, an allocation policy groups GPUs into
+//! virtual workers:
+//!
+//! - **NP (Node Partition)** — one VW per node. Homogeneous VWs, all
+//!   communication over PCIe, but VW speeds differ (straggler risk).
+//! - **ED (Equal Distribution)** — VW `j` takes the `j`-th GPU of every
+//!   node. Identical VWs (no stragglers), but activations cross nodes.
+//! - **HD (Hybrid Distribution)** — pairs of GPU kinds chosen so that
+//!   aggregate compute and memory are balanced across VWs; the paper's
+//!   testbed pairing is `VVQQ`/`VVQQ`/`RRGG`/`RRGG` (compute order
+//!   V > R > G > Q and memory order R > V > Q > G motivate pairing the
+//!   extremes).
+
+use hetpipe_cluster::{Cluster, DeviceId};
+use std::fmt;
+
+/// How GPUs are grouped into virtual workers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocationPolicy {
+    /// One virtual worker per node (Table 3 "Node Partition").
+    NodePartition,
+    /// One GPU from each node per virtual worker (Table 3 "Equal
+    /// Distribution").
+    EqualDistribution,
+    /// Balanced two-kind pairs (Table 3 "Hybrid Distribution").
+    HybridDistribution,
+    /// Explicit device groups (each inner vector is one VW's stage
+    /// devices, in pipeline order).
+    Custom(Vec<Vec<DeviceId>>),
+}
+
+/// Why an allocation failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AllocError {
+    /// ED needs every node to host the same number of GPUs.
+    UnevenNodes,
+    /// HD needs an even number of nodes and an even per-node GPU count.
+    HdShape,
+    /// A custom allocation referenced a device that does not exist or
+    /// reused a device.
+    BadCustom,
+    /// The cluster has no devices.
+    EmptyCluster,
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::UnevenNodes => {
+                write!(f, "equal distribution requires equal GPU counts per node")
+            }
+            AllocError::HdShape => write!(
+                f,
+                "hybrid distribution requires an even node count and even GPUs per node"
+            ),
+            AllocError::BadCustom => {
+                write!(f, "custom allocation has invalid or duplicate devices")
+            }
+            AllocError::EmptyCluster => write!(f, "cluster has no GPUs"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+impl AllocationPolicy {
+    /// Groups the cluster's GPUs into virtual-worker device lists.
+    ///
+    /// The returned inner vectors are in pipeline-stage order (callers
+    /// may re-order stages via the partition crate's order search).
+    pub fn allocate(&self, cluster: &Cluster) -> Result<Vec<Vec<DeviceId>>, AllocError> {
+        if cluster.device_count() == 0 {
+            return Err(AllocError::EmptyCluster);
+        }
+        match self {
+            AllocationPolicy::NodePartition => Ok((0..cluster.node_count())
+                .map(|n| cluster.devices_on(hetpipe_cluster::NodeId(n)))
+                .collect()),
+            AllocationPolicy::EqualDistribution => {
+                let per_node = cluster.nodes()[0].gpu_count;
+                if cluster.nodes().iter().any(|n| n.gpu_count != per_node) {
+                    return Err(AllocError::UnevenNodes);
+                }
+                let mut vws = vec![Vec::new(); per_node];
+                for n in 0..cluster.node_count() {
+                    let devs = cluster.devices_on(hetpipe_cluster::NodeId(n));
+                    for (j, &d) in devs.iter().enumerate() {
+                        vws[j].push(d);
+                    }
+                }
+                Ok(vws)
+            }
+            AllocationPolicy::HybridDistribution => {
+                let nodes = cluster.node_count();
+                let per_node = cluster.nodes()[0].gpu_count;
+                if nodes % 2 != 0
+                    || per_node % 2 != 0
+                    || cluster.nodes().iter().any(|n| n.gpu_count != per_node)
+                {
+                    return Err(AllocError::HdShape);
+                }
+                // Rank nodes by GPU compute capability, then pair the
+                // fastest with the slowest (the paper's V+Q / R+G
+                // pairing falls out of this rule).
+                let mut order: Vec<usize> = (0..nodes).collect();
+                order.sort_by(|&a, &b| {
+                    let ta = cluster.nodes()[a].gpu_kind.spec().effective_throughput;
+                    let tb = cluster.nodes()[b].gpu_kind.spec().effective_throughput;
+                    tb.partial_cmp(&ta).expect("throughputs are finite")
+                });
+                let mut vws = Vec::new();
+                let half = per_node / 2;
+                for i in 0..nodes / 2 {
+                    let fast = order[i];
+                    let slow = order[nodes - 1 - i];
+                    let fast_devs = cluster.devices_on(hetpipe_cluster::NodeId(fast));
+                    let slow_devs = cluster.devices_on(hetpipe_cluster::NodeId(slow));
+                    // Two VWs per node pair, each taking half of each
+                    // node's GPUs: e.g. VVQQ and VVQQ.
+                    for vwi in 0..2 {
+                        let mut devs = Vec::with_capacity(per_node);
+                        devs.extend_from_slice(&fast_devs[vwi * half..(vwi + 1) * half]);
+                        devs.extend_from_slice(&slow_devs[vwi * half..(vwi + 1) * half]);
+                        vws.push(devs);
+                    }
+                }
+                Ok(vws)
+            }
+            AllocationPolicy::Custom(groups) => {
+                let mut seen = std::collections::HashSet::new();
+                for g in groups {
+                    for &d in g {
+                        if d.0 >= cluster.device_count() || !seen.insert(d) {
+                            return Err(AllocError::BadCustom);
+                        }
+                    }
+                }
+                Ok(groups.clone())
+            }
+        }
+    }
+
+    /// Short policy name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            AllocationPolicy::NodePartition => "NP",
+            AllocationPolicy::EqualDistribution => "ED",
+            AllocationPolicy::HybridDistribution => "HD",
+            AllocationPolicy::Custom(_) => "custom",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetpipe_cluster::{GpuKind, Node};
+
+    fn labels(cluster: &Cluster, vws: &[Vec<DeviceId>]) -> Vec<String> {
+        vws.iter()
+            .map(|devs| devs.iter().map(|&d| cluster.kind_of(d).code()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn np_matches_table3() {
+        let c = Cluster::paper_testbed();
+        let vws = AllocationPolicy::NodePartition.allocate(&c).unwrap();
+        assert_eq!(labels(&c, &vws), vec!["VVVV", "RRRR", "GGGG", "QQQQ"]);
+    }
+
+    #[test]
+    fn ed_matches_table3() {
+        let c = Cluster::paper_testbed();
+        let vws = AllocationPolicy::EqualDistribution.allocate(&c).unwrap();
+        assert_eq!(labels(&c, &vws), vec!["VRGQ"; 4]);
+    }
+
+    #[test]
+    fn hd_matches_table3() {
+        let c = Cluster::paper_testbed();
+        let vws = AllocationPolicy::HybridDistribution.allocate(&c).unwrap();
+        let mut ls = labels(&c, &vws);
+        ls.sort();
+        // Two VVQQ and two RRGG virtual workers (Table 3).
+        assert_eq!(ls, vec!["RRGG", "RRGG", "VVQQ", "VVQQ"]);
+    }
+
+    #[test]
+    fn all_policies_cover_every_gpu_once() {
+        let c = Cluster::paper_testbed();
+        for p in [
+            AllocationPolicy::NodePartition,
+            AllocationPolicy::EqualDistribution,
+            AllocationPolicy::HybridDistribution,
+        ] {
+            let vws = p.allocate(&c).unwrap();
+            let mut all: Vec<usize> = vws.iter().flatten().map(|d| d.0).collect();
+            all.sort();
+            assert_eq!(all, (0..16).collect::<Vec<_>>(), "{}", p.name());
+        }
+    }
+
+    #[test]
+    fn ed_rejects_uneven_nodes() {
+        let mut c = Cluster::new();
+        c.add_node(Node::new(GpuKind::TitanV, 4));
+        c.add_node(Node::new(GpuKind::Rtx2060, 2));
+        assert_eq!(
+            AllocationPolicy::EqualDistribution.allocate(&c),
+            Err(AllocError::UnevenNodes)
+        );
+    }
+
+    #[test]
+    fn hd_rejects_odd_nodes() {
+        let c = Cluster::testbed_subset(&[GpuKind::TitanV, GpuKind::TitanRtx, GpuKind::Rtx2060]);
+        assert_eq!(
+            AllocationPolicy::HybridDistribution.allocate(&c),
+            Err(AllocError::HdShape)
+        );
+    }
+
+    #[test]
+    fn custom_validation() {
+        let c = Cluster::paper_testbed();
+        let bad_oob = AllocationPolicy::Custom(vec![vec![DeviceId(99)]]);
+        assert_eq!(bad_oob.allocate(&c), Err(AllocError::BadCustom));
+        let bad_dup = AllocationPolicy::Custom(vec![vec![DeviceId(0), DeviceId(0)]]);
+        assert_eq!(bad_dup.allocate(&c), Err(AllocError::BadCustom));
+        let ok = AllocationPolicy::Custom(vec![vec![DeviceId(0), DeviceId(4)]]);
+        assert_eq!(ok.allocate(&c).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn table4_subsets_allocate_under_ed() {
+        use GpuKind::*;
+        // 8 GPUs = 2 nodes: ED gives 4 VWs of [V, R].
+        let c = Cluster::testbed_subset(&[TitanV, TitanRtx]);
+        let vws = AllocationPolicy::EqualDistribution.allocate(&c).unwrap();
+        assert_eq!(labels(&c, &vws), vec!["VR"; 4]);
+    }
+}

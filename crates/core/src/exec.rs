@@ -1,0 +1,830 @@
+//! The discrete-event pipeline executor.
+//!
+//! Simulates `N` virtual workers, each running the Figure-1 pipeline
+//! schedule over its stage GPUs, synchronized through sharded parameter
+//! servers under WSP:
+//!
+//! - **Scheduling conditions (Section 4)**: forward tasks execute in
+//!   minibatch order, backward tasks execute in minibatch order, and
+//!   tasks are served FIFO per GPU; at the last stage, a minibatch's
+//!   forward and backward run fused as one task. FIFO falls out of the
+//!   deterministic event order plus timeline reservation on each GPU.
+//! - **Wave pushes (Section 5)**: when the last minibatch of wave `c`
+//!   completes, the VW pushes one *aggregated* update (its full
+//!   parameter footprint, once — not per minibatch) to the shards.
+//! - **D-bounded pulls**: after pushing wave `c`, the VW requests global
+//!   weights covering wave `c − D` and waits (while continuing to run
+//!   already-admissible minibatches) until every VW has pushed that
+//!   wave. The injection gate is [`WspParams::required_wave`].
+//!
+//! Hardware modelling: GPUs and per-node NICs are FIFO timeline
+//! resources; an inter-node transfer occupies both endpoint NICs for its
+//! duration (InfiniBand), while intra-node transfers use dedicated PCIe
+//! lanes (latency + bandwidth, no contention). Parameter-server apply
+//! time is not modelled (the paper does not model it either).
+
+use crate::pserver::{ShardMap, SyncChunk};
+use crate::sync::WspParams;
+use crate::vw::VirtualWorker;
+use hetpipe_cluster::network::LinkKind;
+use hetpipe_cluster::{Cluster, NodeId};
+use hetpipe_des::{Engine, Resource, ResourceId, ResourcePool, SimTime, Trace};
+use hetpipe_model::profile::{pass_time_secs, Pass, STAGE_TASK_OVERHEAD_SECS};
+use hetpipe_model::ModelGraph;
+
+/// What a recorded span represents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpanTag {
+    /// A forward pass of `mb` on `(vw, stage)`.
+    Forward { vw: u32, stage: u32, mb: u64 },
+    /// A backward pass (or the fused forward+backward at the last
+    /// stage).
+    Backward { vw: u32, stage: u32, mb: u64 },
+    /// An activation (forward) or gradient (backward) transfer on a NIC.
+    ActTransfer { vw: u32, stage: u32, backward: bool },
+    /// A parameter push/pull chunk on a NIC.
+    SyncTransfer { vw: u32, wave: u64, pull: bool },
+}
+
+/// Executor inputs.
+#[derive(Debug, Clone)]
+pub struct ExecParams<'a> {
+    /// The cluster the VWs live on.
+    pub cluster: &'a Cluster,
+    /// The model being trained.
+    pub graph: &'a ModelGraph,
+    /// The virtual workers (plans and stage devices resolved).
+    pub vws: &'a [VirtualWorker],
+    /// WSP parameters (`Nm`, `D`).
+    pub wsp: WspParams,
+    /// Parameter-server shard placement.
+    pub shards: &'a ShardMap,
+    /// When false, the WSP clock protocol still runs but push/pull
+    /// *transfers* cost nothing — models a standalone virtual worker
+    /// measured without data parallelism, as in the paper's Figure 3.
+    pub sync_transfers: bool,
+}
+
+/// One virtual worker's synchronization statistics.
+#[derive(Debug, Clone, Default)]
+pub struct VwStats {
+    /// Completion times of every finished minibatch.
+    pub completions: Vec<SimTime>,
+    /// Waves pushed (final local clock).
+    pub waves_pushed: u64,
+    /// Total time spent between requesting a pull and the straggler
+    /// condition being satisfied (Section 8.4's "waiting time").
+    pub pull_wait: SimTime,
+    /// The individual waiting windows, for idle-time analysis.
+    pub wait_windows: Vec<(SimTime, SimTime)>,
+    /// Time the injection gate was closed by the staleness bound while
+    /// a pipeline slot was free.
+    pub inject_blocked: SimTime,
+}
+
+/// Raw results of a simulation run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Simulated horizon actually reached.
+    pub horizon: SimTime,
+    /// Per-VW statistics.
+    pub vws: Vec<VwStats>,
+    /// Span trace (GPU and NIC occupancy).
+    pub trace: Trace<SpanTag>,
+    /// GPU resource IDs by device index.
+    pub gpu_resources: Vec<ResourceId>,
+    /// NIC resource IDs by node index.
+    pub nic_resources: Vec<ResourceId>,
+    /// Final resource pool (busy-time accounting).
+    pub pool: ResourcePool,
+    /// Cross-node bytes moved for parameter synchronization.
+    pub sync_bytes_inter: u64,
+    /// Intra-node bytes moved for parameter synchronization.
+    pub sync_bytes_intra: u64,
+    /// Cross-node bytes moved for activations/gradients.
+    pub act_bytes_inter: u64,
+    /// Intra-node bytes moved for activations/gradients.
+    pub act_bytes_intra: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    FwdArrive { vw: u32, stage: u32, mb: u64 },
+    FwdDone { vw: u32, stage: u32, mb: u64 },
+    BwdArrive { vw: u32, stage: u32, mb: u64 },
+    BwdDone { vw: u32, stage: u32, mb: u64 },
+    PushChunkDone { vw: u32, wave: u64 },
+    PullChunkDone { vw: u32 },
+    TryInject { vw: u32 },
+}
+
+struct VwState {
+    next_mb: u64,
+    completed: u64,
+    clock: u64,
+    /// Newest global wave reflected in the local weights (−1 = none).
+    pulled: i64,
+    /// Outstanding pull request: (target wave, request time).
+    pull_request: Option<(u64, SimTime)>,
+    /// Remaining chunks of an in-flight pull and the version it carries.
+    pull_remaining: usize,
+    pull_serving_version: i64,
+    push_remaining: usize,
+    block_start: Option<SimTime>,
+    stats: VwStats,
+}
+
+struct Exec<'a> {
+    p: ExecParams<'a>,
+    engine: Engine<Ev>,
+    pool: ResourcePool,
+    trace: Trace<SpanTag>,
+    gpu_res: Vec<ResourceId>,
+    nic_res: Vec<ResourceId>,
+    states: Vec<VwState>,
+    /// Per-VW per-stage forward/backward compute times.
+    fwd: Vec<Vec<SimTime>>,
+    bwd: Vec<Vec<SimTime>>,
+    /// Per-VW sync chunk lists (same for every wave).
+    chunks: Vec<Vec<SyncChunk>>,
+    sync_inter: u64,
+    sync_intra: u64,
+    act_inter: u64,
+    act_intra: u64,
+}
+
+impl<'a> Exec<'a> {
+    fn new(p: ExecParams<'a>) -> Self {
+        let cluster = p.cluster;
+        let mut pool = ResourcePool::new();
+        let gpu_res: Vec<ResourceId> = cluster
+            .devices()
+            .map(|d| pool.add(Resource::new(format!("gpu{}", d.0))))
+            .collect();
+        let nic_res: Vec<ResourceId> = (0..cluster.node_count())
+            .map(|n| pool.add(Resource::new(format!("nic{n}"))))
+            .collect();
+
+        let mut fwd = Vec::new();
+        let mut bwd = Vec::new();
+        let mut chunks = Vec::new();
+        for vw in p.vws {
+            let mut f = Vec::new();
+            let mut b = Vec::new();
+            for (q, range) in vw.plan.ranges.iter().enumerate() {
+                let spec = cluster.spec_of(vw.devices[q]);
+                let layers = &p.graph.layers()[range.clone()];
+                let fs: f64 = layers
+                    .iter()
+                    .map(|l| pass_time_secs(l, &spec, Pass::Forward))
+                    .sum();
+                let bs: f64 = layers
+                    .iter()
+                    .map(|l| pass_time_secs(l, &spec, Pass::Backward))
+                    .sum();
+                // Each dispatched stage task pays the framework cost.
+                f.push(SimTime::from_secs(fs + STAGE_TASK_OVERHEAD_SECS));
+                b.push(SimTime::from_secs(bs + STAGE_TASK_OVERHEAD_SECS));
+            }
+            fwd.push(f);
+            bwd.push(b);
+            chunks.push(p.shards.chunks_for(p.graph, cluster, vw));
+        }
+
+        let states = (0..p.vws.len())
+            .map(|_| VwState {
+                next_mb: 1,
+                completed: 0,
+                clock: 0,
+                pulled: -1,
+                pull_request: None,
+                pull_remaining: 0,
+                pull_serving_version: -1,
+                push_remaining: 0,
+                block_start: None,
+                stats: VwStats::default(),
+            })
+            .collect();
+
+        Exec {
+            p,
+            engine: Engine::new(),
+            pool,
+            trace: Trace::new(),
+            gpu_res,
+            nic_res,
+            states,
+            fwd,
+            bwd,
+            chunks,
+            sync_inter: 0,
+            sync_intra: 0,
+            act_inter: 0,
+            act_intra: 0,
+        }
+    }
+
+    fn gpu_of(&self, vw: usize, stage: usize) -> ResourceId {
+        self.gpu_res[self.p.vws[vw].devices[stage].0]
+    }
+
+    fn node_of(&self, vw: usize, stage: usize) -> NodeId {
+        self.p.cluster.node_of(self.p.vws[vw].devices[stage])
+    }
+
+    fn in_flight(&self, vw: usize) -> u64 {
+        let s = &self.states[vw];
+        s.next_mb - 1 - s.completed
+    }
+
+    fn min_clock(&self) -> u64 {
+        self.states.iter().map(|s| s.clock).min().unwrap_or(0)
+    }
+
+    /// Moves `bytes` between two nodes, returning the arrival time.
+    /// Inter-node transfers reserve both endpoint NICs; intra-node
+    /// transfers use dedicated PCIe lanes.
+    fn transfer(&mut self, from: NodeId, to: NodeId, bytes: u64, tag: SpanTag) -> SimTime {
+        let now = self.engine.now();
+        if from == to {
+            now + SimTime::from_secs(LinkKind::Pcie.transfer_secs(bytes))
+        } else {
+            let dur = SimTime::from_secs(LinkKind::Infiniband.transfer_secs(bytes));
+            let a = self.nic_res[from.0];
+            let b = self.nic_res[to.0];
+            let start = now
+                .max(self.pool.get(a).free_at())
+                .max(self.pool.get(b).free_at());
+            let (s1, e1) = self.pool.get_mut(a).reserve(start, dur);
+            let (s2, e2) = self.pool.get_mut(b).reserve(start, dur);
+            debug_assert_eq!((s1, e1), (s2, e2), "paired NIC slots must align");
+            self.trace.record(a, s1, e1, tag);
+            self.trace.record(b, s2, e2, tag);
+            e1
+        }
+    }
+
+    fn account_act(&mut self, from: NodeId, to: NodeId, bytes: u64) {
+        if from == to {
+            self.act_intra += bytes;
+        } else {
+            self.act_inter += bytes;
+        }
+    }
+
+    fn account_sync(&mut self, from: NodeId, to: NodeId, bytes: u64) {
+        if from == to {
+            self.sync_intra += bytes;
+        } else {
+            self.sync_inter += bytes;
+        }
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::TryInject { vw } => self.try_inject(vw as usize),
+            Ev::FwdArrive { vw, stage, mb } => self.fwd_arrive(vw as usize, stage as usize, mb),
+            Ev::FwdDone { vw, stage, mb } => self.fwd_done(vw as usize, stage as usize, mb),
+            Ev::BwdArrive { vw, stage, mb } => self.bwd_arrive(vw as usize, stage as usize, mb),
+            Ev::BwdDone { vw, stage, mb } => self.bwd_done(vw as usize, stage as usize, mb),
+            Ev::PushChunkDone { vw, wave } => self.push_chunk_done(vw as usize, wave),
+            Ev::PullChunkDone { vw } => self.pull_chunk_done(vw as usize),
+        }
+    }
+
+    fn try_inject(&mut self, vw: usize) {
+        let now = self.engine.now();
+        loop {
+            if self.in_flight(vw) >= self.p.wsp.nm as u64 {
+                break;
+            }
+            let p = self.states[vw].next_mb;
+            // The WSP start gate: do the local weights reflect the
+            // required global wave?
+            if let Some(req) = self.p.wsp.required_wave(p) {
+                if self.states[vw].pulled < req as i64 {
+                    let st = &mut self.states[vw];
+                    if st.block_start.is_none() {
+                        st.block_start = Some(now);
+                    }
+                    return;
+                }
+            }
+            let st = &mut self.states[vw];
+            if let Some(b) = st.block_start.take() {
+                st.stats.inject_blocked += now - b;
+            }
+            st.next_mb += 1;
+            self.engine.schedule_in(
+                SimTime::ZERO,
+                Ev::FwdArrive {
+                    vw: vw as u32,
+                    stage: 0,
+                    mb: p,
+                },
+            );
+        }
+    }
+
+    fn fwd_arrive(&mut self, vw: usize, stage: usize, mb: u64) {
+        let now = self.engine.now();
+        let k = self.p.vws[vw].stages();
+        let gpu = self.gpu_of(vw, stage);
+        if stage == k - 1 {
+            // Fused forward+backward at the last stage (Section 4).
+            let dur = self.fwd[vw][stage] + self.bwd[vw][stage];
+            let (s, e) = self.pool.get_mut(gpu).reserve(now, dur);
+            self.trace.record(
+                gpu,
+                s,
+                e,
+                SpanTag::Backward {
+                    vw: vw as u32,
+                    stage: stage as u32,
+                    mb,
+                },
+            );
+            self.engine.schedule_at(
+                e,
+                Ev::BwdDone {
+                    vw: vw as u32,
+                    stage: stage as u32,
+                    mb,
+                },
+            );
+        } else {
+            let dur = self.fwd[vw][stage];
+            let (s, e) = self.pool.get_mut(gpu).reserve(now, dur);
+            self.trace.record(
+                gpu,
+                s,
+                e,
+                SpanTag::Forward {
+                    vw: vw as u32,
+                    stage: stage as u32,
+                    mb,
+                },
+            );
+            self.engine.schedule_at(
+                e,
+                Ev::FwdDone {
+                    vw: vw as u32,
+                    stage: stage as u32,
+                    mb,
+                },
+            );
+        }
+    }
+
+    fn fwd_done(&mut self, vw: usize, stage: usize, mb: u64) {
+        // Send the boundary activations to the next stage.
+        let range_end = self.p.vws[vw].plan.ranges[stage].end;
+        let bytes = self.p.graph.boundary_bytes(range_end - 1);
+        let from = self.node_of(vw, stage);
+        let to = self.node_of(vw, stage + 1);
+        self.account_act(from, to, bytes);
+        let arrive = self.transfer(
+            from,
+            to,
+            bytes,
+            SpanTag::ActTransfer {
+                vw: vw as u32,
+                stage: stage as u32,
+                backward: false,
+            },
+        );
+        self.engine.schedule_at(
+            arrive,
+            Ev::FwdArrive {
+                vw: vw as u32,
+                stage: (stage + 1) as u32,
+                mb,
+            },
+        );
+    }
+
+    fn bwd_arrive(&mut self, vw: usize, stage: usize, mb: u64) {
+        let now = self.engine.now();
+        let gpu = self.gpu_of(vw, stage);
+        let dur = self.bwd[vw][stage];
+        let (s, e) = self.pool.get_mut(gpu).reserve(now, dur);
+        self.trace.record(
+            gpu,
+            s,
+            e,
+            SpanTag::Backward {
+                vw: vw as u32,
+                stage: stage as u32,
+                mb,
+            },
+        );
+        self.engine.schedule_at(
+            e,
+            Ev::BwdDone {
+                vw: vw as u32,
+                stage: stage as u32,
+                mb,
+            },
+        );
+    }
+
+    fn bwd_done(&mut self, vw: usize, stage: usize, mb: u64) {
+        if stage > 0 {
+            // Send the gradient w.r.t. our inputs to the previous stage.
+            let range_start = self.p.vws[vw].plan.ranges[stage].start;
+            let bytes = self.p.graph.input_bytes_of(range_start);
+            let from = self.node_of(vw, stage);
+            let to = self.node_of(vw, stage - 1);
+            self.account_act(from, to, bytes);
+            let arrive = self.transfer(
+                from,
+                to,
+                bytes,
+                SpanTag::ActTransfer {
+                    vw: vw as u32,
+                    stage: stage as u32,
+                    backward: true,
+                },
+            );
+            self.engine.schedule_at(
+                arrive,
+                Ev::BwdArrive {
+                    vw: vw as u32,
+                    stage: (stage - 1) as u32,
+                    mb,
+                },
+            );
+            return;
+        }
+
+        // Minibatch complete.
+        let now = self.engine.now();
+        let st = &mut self.states[vw];
+        st.completed += 1;
+        st.stats.completions.push(now);
+        let completed = st.completed;
+        self.engine
+            .schedule_in(SimTime::ZERO, Ev::TryInject { vw: vw as u32 });
+        debug_assert_eq!(completed, mb, "FIFO pipelines complete in order");
+
+        let nm = self.p.wsp.nm as u64;
+        if completed % nm == 0 {
+            let wave = completed / nm - 1;
+            self.start_push(vw, wave);
+        }
+    }
+
+    fn start_push(&mut self, vw: usize, wave: u64) {
+        let chunk_list = if self.p.sync_transfers {
+            self.chunks[vw].clone()
+        } else {
+            Vec::new()
+        };
+        if chunk_list.is_empty() {
+            self.push_completed(vw, wave);
+            return;
+        }
+        self.states[vw].push_remaining = chunk_list.len();
+        for ch in chunk_list {
+            self.account_sync(ch.gpu_node, ch.shard_node, ch.bytes);
+            let arrive = self.transfer(
+                ch.gpu_node,
+                ch.shard_node,
+                ch.bytes,
+                SpanTag::SyncTransfer {
+                    vw: vw as u32,
+                    wave,
+                    pull: false,
+                },
+            );
+            self.engine.schedule_at(
+                arrive,
+                Ev::PushChunkDone {
+                    vw: vw as u32,
+                    wave,
+                },
+            );
+        }
+    }
+
+    fn push_chunk_done(&mut self, vw: usize, wave: u64) {
+        let st = &mut self.states[vw];
+        st.push_remaining -= 1;
+        if st.push_remaining == 0 {
+            self.push_completed(vw, wave);
+        }
+    }
+
+    fn push_completed(&mut self, vw: usize, wave: u64) {
+        let now = self.engine.now();
+        {
+            let st = &mut self.states[vw];
+            st.clock = wave + 1;
+            st.stats.waves_pushed = st.clock;
+        }
+        // Request this VW's own pull (Section 5: at the end of clock c,
+        // pull weights that cover wave c − D).
+        if let Some(target) = self.p.wsp.pull_target_after_push(wave) {
+            let st = &mut self.states[vw];
+            match &mut st.pull_request {
+                Some((t, _since)) => *t = (*t).max(target),
+                None => st.pull_request = Some((target, now)),
+            }
+        }
+        // A new push may unblock any VW's pending pull.
+        for v in 0..self.states.len() {
+            self.try_serve_pull(v);
+        }
+    }
+
+    fn try_serve_pull(&mut self, vw: usize) {
+        if self.states[vw].pull_remaining > 0 {
+            return; // A pull transfer is already in flight.
+        }
+        let Some((target, since)) = self.states[vw].pull_request else {
+            return;
+        };
+        let min_clock = self.min_clock();
+        if min_clock < target + 1 {
+            return; // Straggler has not pushed wave `target` yet.
+        }
+        let now = self.engine.now();
+        {
+            let st = &mut self.states[vw];
+            st.stats.pull_wait += now - since;
+            st.stats.wait_windows.push((since, now));
+            st.pull_request = None;
+            st.pull_serving_version = min_clock as i64 - 1;
+        }
+        let chunk_list = if self.p.sync_transfers {
+            self.chunks[vw].clone()
+        } else {
+            Vec::new()
+        };
+        if chunk_list.is_empty() {
+            let st = &mut self.states[vw];
+            st.pulled = st.pulled.max(st.pull_serving_version);
+            self.engine
+                .schedule_in(SimTime::ZERO, Ev::TryInject { vw: vw as u32 });
+            return;
+        }
+        self.states[vw].pull_remaining = chunk_list.len();
+        for ch in chunk_list {
+            // Pull direction: shard -> GPU.
+            self.account_sync(ch.shard_node, ch.gpu_node, ch.bytes);
+            let wave = self.states[vw].pull_serving_version.max(0) as u64;
+            let arrive = self.transfer(
+                ch.shard_node,
+                ch.gpu_node,
+                ch.bytes,
+                SpanTag::SyncTransfer {
+                    vw: vw as u32,
+                    wave,
+                    pull: true,
+                },
+            );
+            self.engine
+                .schedule_at(arrive, Ev::PullChunkDone { vw: vw as u32 });
+        }
+    }
+
+    fn pull_chunk_done(&mut self, vw: usize) {
+        let st = &mut self.states[vw];
+        st.pull_remaining -= 1;
+        if st.pull_remaining == 0 {
+            st.pulled = st.pulled.max(st.pull_serving_version);
+            self.engine
+                .schedule_in(SimTime::ZERO, Ev::TryInject { vw: vw as u32 });
+            // A newer request may have queued while transferring.
+            self.try_serve_pull(vw);
+        }
+    }
+
+    fn run(mut self, horizon: SimTime) -> RunStats {
+        for vw in 0..self.p.vws.len() {
+            self.engine
+                .schedule_at(SimTime::ZERO, Ev::TryInject { vw: vw as u32 });
+        }
+        while let Some(ev) = self.engine.next_event_until(horizon) {
+            self.handle(ev);
+        }
+        RunStats {
+            horizon,
+            vws: self.states.into_iter().map(|s| s.stats).collect(),
+            trace: self.trace,
+            gpu_resources: self.gpu_res,
+            nic_resources: self.nic_res,
+            pool: self.pool,
+            sync_bytes_inter: self.sync_inter,
+            sync_bytes_intra: self.sync_intra,
+            act_bytes_inter: self.act_inter,
+            act_bytes_intra: self.act_intra,
+        }
+    }
+}
+
+/// Runs the pipeline simulation until `horizon`.
+pub fn run(params: ExecParams<'_>, horizon: SimTime) -> RunStats {
+    Exec::new(params).run(horizon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pserver::Placement;
+    use hetpipe_cluster::DeviceId;
+    use hetpipe_partition::{PartitionProblem, PartitionSolver};
+
+    fn build_vws(
+        cluster: &Cluster,
+        graph: &ModelGraph,
+        groups: &[Vec<DeviceId>],
+        nm: usize,
+    ) -> Vec<VirtualWorker> {
+        groups
+            .iter()
+            .enumerate()
+            .map(|(i, devices)| {
+                let gpus = devices.iter().map(|&d| cluster.spec_of(d)).collect();
+                let links = VirtualWorker::links(cluster, devices);
+                let plan = PartitionSolver::solve(&PartitionProblem::new(graph, gpus, links, nm))
+                    .expect("feasible");
+                VirtualWorker {
+                    index: i,
+                    devices: devices.clone(),
+                    plan,
+                    nm,
+                }
+            })
+            .collect()
+    }
+
+    fn ed_groups() -> Vec<Vec<DeviceId>> {
+        (0..4)
+            .map(|j| (0..4).map(|n| DeviceId(n * 4 + j)).collect())
+            .collect()
+    }
+
+    fn run_ed(nm: usize, d: usize, secs: f64) -> RunStats {
+        let cluster = Cluster::paper_testbed();
+        let graph = hetpipe_model::vgg19(32);
+        let vws = build_vws(&cluster, &graph, &ed_groups(), nm);
+        let shards = ShardMap::build(Placement::Local, &graph, &cluster, &vws[0]);
+        run(
+            ExecParams {
+                cluster: &cluster,
+                graph: &graph,
+                vws: &vws,
+                wsp: WspParams::new(nm, d),
+                shards: &shards,
+                sync_transfers: true,
+            },
+            SimTime::from_secs(secs),
+        )
+    }
+
+    #[test]
+    fn pipeline_makes_progress() {
+        let stats = run_ed(4, 0, 30.0);
+        for (i, vw) in stats.vws.iter().enumerate() {
+            assert!(
+                vw.completions.len() > 20,
+                "vw{} completed only {}",
+                i,
+                vw.completions.len()
+            );
+            assert!(
+                vw.waves_pushed > 4,
+                "vw{} pushed {} waves",
+                i,
+                vw.waves_pushed
+            );
+        }
+    }
+
+    #[test]
+    fn completions_are_monotone_and_fifo() {
+        let stats = run_ed(4, 0, 10.0);
+        for vw in &stats.vws {
+            for w in vw.completions.windows(2) {
+                assert!(w[0] <= w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn deeper_pipelining_increases_throughput() {
+        let t1 = run_ed(1, 0, 30.0).vws[0].completions.len();
+        let t4 = run_ed(4, 0, 30.0).vws[0].completions.len();
+        assert!(
+            t4 as f64 > t1 as f64 * 1.5,
+            "Nm=4 ({t4}) should clearly beat Nm=1 ({t1})"
+        );
+    }
+
+    #[test]
+    fn d0_keeps_vws_in_lockstep() {
+        // With D = 0 every VW's clock stays within 1 of the others
+        // (BSP-like behaviour, Section 5).
+        let stats = run_ed(4, 0, 20.0);
+        let clocks: Vec<u64> = stats.vws.iter().map(|v| v.waves_pushed).collect();
+        let max = *clocks.iter().max().unwrap();
+        let min = *clocks.iter().min().unwrap();
+        assert!(max - min <= 1, "clocks diverged: {clocks:?}");
+    }
+
+    #[test]
+    fn larger_d_reduces_waiting() {
+        // ED VWs are identical so waits are small either way, but D = 4
+        // must never wait longer than D = 0 (Section 8.4).
+        let w0: SimTime = run_ed(4, 0, 30.0)
+            .vws
+            .iter()
+            .map(|v| v.pull_wait)
+            .fold(SimTime::ZERO, |a, b| a + b);
+        let w4: SimTime = run_ed(4, 4, 30.0)
+            .vws
+            .iter()
+            .map(|v| v.pull_wait)
+            .fold(SimTime::ZERO, |a, b| a + b);
+        assert!(w4 <= w0, "D=4 wait {w4} should not exceed D=0 wait {w0}");
+    }
+
+    #[test]
+    fn determinism() {
+        let a = run_ed(4, 0, 10.0);
+        let b = run_ed(4, 0, 10.0);
+        assert_eq!(a.vws.len(), b.vws.len());
+        for (x, y) in a.vws.iter().zip(&b.vws) {
+            assert_eq!(x.completions, y.completions);
+            assert_eq!(x.waves_pushed, y.waves_pushed);
+        }
+        assert_eq!(a.trace.len(), b.trace.len());
+    }
+
+    #[test]
+    fn local_placement_no_cross_node_sync() {
+        let stats = run_ed(4, 0, 10.0);
+        assert_eq!(stats.sync_bytes_inter, 0, "ED-local sync must stay on-node");
+        assert!(stats.sync_bytes_intra > 0);
+        // ED activations cross nodes by construction.
+        assert!(stats.act_bytes_inter > 0);
+    }
+
+    #[test]
+    fn single_gpu_vw_works() {
+        // A VW of one GPU degenerates to plain (non-pipelined) training.
+        let cluster = Cluster::paper_testbed();
+        let graph = hetpipe_model::vgg19(32);
+        let groups = vec![vec![DeviceId(0)], vec![DeviceId(1)]];
+        let vws = build_vws(&cluster, &graph, &groups, 1);
+        let shards = ShardMap::build(Placement::Default, &graph, &cluster, &vws[0]);
+        let stats = run(
+            ExecParams {
+                cluster: &cluster,
+                graph: &graph,
+                vws: &vws,
+                wsp: WspParams::new(1, 0),
+                shards: &shards,
+                sync_transfers: true,
+            },
+            SimTime::from_secs(20.0),
+        );
+        assert!(stats.vws[0].completions.len() > 10);
+    }
+
+    #[test]
+    fn straggler_vws_forced_to_wait_under_d0() {
+        // NP-style allocation: one fast VVVV VW and one slow QQQQ VW.
+        // With D = 0 the fast VW must accumulate pull waiting time.
+        let cluster = Cluster::paper_testbed();
+        let graph = hetpipe_model::vgg19(32);
+        let groups = vec![
+            (0..4).map(DeviceId).collect::<Vec<_>>(),
+            (12..16).map(DeviceId).collect::<Vec<_>>(),
+        ];
+        let vws = build_vws(&cluster, &graph, &groups, 2);
+        let shards = ShardMap::build(Placement::Default, &graph, &cluster, &vws[0]);
+        let stats = run(
+            ExecParams {
+                cluster: &cluster,
+                graph: &graph,
+                vws: &vws,
+                wsp: WspParams::new(2, 0),
+                shards: &shards,
+                sync_transfers: true,
+            },
+            SimTime::from_secs(30.0),
+        );
+        let fast = &stats.vws[0];
+        let slow = &stats.vws[1];
+        assert!(
+            fast.pull_wait > slow.pull_wait,
+            "fast VW should wait more: {} vs {}",
+            fast.pull_wait,
+            slow.pull_wait
+        );
+        // Lockstep: completed waves within 1.
+        assert!(fast.waves_pushed.abs_diff(slow.waves_pushed) <= 1);
+    }
+}

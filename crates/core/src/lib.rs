@@ -1,0 +1,43 @@
+//! The HetPipe system: pipelined model parallelism within virtual
+//! workers, data parallelism across them, synchronized by the Wave
+//! Synchronous Parallel (WSP) model.
+//!
+//! This crate is the paper's primary contribution, rebuilt on the
+//! simulation substrates:
+//!
+//! - [`sync`] — WSP clock and staleness algebra (Sections 4–5): local
+//!   staleness `s_local = Nm − 1`, global staleness
+//!   `s_global = (D+1)(s_local+1) + s_local − 1`, wave bookkeeping, and
+//!   the minibatch start gate.
+//! - [`pserver`] — sharded parameter servers with the paper's two
+//!   placement policies (round-robin *default* and ED-*local*,
+//!   Section 8.1) and per-path traffic accounting.
+//! - [`alloc`] — the resource-allocation policies of Table 3: Node
+//!   Partition (NP), Equal Distribution (ED), Hybrid Distribution (HD).
+//! - [`vw`] — virtual workers: a group of (possibly heterogeneous) GPUs
+//!   executing one pipeline.
+//! - [`exec`] — the discrete-event executor: the Figure-1 pipeline
+//!   schedule (FIFO conditions 1–3, fused forward/backward at the last
+//!   stage), wave-aggregated pushes, D-bounded pulls.
+//! - [`system`] — end-to-end assembly and simulation entry point.
+//! - [`metrics`] — throughput, per-GPU utilization, waiting vs true
+//!   idle time (Section 8.4), and traffic split.
+//! - [`convergence`] — composition of simulated throughput with
+//!   accuracy-per-update curves into accuracy-vs-time series
+//!   (Figures 5 and 6).
+
+pub mod alloc;
+pub mod convergence;
+pub mod exec;
+pub mod metrics;
+pub mod pserver;
+pub mod sync;
+pub mod system;
+pub mod vw;
+
+pub use alloc::AllocationPolicy;
+pub use metrics::SystemReport;
+pub use pserver::Placement;
+pub use sync::{SyncModel, WspParams};
+pub use system::{BuildError, HetPipeSystem, SystemConfig};
+pub use vw::VirtualWorker;

@@ -1,0 +1,215 @@
+//! Post-run reports.
+//!
+//! Turns raw [`RunStats`](crate::exec::RunStats) into the quantities the
+//! paper's evaluation section reports: throughput in images/second
+//! (all figures), per-GPU utilization (Figure 3), waiting vs true idle
+//! time during synchronization (Section 8.4), and the cross-node traffic
+//! split (the 515 MB vs 103 MB comparison in Section 8.3).
+
+use crate::exec::{RunStats, SpanTag};
+use hetpipe_cluster::{Cluster, DeviceId};
+use hetpipe_des::SimTime;
+
+/// A complete report of one simulated training run.
+#[derive(Debug, Clone)]
+pub struct SystemReport {
+    /// Minibatch size the model profile was built for.
+    pub batch_size: usize,
+    /// Measurement window start (warm-up excluded).
+    pub warmup: SimTime,
+    /// Simulated horizon.
+    pub horizon: SimTime,
+    /// Minibatches completed inside the measurement window, per VW.
+    pub minibatches_per_vw: Vec<u64>,
+    /// Waves pushed per VW over the whole run.
+    pub waves_per_vw: Vec<u64>,
+    /// Per-device utilization within the measurement window.
+    pub gpu_utilization: Vec<(DeviceId, f64)>,
+    /// Per-VW maximum average stage utilization (the Figure-3 metric).
+    pub max_stage_utilization: Vec<f64>,
+    /// Total pull waiting time per VW (Section 8.4).
+    pub pull_wait_per_vw: Vec<SimTime>,
+    /// True idle time inside the waiting windows per VW (Section 8.4:
+    /// "the actual idle time is only 18% of the waiting time").
+    pub idle_in_wait_per_vw: Vec<SimTime>,
+    /// Cross-node parameter-synchronization bytes.
+    pub sync_bytes_inter: u64,
+    /// Intra-node parameter-synchronization bytes.
+    pub sync_bytes_intra: u64,
+    /// Cross-node activation/gradient bytes.
+    pub act_bytes_inter: u64,
+    /// Intra-node activation/gradient bytes.
+    pub act_bytes_intra: u64,
+}
+
+impl SystemReport {
+    /// Builds the report from raw run statistics.
+    ///
+    /// `vw_devices` lists each VW's stage devices (used for utilization
+    /// aggregation).
+    pub fn from_stats(
+        stats: &RunStats,
+        cluster: &Cluster,
+        batch_size: usize,
+        warmup: SimTime,
+        vw_devices: &[Vec<DeviceId>],
+    ) -> SystemReport {
+        let horizon = stats.horizon;
+        let minibatches_per_vw: Vec<u64> = stats
+            .vws
+            .iter()
+            .map(|v| v.completions.iter().filter(|&&t| t > warmup).count() as u64)
+            .collect();
+        let waves_per_vw: Vec<u64> = stats.vws.iter().map(|v| v.waves_pushed).collect();
+
+        let gpu_utilization: Vec<(DeviceId, f64)> = cluster
+            .devices()
+            .map(|d| {
+                let rid = stats.gpu_resources[d.0];
+                (d, stats.trace.utilization_within(rid, warmup, horizon))
+            })
+            .collect();
+
+        let max_stage_utilization: Vec<f64> = vw_devices
+            .iter()
+            .map(|devs| {
+                devs.iter()
+                    .map(|d| gpu_utilization[d.0].1)
+                    .fold(0.0, f64::max)
+            })
+            .collect();
+
+        // True idle inside waiting windows: window length minus mean GPU
+        // busy time of the VW's stages within the window.
+        let idle_in_wait_per_vw: Vec<SimTime> = stats
+            .vws
+            .iter()
+            .enumerate()
+            .map(|(i, v)| {
+                let devs = &vw_devices[i];
+                let mut idle = SimTime::ZERO;
+                for &(from, to) in &v.wait_windows {
+                    if devs.is_empty() {
+                        continue;
+                    }
+                    let busy_avg: f64 = devs
+                        .iter()
+                        .map(|d| {
+                            stats
+                                .trace
+                                .busy_within(stats.gpu_resources[d.0], from, to)
+                                .as_secs()
+                        })
+                        .sum::<f64>()
+                        / devs.len() as f64;
+                    let window = (to - from).as_secs();
+                    idle += SimTime::from_secs((window - busy_avg).max(0.0));
+                }
+                idle
+            })
+            .collect();
+
+        SystemReport {
+            batch_size,
+            warmup,
+            horizon,
+            minibatches_per_vw,
+            waves_per_vw,
+            gpu_utilization,
+            max_stage_utilization,
+            pull_wait_per_vw: stats.vws.iter().map(|v| v.pull_wait).collect(),
+            idle_in_wait_per_vw,
+            sync_bytes_inter: stats.sync_bytes_inter,
+            sync_bytes_intra: stats.sync_bytes_intra,
+            act_bytes_inter: stats.act_bytes_inter,
+            act_bytes_intra: stats.act_bytes_intra,
+        }
+    }
+
+    /// Aggregate throughput in images per second over the measurement
+    /// window.
+    pub fn throughput_images_per_sec(&self) -> f64 {
+        let window = (self.horizon - self.warmup).as_secs();
+        if window <= 0.0 {
+            return 0.0;
+        }
+        let total: u64 = self.minibatches_per_vw.iter().sum();
+        total as f64 * self.batch_size as f64 / window
+    }
+
+    /// Aggregate throughput in minibatches per second.
+    pub fn throughput_minibatches_per_sec(&self) -> f64 {
+        self.throughput_images_per_sec() / self.batch_size as f64
+    }
+
+    /// Total pull waiting time across VWs, seconds.
+    pub fn total_pull_wait_secs(&self) -> f64 {
+        self.pull_wait_per_vw.iter().map(|t| t.as_secs()).sum()
+    }
+
+    /// Total true idle time inside waiting windows, seconds.
+    pub fn total_idle_in_wait_secs(&self) -> f64 {
+        self.idle_in_wait_per_vw.iter().map(|t| t.as_secs()).sum()
+    }
+
+    /// Idle-to-waiting ratio (the paper reports 18% for ED-local,
+    /// Section 8.4); `None` when there was no waiting.
+    pub fn idle_fraction_of_wait(&self) -> Option<f64> {
+        let wait = self.total_pull_wait_secs();
+        (wait > 0.0).then(|| self.total_idle_in_wait_secs() / wait)
+    }
+}
+
+/// Helper: counts spans of a given kind in a trace (used by tests and
+/// the benches' sanity checks).
+pub fn count_tag(stats: &RunStats, pred: impl Fn(&SpanTag) -> bool) -> usize {
+    stats.trace.count_where(|t| pred(t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_math() {
+        let report = SystemReport {
+            batch_size: 32,
+            warmup: SimTime::ZERO,
+            horizon: SimTime::from_secs(10.0),
+            minibatches_per_vw: vec![50, 50],
+            waves_per_vw: vec![12, 12],
+            gpu_utilization: vec![],
+            max_stage_utilization: vec![],
+            pull_wait_per_vw: vec![SimTime::from_secs(1.0)],
+            idle_in_wait_per_vw: vec![SimTime::from_secs(0.25)],
+            sync_bytes_inter: 0,
+            sync_bytes_intra: 0,
+            act_bytes_inter: 0,
+            act_bytes_intra: 0,
+        };
+        assert!((report.throughput_images_per_sec() - 320.0).abs() < 1e-9);
+        assert!((report.throughput_minibatches_per_sec() - 10.0).abs() < 1e-9);
+        assert_eq!(report.idle_fraction_of_wait(), Some(0.25));
+    }
+
+    #[test]
+    fn empty_window_is_zero_throughput() {
+        let report = SystemReport {
+            batch_size: 32,
+            warmup: SimTime::from_secs(5.0),
+            horizon: SimTime::from_secs(5.0),
+            minibatches_per_vw: vec![],
+            waves_per_vw: vec![],
+            gpu_utilization: vec![],
+            max_stage_utilization: vec![],
+            pull_wait_per_vw: vec![],
+            idle_in_wait_per_vw: vec![],
+            sync_bytes_inter: 0,
+            sync_bytes_intra: 0,
+            act_bytes_inter: 0,
+            act_bytes_intra: 0,
+        };
+        assert_eq!(report.throughput_images_per_sec(), 0.0);
+        assert_eq!(report.idle_fraction_of_wait(), None);
+    }
+}

@@ -1,0 +1,400 @@
+//! End-to-end system assembly.
+//!
+//! [`HetPipeSystem::build`] performs the full setup pipeline of
+//! Figure 2: allocate GPUs to virtual workers (resource allocator),
+//! choose a stage order, find `Max_m` and the common `Nm`, partition the
+//! model per VW (model partitioner), place parameter-server shards —
+//! then [`HetPipeSystem::run`] simulates training and reports.
+
+use crate::alloc::{AllocError, AllocationPolicy};
+use crate::exec::{self, ExecParams};
+use crate::metrics::SystemReport;
+use crate::pserver::{Placement, ShardMap};
+use crate::sync::WspParams;
+use crate::vw::VirtualWorker;
+use hetpipe_cluster::{Cluster, DeviceId};
+use hetpipe_des::SimTime;
+use hetpipe_model::memory::nm_saturation_limit;
+use hetpipe_model::ModelGraph;
+use hetpipe_partition::{max_feasible_nm, order::search_orders, PartitionProblem, PartitionSolver};
+use std::fmt;
+
+/// System-level configuration.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// How GPUs are grouped into virtual workers.
+    pub policy: AllocationPolicy,
+    /// Parameter-server shard placement.
+    pub placement: Placement,
+    /// WSP clock-distance bound `D`.
+    pub staleness_bound: usize,
+    /// Force a specific `Nm` instead of the automatic
+    /// maximum-feasible choice.
+    pub nm_override: Option<usize>,
+    /// Search stage orders per VW (otherwise allocation order is kept).
+    pub order_search: bool,
+    /// Fraction of the horizon treated as warm-up and excluded from
+    /// throughput measurement.
+    pub warmup_fraction: f64,
+    /// Model parameter-synchronization *transfers* (true for the full
+    /// system; false measures standalone virtual workers as in the
+    /// paper's Figure 3).
+    pub sync_transfers: bool,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            policy: AllocationPolicy::EqualDistribution,
+            placement: Placement::Default,
+            staleness_bound: 0,
+            nm_override: None,
+            order_search: true,
+            warmup_fraction: 0.15,
+            sync_transfers: true,
+        }
+    }
+}
+
+/// Why the system could not be assembled.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The allocation policy rejected the cluster shape.
+    Alloc(AllocError),
+    /// A virtual worker has no memory-feasible partition even at
+    /// `Nm = 1`.
+    NoFeasiblePartition {
+        /// Index of the failing virtual worker.
+        vw: usize,
+    },
+    /// A forced `Nm` is infeasible for some virtual worker.
+    NmInfeasible {
+        /// Index of the failing virtual worker.
+        vw: usize,
+        /// The forced value.
+        nm: usize,
+    },
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::Alloc(e) => write!(f, "allocation failed: {e}"),
+            BuildError::NoFeasiblePartition { vw } => {
+                write!(
+                    f,
+                    "virtual worker {vw} cannot hold the model even at Nm = 1"
+                )
+            }
+            BuildError::NmInfeasible { vw, nm } => {
+                write!(f, "virtual worker {vw} cannot run with forced Nm = {nm}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<AllocError> for BuildError {
+    fn from(e: AllocError) -> Self {
+        BuildError::Alloc(e)
+    }
+}
+
+/// A fully-assembled HetPipe deployment, ready to simulate.
+#[derive(Debug, Clone)]
+pub struct HetPipeSystem<'a> {
+    cluster: &'a Cluster,
+    graph: &'a ModelGraph,
+    config: SystemConfig,
+    vws: Vec<VirtualWorker>,
+    shards: ShardMap,
+    nm: usize,
+}
+
+impl<'a> HetPipeSystem<'a> {
+    /// Assembles the system: allocation → stage order → `Nm` → plans →
+    /// shard placement.
+    pub fn build(
+        cluster: &'a Cluster,
+        graph: &'a ModelGraph,
+        config: &SystemConfig,
+    ) -> Result<Self, BuildError> {
+        let groups = config.policy.allocate(cluster)?;
+
+        // Resolve the stage order of every VW (optionally searched) and
+        // this VW's Max_m.
+        let mut ordered_groups: Vec<Vec<DeviceId>> = Vec::with_capacity(groups.len());
+        let mut maxms: Vec<usize> = Vec::with_capacity(groups.len());
+        for (i, devices) in groups.iter().enumerate() {
+            let ordered = if config.order_search && devices.len() > 1 {
+                // Score each distinct kind-order by an estimated
+                // steady-state throughput: a pipeline with `Nm` in
+                // flight sustains min(1/bottleneck, Nm/latency) — this
+                // accounts for orders whose memory layout caps Max_m.
+                let gpus: Vec<_> = devices.iter().map(|&d| cluster.spec_of(d)).collect();
+                let limit = nm_saturation_limit(devices.len());
+                let result = search_orders(&gpus, |order| {
+                    let devs: Vec<DeviceId> = order.iter().map(|&j| devices[j]).collect();
+                    let ordered_gpus: Vec<_> = devs.iter().map(|&d| cluster.spec_of(d)).collect();
+                    let links = VirtualWorker::links(cluster, &devs);
+                    let (maxm, plan) = max_feasible_nm(graph, &ordered_gpus, &links, limit)?;
+                    let latency: f64 = plan.stage_secs.iter().sum();
+                    Some((1.0 / plan.bottleneck_secs).min(maxm as f64 / latency))
+                })
+                .ok_or(BuildError::NoFeasiblePartition { vw: i })?;
+                result.0.iter().map(|&j| devices[j]).collect()
+            } else {
+                devices.clone()
+            };
+
+            let gpus: Vec<_> = ordered.iter().map(|&d| cluster.spec_of(d)).collect();
+            let links = VirtualWorker::links(cluster, &ordered);
+            let limit = nm_saturation_limit(ordered.len());
+            let (maxm, _plan) = max_feasible_nm(graph, &gpus, &links, limit)
+                .ok_or(BuildError::NoFeasiblePartition { vw: i })?;
+            maxms.push(maxm);
+            ordered_groups.push(ordered);
+        }
+
+        // Nm must be identical across VWs (Section 4) and is "set such
+        // that performance is maximized" (Section 8.3): probe every
+        // feasible Nm up to the smallest per-VW Max_m and keep the one
+        // with the best estimated system throughput. Under the
+        // distance-D bound the slowest VW paces the system, so the
+        // estimate is N times the slowest VW's pipeline rate
+        // min(1/bottleneck, Nm/latency).
+        let max_nm = maxms.iter().copied().min().unwrap_or(1);
+        let nm = match config.nm_override {
+            Some(forced) => {
+                if let Some(vw) = maxms.iter().position(|&m| m < forced) {
+                    return Err(BuildError::NmInfeasible { vw, nm: forced });
+                }
+                forced
+            }
+            None => {
+                let mut best = (1usize, 0.0f64);
+                for nm in 1..=max_nm {
+                    let mut slowest = f64::INFINITY;
+                    let mut feasible = true;
+                    for devices in &ordered_groups {
+                        let gpus: Vec<_> = devices.iter().map(|&d| cluster.spec_of(d)).collect();
+                        let links = VirtualWorker::links(cluster, devices);
+                        match PartitionSolver::solve(&PartitionProblem::new(graph, gpus, links, nm))
+                        {
+                            Ok(plan) => {
+                                let latency: f64 = plan.stage_secs.iter().sum();
+                                let rate = (1.0 / plan.bottleneck_secs).min(nm as f64 / latency);
+                                slowest = slowest.min(rate);
+                            }
+                            Err(_) => {
+                                feasible = false;
+                                break;
+                            }
+                        }
+                    }
+                    if feasible && slowest > best.1 {
+                        best = (nm, slowest);
+                    }
+                }
+                best.0
+            }
+        };
+
+        // Final plans at the chosen Nm.
+        let mut vws = Vec::with_capacity(ordered_groups.len());
+        for (i, devices) in ordered_groups.into_iter().enumerate() {
+            let gpus: Vec<_> = devices.iter().map(|&d| cluster.spec_of(d)).collect();
+            let links = VirtualWorker::links(cluster, &devices);
+            let plan = PartitionSolver::solve(&PartitionProblem::new(graph, gpus, links, nm))
+                .map_err(|_| BuildError::NmInfeasible { vw: i, nm })?;
+            vws.push(VirtualWorker {
+                index: i,
+                devices,
+                plan,
+                nm,
+            });
+        }
+
+        let shards = ShardMap::build(config.placement, graph, cluster, &vws[0]);
+        Ok(HetPipeSystem {
+            cluster,
+            graph,
+            config: config.clone(),
+            vws,
+            shards,
+            nm,
+        })
+    }
+
+    /// The common pipeline concurrency `Nm`.
+    pub fn nm(&self) -> usize {
+        self.nm
+    }
+
+    /// The assembled virtual workers.
+    pub fn virtual_workers(&self) -> &[VirtualWorker] {
+        &self.vws
+    }
+
+    /// The shard placement in effect.
+    pub fn shards(&self) -> &ShardMap {
+        &self.shards
+    }
+
+    /// Simulates training until `horizon` and reports.
+    pub fn run(&self, horizon: SimTime) -> SystemReport {
+        let wsp = WspParams::new(self.nm, self.config.staleness_bound);
+        let stats = exec::run(
+            ExecParams {
+                cluster: self.cluster,
+                graph: self.graph,
+                vws: &self.vws,
+                wsp,
+                shards: &self.shards,
+                sync_transfers: self.config.sync_transfers,
+            },
+            horizon,
+        );
+        let warmup = SimTime::from_secs(horizon.as_secs() * self.config.warmup_fraction);
+        let vw_devices: Vec<Vec<DeviceId>> = self.vws.iter().map(|v| v.devices.clone()).collect();
+        SystemReport::from_stats(
+            &stats,
+            self.cluster,
+            self.graph.batch_size,
+            warmup,
+            &vw_devices,
+        )
+    }
+
+    /// Simulates and returns both the report and the raw statistics
+    /// (for trace-level analyses such as Section 8.4).
+    pub fn run_with_stats(&self, horizon: SimTime) -> (SystemReport, exec::RunStats) {
+        let wsp = WspParams::new(self.nm, self.config.staleness_bound);
+        let stats = exec::run(
+            ExecParams {
+                cluster: self.cluster,
+                graph: self.graph,
+                vws: &self.vws,
+                wsp,
+                shards: &self.shards,
+                sync_transfers: self.config.sync_transfers,
+            },
+            horizon,
+        );
+        let warmup = SimTime::from_secs(horizon.as_secs() * self.config.warmup_fraction);
+        let vw_devices: Vec<Vec<DeviceId>> = self.vws.iter().map(|v| v.devices.clone()).collect();
+        let report = SystemReport::from_stats(
+            &stats,
+            self.cluster,
+            self.graph.batch_size,
+            warmup,
+            &vw_devices,
+        );
+        (report, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(policy: AllocationPolicy, placement: Placement, d: usize) -> SystemConfig {
+        SystemConfig {
+            policy,
+            placement,
+            staleness_bound: d,
+            ..SystemConfig::default()
+        }
+    }
+
+    #[test]
+    fn builds_all_three_policies_for_vgg() {
+        let cluster = Cluster::paper_testbed();
+        let graph = hetpipe_model::vgg19(32);
+        for policy in [
+            AllocationPolicy::NodePartition,
+            AllocationPolicy::EqualDistribution,
+            AllocationPolicy::HybridDistribution,
+        ] {
+            let sys = HetPipeSystem::build(
+                &cluster,
+                &graph,
+                &cfg(policy.clone(), Placement::Default, 0),
+            )
+            .unwrap_or_else(|e| panic!("{}: {e}", policy.name()));
+            assert_eq!(sys.virtual_workers().len(), 4);
+            assert!(sys.nm() >= 1);
+        }
+    }
+
+    #[test]
+    fn ed_runs_and_reports_throughput() {
+        let cluster = Cluster::paper_testbed();
+        let graph = hetpipe_model::vgg19(32);
+        let sys = HetPipeSystem::build(
+            &cluster,
+            &graph,
+            &cfg(AllocationPolicy::EqualDistribution, Placement::Local, 0),
+        )
+        .unwrap();
+        let report = sys.run(SimTime::from_secs(30.0));
+        let tput = report.throughput_images_per_sec();
+        assert!(tput > 100.0, "ED-local VGG-19 throughput = {tput:.0}");
+    }
+
+    #[test]
+    fn nm_override_respected_and_validated() {
+        let cluster = Cluster::paper_testbed();
+        let graph = hetpipe_model::vgg19(32);
+        let mut config = cfg(AllocationPolicy::EqualDistribution, Placement::Local, 0);
+        config.nm_override = Some(2);
+        let sys = HetPipeSystem::build(&cluster, &graph, &config).unwrap();
+        assert_eq!(sys.nm(), 2);
+        config.nm_override = Some(1000);
+        assert!(matches!(
+            HetPipeSystem::build(&cluster, &graph, &config),
+            Err(BuildError::NmInfeasible { .. })
+        ));
+    }
+
+    #[test]
+    fn resnet_feasible_on_whimpy_cluster_via_pmp() {
+        // The paper's headline capability: ResNet-152 cannot run on a
+        // single RTX 2060, but a GGGG virtual worker (NP) holds it as a
+        // 4-stage pipeline.
+        let cluster = Cluster::paper_testbed();
+        let graph = hetpipe_model::resnet152(32);
+        let sys = HetPipeSystem::build(
+            &cluster,
+            &graph,
+            &cfg(AllocationPolicy::NodePartition, Placement::Default, 0),
+        )
+        .unwrap();
+        assert_eq!(sys.virtual_workers().len(), 4);
+        let report = sys.run(SimTime::from_secs(20.0));
+        assert!(report.throughput_images_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn order_search_does_not_hurt() {
+        let cluster = Cluster::paper_testbed();
+        let graph = hetpipe_model::resnet152(32);
+        let mut with = cfg(AllocationPolicy::EqualDistribution, Placement::Local, 0);
+        with.order_search = true;
+        let mut without = with.clone();
+        without.order_search = false;
+        let t_with = HetPipeSystem::build(&cluster, &graph, &with)
+            .unwrap()
+            .run(SimTime::from_secs(20.0))
+            .throughput_images_per_sec();
+        let t_without = HetPipeSystem::build(&cluster, &graph, &without)
+            .unwrap()
+            .run(SimTime::from_secs(20.0))
+            .throughput_images_per_sec();
+        assert!(
+            t_with >= t_without * 0.95,
+            "order search regressed: {t_with:.0} vs {t_without:.0}"
+        );
+    }
+}

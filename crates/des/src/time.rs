@@ -1,0 +1,186 @@
+//! Fixed-point simulated time.
+//!
+//! Simulated time is an integer count of nanoseconds. Using a fixed-point
+//! representation (rather than `f64` seconds) gives simulated runs a total
+//! event order independent of floating-point rounding, which the
+//! determinism property tests rely on.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in (or span of) simulated time, in integer nanoseconds.
+///
+/// `SimTime` is used both as an absolute timestamp and as a duration;
+/// arithmetic saturates at zero on subtraction underflow rather than
+/// panicking, because "how long until an event in the past" is always
+/// zero in simulation logic.
+///
+/// # Examples
+///
+/// ```
+/// use hetpipe_des::SimTime;
+/// let t = SimTime::from_secs(1.5);
+/// assert_eq!(t.as_nanos(), 1_500_000_000);
+/// assert!((t.as_secs() - 1.5).abs() < 1e-12);
+/// assert_eq!(SimTime::ZERO - t, SimTime::ZERO);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The origin of simulated time.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// The largest representable time.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Constructs a time from integer nanoseconds.
+    pub const fn from_nanos(ns: u64) -> SimTime {
+        SimTime(ns)
+    }
+
+    /// Constructs a time from integer microseconds.
+    pub const fn from_micros(us: u64) -> SimTime {
+        SimTime(us * 1_000)
+    }
+
+    /// Constructs a time from integer milliseconds.
+    pub const fn from_millis(ms: u64) -> SimTime {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Constructs a time from (possibly fractional) seconds.
+    ///
+    /// Negative and NaN inputs clamp to zero; positive infinity and
+    /// values beyond the representable range clamp to [`SimTime::MAX`].
+    pub fn from_secs(secs: f64) -> SimTime {
+        if secs.is_nan() || secs <= 0.0 {
+            return SimTime::ZERO;
+        }
+        let ns = secs * 1e9;
+        if ns >= u64::MAX as f64 {
+            SimTime::MAX
+        } else {
+            SimTime(ns as u64)
+        }
+    }
+
+    /// This time as integer nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// This time as floating-point seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction (clamps at zero).
+    pub fn saturating_sub(self, rhs: SimTime) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+
+    /// True if this is the zero time.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for SimTime {
+    type Output = SimTime;
+
+    fn add(self, rhs: SimTime) -> SimTime {
+        self.saturating_add(rhs)
+    }
+}
+
+impl AddAssign for SimTime {
+    fn add_assign(&mut self, rhs: SimTime) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimTime;
+
+    fn sub(self, rhs: SimTime) -> SimTime {
+        self.saturating_sub(rhs)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let secs = self.as_secs();
+        if secs >= 1.0 {
+            write!(f, "{secs:.3}s")
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.0 as f64 / 1e6)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(SimTime::from_secs(2.0).as_nanos(), 2_000_000_000);
+        assert_eq!(SimTime::from_millis(5).as_nanos(), 5_000_000);
+        assert_eq!(SimTime::from_micros(7).as_nanos(), 7_000);
+        let t = SimTime::from_secs(0.123456789);
+        assert!((t.as_secs() - 0.123456789).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pathological_inputs_clamp() {
+        assert_eq!(SimTime::from_secs(-1.0), SimTime::ZERO);
+        assert_eq!(SimTime::from_secs(f64::NAN), SimTime::ZERO);
+        assert_eq!(
+            SimTime::from_secs(f64::INFINITY),
+            SimTime::ZERO.max(SimTime::MAX)
+        );
+        assert_eq!(SimTime::from_secs(1e30), SimTime::MAX);
+    }
+
+    #[test]
+    fn arithmetic_saturates() {
+        let a = SimTime::from_nanos(10);
+        let b = SimTime::from_nanos(30);
+        assert_eq!(a - b, SimTime::ZERO);
+        assert_eq!(b - a, SimTime::from_nanos(20));
+        assert_eq!(SimTime::MAX + b, SimTime::MAX);
+    }
+
+    #[test]
+    fn ordering_is_total() {
+        let mut v = vec![
+            SimTime::from_nanos(5),
+            SimTime::ZERO,
+            SimTime::from_nanos(3),
+        ];
+        v.sort();
+        assert_eq!(
+            v,
+            vec![
+                SimTime::ZERO,
+                SimTime::from_nanos(3),
+                SimTime::from_nanos(5)
+            ]
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimTime::from_secs(1.5).to_string(), "1.500s");
+        assert_eq!(SimTime::from_millis(2).to_string(), "2.000ms");
+        assert_eq!(SimTime::from_nanos(42).to_string(), "42ns");
+    }
+}

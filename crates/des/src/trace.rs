@@ -1,0 +1,194 @@
+//! Span traces for post-run analysis.
+//!
+//! Executors record labelled time spans (`forward pass of minibatch 7 on
+//! stage 2`, `push of wave 3`, …). The trace then answers the questions
+//! the paper's evaluation asks: per-GPU utilization over a window
+//! (Figure 3), waiting time vs true idle time during synchronization
+//! (Section 8.4), and per-minibatch latency distributions.
+
+use crate::resource::ResourceId;
+use crate::time::SimTime;
+
+/// A labelled interval on a resource's timeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span<T> {
+    /// The resource the span occupied.
+    pub resource: ResourceId,
+    /// Start instant.
+    pub start: SimTime,
+    /// End instant (`end >= start`).
+    pub end: SimTime,
+    /// Client-defined label (e.g. an enum of Forward/Backward/Push/Pull).
+    pub tag: T,
+}
+
+impl<T> Span<T> {
+    /// The span's duration.
+    pub fn duration(&self) -> SimTime {
+        self.end - self.start
+    }
+}
+
+/// An append-only collection of spans.
+#[derive(Debug, Clone)]
+pub struct Trace<T> {
+    spans: Vec<Span<T>>,
+}
+
+impl<T> Default for Trace<T> {
+    fn default() -> Self {
+        Trace { spans: Vec::new() }
+    }
+}
+
+impl<T> Trace<T> {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a span.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `end < start`.
+    pub fn record(&mut self, resource: ResourceId, start: SimTime, end: SimTime, tag: T) {
+        debug_assert!(end >= start, "span must not be inverted");
+        self.spans.push(Span {
+            resource,
+            start,
+            end,
+            tag,
+        });
+    }
+
+    /// All recorded spans, in recording order.
+    pub fn spans(&self) -> &[Span<T>] {
+        &self.spans
+    }
+
+    /// Number of spans recorded.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// True if no span was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Total busy time of `resource` within the window `[from, to)`,
+    /// clipping spans that straddle the window edges.
+    pub fn busy_within(&self, resource: ResourceId, from: SimTime, to: SimTime) -> SimTime {
+        let mut acc = SimTime::ZERO;
+        for s in &self.spans {
+            if s.resource != resource {
+                continue;
+            }
+            let lo = s.start.max(from);
+            let hi = s.end.min(to);
+            if hi > lo {
+                acc += hi - lo;
+            }
+        }
+        acc
+    }
+
+    /// Utilization of `resource` within `[from, to)`.
+    ///
+    /// Returns 0 for an empty window.
+    pub fn utilization_within(&self, resource: ResourceId, from: SimTime, to: SimTime) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        self.busy_within(resource, from, to).as_secs() / (to - from).as_secs()
+    }
+
+    /// Sums the durations of all spans whose tag satisfies `pred`.
+    pub fn total_where(&self, mut pred: impl FnMut(&T) -> bool) -> SimTime {
+        let mut acc = SimTime::ZERO;
+        for s in &self.spans {
+            if pred(&s.tag) {
+                acc += s.duration();
+            }
+        }
+        acc
+    }
+
+    /// Counts spans whose tag satisfies `pred`.
+    pub fn count_where(&self, mut pred: impl FnMut(&T) -> bool) -> usize {
+        self.spans.iter().filter(|s| pred(&s.tag)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    enum Tag {
+        Fwd,
+        Bwd,
+    }
+
+    #[test]
+    fn busy_time_clips_to_window() {
+        let mut tr = Trace::new();
+        let r = ResourceId(0);
+        tr.record(r, SimTime::from_nanos(0), SimTime::from_nanos(10), Tag::Fwd);
+        tr.record(
+            r,
+            SimTime::from_nanos(20),
+            SimTime::from_nanos(30),
+            Tag::Bwd,
+        );
+        // Window [5, 25) clips both spans to 5ns each.
+        let busy = tr.busy_within(r, SimTime::from_nanos(5), SimTime::from_nanos(25));
+        assert_eq!(busy, SimTime::from_nanos(10));
+    }
+
+    #[test]
+    fn utilization_within_window() {
+        let mut tr = Trace::new();
+        let r = ResourceId(1);
+        tr.record(r, SimTime::from_nanos(0), SimTime::from_nanos(50), Tag::Fwd);
+        let u = tr.utilization_within(r, SimTime::ZERO, SimTime::from_nanos(100));
+        assert!((u - 0.5).abs() < 1e-12);
+        assert_eq!(tr.utilization_within(r, SimTime::ZERO, SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn other_resources_ignored() {
+        let mut tr = Trace::new();
+        tr.record(
+            ResourceId(0),
+            SimTime::ZERO,
+            SimTime::from_nanos(10),
+            Tag::Fwd,
+        );
+        let busy = tr.busy_within(ResourceId(1), SimTime::ZERO, SimTime::from_nanos(10));
+        assert_eq!(busy, SimTime::ZERO);
+    }
+
+    #[test]
+    fn tag_queries() {
+        let mut tr = Trace::new();
+        let r = ResourceId(0);
+        tr.record(r, SimTime::from_nanos(0), SimTime::from_nanos(10), Tag::Fwd);
+        tr.record(
+            r,
+            SimTime::from_nanos(10),
+            SimTime::from_nanos(25),
+            Tag::Bwd,
+        );
+        tr.record(
+            r,
+            SimTime::from_nanos(25),
+            SimTime::from_nanos(30),
+            Tag::Fwd,
+        );
+        assert_eq!(tr.total_where(|t| *t == Tag::Fwd), SimTime::from_nanos(15));
+        assert_eq!(tr.count_where(|t| *t == Tag::Bwd), 1);
+        assert_eq!(tr.len(), 3);
+    }
+}

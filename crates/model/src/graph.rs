@@ -1,0 +1,139 @@
+//! Sequential model graphs.
+//!
+//! HetPipe (like PipeDream and GPipe) partitions the model into `k`
+//! contiguous ranges of layers, so the graph is an ordered list of
+//! [`Layer`] units plus the input activation size (what stage 1
+//! receives from the data loader).
+
+use crate::layer::Layer;
+
+/// A DNN model as an ordered list of partitionable layer units.
+#[derive(Debug, Clone)]
+pub struct ModelGraph {
+    /// Model name (e.g. `"VGG-19"`).
+    pub name: String,
+    /// Minibatch size the profile was built for.
+    pub batch_size: usize,
+    /// Input bytes for one minibatch (images entering stage 1).
+    pub input_bytes: u64,
+    layers: Vec<Layer>,
+}
+
+impl ModelGraph {
+    /// Creates a graph from parts.
+    pub fn new(
+        name: impl Into<String>,
+        batch_size: usize,
+        input_bytes: u64,
+        layers: Vec<Layer>,
+    ) -> Self {
+        ModelGraph {
+            name: name.into(),
+            batch_size,
+            input_bytes,
+            layers,
+        }
+    }
+
+    /// The layer units in execution order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Number of layer units.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True if the model has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Total trainable-parameter bytes of the model.
+    ///
+    /// The paper quotes 548 MB for VGG-19 and 230 MB for ResNet-152
+    /// (Section 8.3); the zoo tests pin these totals.
+    pub fn total_param_bytes(&self) -> u64 {
+        self.layers.iter().map(|l| l.param_bytes).sum()
+    }
+
+    /// Total FLOPs of one training step (forward + backward) per minibatch.
+    pub fn total_flops(&self) -> f64 {
+        self.layers.iter().map(|l| l.total_flops()).sum()
+    }
+
+    /// Total bytes held for backward across the whole model (one
+    /// in-flight minibatch).
+    pub fn total_stored_bytes(&self) -> u64 {
+        self.layers.iter().map(|l| l.stored_bytes).sum()
+    }
+
+    /// The activation bytes crossing the boundary after layer `i`
+    /// (i.e. between layers `i` and `i + 1`).
+    ///
+    /// For `i == len() - 1` this is the final output (loss/labels),
+    /// which never crosses a pipeline boundary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len()`.
+    pub fn boundary_bytes(&self, i: usize) -> u64 {
+        self.layers[i].activation_bytes
+    }
+
+    /// The input-activation bytes of layer `i`: the model input for
+    /// `i == 0`, otherwise the output of layer `i - 1`.
+    pub fn input_bytes_of(&self, i: usize) -> u64 {
+        if i == 0 {
+            self.input_bytes
+        } else {
+            self.layers[i - 1].activation_bytes
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::LayerKind;
+
+    fn tiny() -> ModelGraph {
+        let mk = |name: &str, act: u64, params: u64| Layer {
+            name: name.into(),
+            kind: LayerKind::Conv2d,
+            param_bytes: params,
+            activation_bytes: act,
+            stored_bytes: act,
+            fwd_flops: 10.0,
+            bwd_flops: 20.0,
+            membound_bytes: 0,
+            kernels: 1,
+        };
+        ModelGraph::new(
+            "tiny",
+            8,
+            100,
+            vec![mk("a", 50, 4), mk("b", 30, 8), mk("c", 10, 12)],
+        )
+    }
+
+    #[test]
+    fn totals() {
+        let g = tiny();
+        assert_eq!(g.len(), 3);
+        assert!(!g.is_empty());
+        assert_eq!(g.total_param_bytes(), 24);
+        assert_eq!(g.total_flops(), 90.0);
+        assert_eq!(g.total_stored_bytes(), 90);
+    }
+
+    #[test]
+    fn boundaries() {
+        let g = tiny();
+        assert_eq!(g.input_bytes_of(0), 100);
+        assert_eq!(g.input_bytes_of(1), 50);
+        assert_eq!(g.boundary_bytes(1), 30);
+        assert_eq!(g.input_bytes_of(2), 30);
+    }
+}

@@ -1,0 +1,34 @@
+//! DNN model graphs with analytic compute and memory profiles.
+//!
+//! The paper's partitioner (Section 7) consumes a per-layer profile of
+//! the model: computation time per layer per GPU type, per-layer memory
+//! usage, and the activation sizes crossing each layer boundary. The
+//! authors obtain these by profiling TensorFlow; we derive them
+//! analytically from the published architectures, which produces the same
+//! kind of table the partitioner needs:
+//!
+//! - [`layer`] — partitionable layer units with parameter bytes,
+//!   activation bytes, FLOPs, and launch counts.
+//! - [`graph`] — a sequential model graph (the paper partitions models
+//!   into contiguous layer ranges).
+//! - [`builder`] — a shape-tracking convnet builder used by the zoo.
+//! - [`zoo`] — ResNet-152, ResNet-50, VGG-19 (the paper's two
+//!   evaluation models plus one extra), and MLPs for the real trainer.
+//! - [`profile`] — per-GPU compute-time model (roofline + per-kernel
+//!   overhead, with per-layer-kind efficiency multipliers).
+//! - [`memory`] — training-memory model reproducing the paper's memory
+//!   gates (e.g. ResNet-152 at batch 32 does not fit a 6 GB RTX 2060,
+//!   Section 8.3).
+
+pub mod builder;
+pub mod graph;
+pub mod layer;
+pub mod memory;
+pub mod profile;
+pub mod zoo;
+
+pub use graph::ModelGraph;
+pub use layer::{Layer, LayerKind};
+pub use memory::TrainingMemoryModel;
+pub use profile::LayerProfile;
+pub use zoo::{mlp, resnet152, resnet50, transformer_encoder, vgg19};

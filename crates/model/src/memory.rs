@@ -1,0 +1,217 @@
+//! Training-memory model.
+//!
+//! Two questions from the paper are answered here:
+//!
+//! 1. *Does the whole model fit one GPU?* — gates the data-parallel
+//!    baseline. Section 8.3: ResNet-152 at batch 32 "is too large to be
+//!    loaded into a single GPU with G type [6 GB RTX 2060], and thus,
+//!    Horovod uses only 12 GPUs", while VGG-19 fits all 16.
+//! 2. *Does a pipeline stage fit its GPU for a given `Nm`?* — the memory
+//!    constraint of the partitioning algorithm (Sections 4 and 7). The
+//!    stage's position matters: earlier stages hold activations of more
+//!    in-flight minibatches (the paper's GPU1-vs-GPU4 discussion around
+//!    Figure 1).
+
+use crate::graph::ModelGraph;
+use hetpipe_cluster::gpu::GpuSpec;
+use std::ops::Range;
+
+/// cuDNN scratch workspace reserved per GPU, bytes.
+pub const CUDNN_WORKSPACE_BYTES: u64 = 600 << 20;
+
+/// Framework (TensorFlow 1.12 runtime, CUDA context) overhead, bytes.
+pub const FRAMEWORK_OVERHEAD_BYTES: u64 = 500 << 20;
+
+/// Resident copies of the parameter set: weights, gradients, and SGD
+/// momentum.
+pub const PARAM_STATE_COPIES: u64 = 3;
+
+/// Number of minibatches simultaneously holding state at a stage.
+///
+/// Derived from the Figure-1 schedule: at stage `q` (0-based) of `k`,
+/// a minibatch's activations live from its forward until its backward,
+/// a window spanning `2 * (k - 1 - q) + 1` task slots; the count is also
+/// capped by the pipeline's total concurrency `Nm`. The last stage
+/// always holds exactly one (forward and backward run fused), the first
+/// stage up to `min(Nm, 2k - 1)`.
+///
+/// # Examples
+///
+/// ```
+/// use hetpipe_model::memory::in_flight_at_stage;
+/// // Figure 1: k = 4, Nm = 4 — GPU1 holds 4, GPU4 holds 1.
+/// assert_eq!(in_flight_at_stage(0, 4, 4), 4);
+/// assert_eq!(in_flight_at_stage(3, 4, 4), 1);
+/// ```
+pub fn in_flight_at_stage(stage: usize, k: usize, nm: usize) -> usize {
+    debug_assert!(stage < k, "stage index out of range");
+    nm.min(2 * (k - 1 - stage) + 1)
+}
+
+/// The `Nm` beyond which a `k`-stage pipeline gains nothing.
+///
+/// Stage 0's occupancy is capped at `2k - 1` (the forward/backward
+/// round trip of a minibatch spans `2(k-1)` task slots), so admitting
+/// more than `2k - 1` concurrent minibatches can neither increase
+/// throughput nor memory pressure.
+pub fn nm_saturation_limit(k: usize) -> usize {
+    2 * k - 1
+}
+
+/// Analytic training-memory model for a [`ModelGraph`].
+#[derive(Debug, Clone, Copy)]
+pub struct TrainingMemoryModel;
+
+impl TrainingMemoryModel {
+    /// Bytes needed to train the whole model on one GPU (data-parallel
+    /// worker): parameter states, all stored activations of one
+    /// minibatch, workspace and framework overhead.
+    pub fn full_model_bytes(graph: &ModelGraph) -> u64 {
+        PARAM_STATE_COPIES * graph.total_param_bytes()
+            + graph.total_stored_bytes()
+            + CUDNN_WORKSPACE_BYTES
+            + FRAMEWORK_OVERHEAD_BYTES
+    }
+
+    /// Whether a single `gpu` can train the whole model (the
+    /// data-parallel feasibility gate).
+    pub fn fits_full_model(graph: &ModelGraph, gpu: &GpuSpec) -> bool {
+        Self::full_model_bytes(graph) <= gpu.memory_bytes
+    }
+
+    /// Bytes needed by pipeline stage `stage` (0-based of `k`) holding
+    /// the contiguous layer range `range`, with `nm` minibatches in the
+    /// pipeline.
+    ///
+    /// Per Section 4, each in-flight minibatch additionally pins the
+    /// weight version it started with (`w_p` is kept until minibatch
+    /// `p`'s backward pass), so stages stash `in_flight - 1` extra
+    /// parameter copies.
+    pub fn stage_bytes(
+        graph: &ModelGraph,
+        range: Range<usize>,
+        stage: usize,
+        k: usize,
+        nm: usize,
+    ) -> u64 {
+        let layers = &graph.layers()[range.clone()];
+        let params: u64 = layers.iter().map(|l| l.param_bytes).sum();
+        let stored: u64 = layers.iter().map(|l| l.stored_bytes).sum();
+        let in_flight = in_flight_at_stage(stage, k, nm) as u64;
+        let input_buf = graph.input_bytes_of(range.start);
+
+        params * (PARAM_STATE_COPIES + in_flight.saturating_sub(1))
+            + in_flight * (stored + input_buf)
+            + CUDNN_WORKSPACE_BYTES
+            + FRAMEWORK_OVERHEAD_BYTES
+    }
+
+    /// Whether `gpu` can host the given stage.
+    pub fn stage_fits(
+        graph: &ModelGraph,
+        range: Range<usize>,
+        stage: usize,
+        k: usize,
+        nm: usize,
+        gpu: &GpuSpec,
+    ) -> bool {
+        Self::stage_bytes(graph, range, stage, k, nm) <= gpu.memory_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::{resnet152, vgg19};
+    use hetpipe_cluster::GpuKind;
+
+    #[test]
+    fn paper_memory_gates() {
+        // Section 8.3 / Table 4: ResNet-152 @32 does NOT fit the 6 GB
+        // RTX 2060 (Horovod drops to 12 GPUs) but DOES fit the 8 GB
+        // Quadro P4000 and everything above; VGG-19 fits all four kinds.
+        let rn = resnet152(32);
+        let vg = vgg19(32);
+        assert!(!TrainingMemoryModel::fits_full_model(
+            &rn,
+            &GpuKind::Rtx2060.spec()
+        ));
+        assert!(TrainingMemoryModel::fits_full_model(
+            &rn,
+            &GpuKind::QuadroP4000.spec()
+        ));
+        assert!(TrainingMemoryModel::fits_full_model(
+            &rn,
+            &GpuKind::TitanV.spec()
+        ));
+        for kind in GpuKind::ALL {
+            assert!(
+                TrainingMemoryModel::fits_full_model(&vg, &kind.spec()),
+                "VGG-19 must fit {kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn in_flight_matches_figure1() {
+        // k = 4, Nm = 4 (the paper's running example).
+        assert_eq!(in_flight_at_stage(0, 4, 4), 4);
+        assert_eq!(in_flight_at_stage(1, 4, 4), 4);
+        assert_eq!(in_flight_at_stage(2, 4, 4), 3);
+        assert_eq!(in_flight_at_stage(3, 4, 4), 1);
+        // Deep pipelines cap at 2(k-1-q)+1.
+        assert_eq!(in_flight_at_stage(0, 4, 100), 7);
+        // Nm = 1 degrades to naive model parallelism everywhere.
+        for q in 0..4 {
+            assert_eq!(in_flight_at_stage(q, 4, 1), 1);
+        }
+    }
+
+    #[test]
+    fn earlier_stages_need_more_memory() {
+        let g = vgg19(32);
+        let k = 4;
+        let quarter = g.len() / k;
+        let r = 0..quarter;
+        let early = TrainingMemoryModel::stage_bytes(&g, r.clone(), 0, k, 4);
+        let late = TrainingMemoryModel::stage_bytes(&g, r, 3, k, 4);
+        assert!(
+            early > late,
+            "same layers cost more memory at stage 0 than stage 3"
+        );
+    }
+
+    #[test]
+    fn more_concurrency_needs_more_memory() {
+        let g = resnet152(32);
+        let r = 0..10;
+        let m1 = TrainingMemoryModel::stage_bytes(&g, r.clone(), 0, 4, 1);
+        let m4 = TrainingMemoryModel::stage_bytes(&g, r.clone(), 0, 4, 4);
+        let m7 = TrainingMemoryModel::stage_bytes(&g, r, 0, 4, 7);
+        assert!(m1 < m4 && m4 < m7);
+    }
+
+    #[test]
+    fn stage_fits_respects_capacity() {
+        let g = resnet152(32);
+        // The whole model as one stage with deep concurrency cannot fit
+        // the smallest GPU.
+        assert!(!TrainingMemoryModel::stage_fits(
+            &g,
+            0..g.len(),
+            0,
+            1,
+            1,
+            &GpuKind::Rtx2060.spec()
+        ));
+        // A tiny range fits easily.
+        assert!(TrainingMemoryModel::stage_fits(
+            &g,
+            0..1,
+            0,
+            4,
+            1,
+            &GpuKind::Rtx2060.spec()
+        ));
+    }
+}

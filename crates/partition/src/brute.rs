@@ -1,0 +1,137 @@
+//! Exhaustive reference solver.
+//!
+//! Enumerates every way of cutting `L` layers into `k` non-empty
+//! contiguous stages — `C(L-1, k-1)` candidates — and returns the best
+//! feasible plan. Exponentially slow; exists purely to certify the DP
+//! solver's optimality on small instances (unit and property tests).
+
+use crate::cost::{PartitionProblem, StageCostModel};
+use crate::solver::{PartitionError, PartitionPlan};
+use std::ops::Range;
+
+/// Solves by exhaustive enumeration. Semantics identical to
+/// [`crate::PartitionSolver::solve`].
+pub fn solve_brute(problem: &PartitionProblem<'_>) -> Result<PartitionPlan, PartitionError> {
+    let k = problem.stages();
+    let n = problem.graph.len();
+    if k > n {
+        return Err(PartitionError::TooManyStages {
+            stages: k,
+            layers: n,
+        });
+    }
+    let model = StageCostModel::new(problem);
+
+    let mut best: Option<(f64, Vec<Range<usize>>)> = None;
+    let mut cuts = vec![0usize; k - 1];
+    enumerate_cuts(n, k, 1, 0, &mut cuts, &mut |cuts| {
+        let mut ranges = Vec::with_capacity(k);
+        let mut start = 0;
+        for &c in cuts.iter() {
+            ranges.push(start..c);
+            start = c;
+        }
+        ranges.push(start..n);
+
+        let mut bottleneck: f64 = 0.0;
+        for (s, r) in ranges.iter().enumerate() {
+            if !model.fits(s, r.clone()) {
+                return;
+            }
+            bottleneck = bottleneck.max(model.stage_secs(s, r.clone()));
+        }
+        if best.as_ref().is_none_or(|(b, _)| bottleneck < *b) {
+            best = Some((bottleneck, ranges));
+        }
+    });
+
+    match best {
+        Some((bottleneck_secs, ranges)) => {
+            let stage_secs: Vec<f64> = ranges
+                .iter()
+                .enumerate()
+                .map(|(s, r)| model.stage_secs(s, r.clone()))
+                .collect();
+            Ok(PartitionPlan {
+                ranges,
+                stage_secs,
+                bottleneck_secs,
+            })
+        }
+        None => Err(PartitionError::OutOfMemory),
+    }
+}
+
+/// Recursively enumerates increasing cut positions
+/// `1 <= c_0 < c_1 < … < c_{k-2} <= n - 1`.
+fn enumerate_cuts(
+    n: usize,
+    k: usize,
+    min: usize,
+    idx: usize,
+    cuts: &mut Vec<usize>,
+    visit: &mut impl FnMut(&[usize]),
+) {
+    if idx == k - 1 {
+        visit(cuts);
+        return;
+    }
+    // Leave room for the remaining cuts and a non-empty final stage.
+    let remaining = (k - 1) - idx - 1;
+    for c in min..=(n - 1 - remaining) {
+        cuts[idx] = c;
+        enumerate_cuts(n, k, c + 1, idx + 1, cuts, visit);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::PartitionSolver;
+    use hetpipe_cluster::{GpuKind, LinkKind};
+    use hetpipe_model::mlp;
+
+    #[test]
+    fn brute_matches_dp_on_mlp() {
+        let g = mlp(32, &[512, 400, 300, 200, 100, 50, 10]);
+        for k in 1..=4 {
+            let p = PartitionProblem::new(
+                &g,
+                (0..k)
+                    .map(|i| {
+                        if i % 2 == 0 {
+                            GpuKind::TitanV.spec()
+                        } else {
+                            GpuKind::QuadroP4000.spec()
+                        }
+                    })
+                    .collect(),
+                vec![LinkKind::Pcie; k - 1],
+                1,
+            );
+            let dp = PartitionSolver::solve(&p).unwrap();
+            let brute = solve_brute(&p).unwrap();
+            assert!(
+                (dp.bottleneck_secs - brute.bottleneck_secs).abs() < 1e-12,
+                "k={k}: dp {} vs brute {}",
+                dp.bottleneck_secs,
+                brute.bottleneck_secs
+            );
+        }
+    }
+
+    #[test]
+    fn brute_rejects_like_dp() {
+        let g = mlp(32, &[64, 32, 10]);
+        let p = PartitionProblem::new(
+            &g,
+            vec![GpuKind::TitanV.spec(); 4],
+            vec![LinkKind::Pcie; 3],
+            1,
+        );
+        assert!(matches!(
+            solve_brute(&p),
+            Err(PartitionError::TooManyStages { .. })
+        ));
+    }
+}

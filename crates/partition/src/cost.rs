@@ -1,0 +1,207 @@
+//! Per-stage cost model.
+//!
+//! Section 7: *"we calculate the execution time of a partition to be the
+//! sum of the computation time of all the layers in the partition and
+//! the communication time needed for receiving the activations (in the
+//! forward pass) and local gradients (in the backward pass)."*
+
+use hetpipe_cluster::gpu::GpuSpec;
+use hetpipe_cluster::network::LinkKind;
+use hetpipe_model::memory::TrainingMemoryModel;
+use hetpipe_model::profile;
+use hetpipe_model::profile::STAGE_TASK_OVERHEAD_SECS;
+use hetpipe_model::ModelGraph;
+use std::ops::Range;
+
+/// A partitioning problem instance: a model, an ordered list of stage
+/// GPUs, the links feeding each stage, and the pipeline concurrency.
+#[derive(Debug, Clone)]
+pub struct PartitionProblem<'a> {
+    /// The model to partition.
+    pub graph: &'a ModelGraph,
+    /// GPU of each pipeline stage, in stage order (`k` entries).
+    pub gpus: Vec<GpuSpec>,
+    /// Link crossed between stage `i` and stage `i + 1`
+    /// (`k - 1` entries).
+    pub links: Vec<LinkKind>,
+    /// Number of minibatches concurrently in the pipeline (`Nm`);
+    /// drives the per-stage memory constraint.
+    pub nm: usize,
+}
+
+impl<'a> PartitionProblem<'a> {
+    /// Creates a problem instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `links.len() + 1 != gpus.len()` or if `nm == 0`.
+    pub fn new(graph: &'a ModelGraph, gpus: Vec<GpuSpec>, links: Vec<LinkKind>, nm: usize) -> Self {
+        assert_eq!(
+            links.len() + 1,
+            gpus.len(),
+            "need exactly one link between each pair of adjacent stages"
+        );
+        assert!(nm >= 1, "at least one minibatch must be in flight");
+        PartitionProblem {
+            graph,
+            gpus,
+            links,
+            nm,
+        }
+    }
+
+    /// Number of pipeline stages `k`.
+    pub fn stages(&self) -> usize {
+        self.gpus.len()
+    }
+}
+
+/// Evaluates stage times and memory feasibility for a problem.
+#[derive(Debug, Clone)]
+pub struct StageCostModel<'a> {
+    problem: &'a PartitionProblem<'a>,
+    /// Prefix sums of per-layer fwd+bwd seconds, one row per stage GPU.
+    prefix_secs: Vec<Vec<f64>>,
+}
+
+impl<'a> StageCostModel<'a> {
+    /// Precomputes prefix sums of layer times for every stage GPU.
+    pub fn new(problem: &'a PartitionProblem<'a>) -> Self {
+        let layers = problem.graph.layers();
+        let prefix_secs = problem
+            .gpus
+            .iter()
+            .map(|gpu| {
+                let mut acc = 0.0;
+                let mut row = Vec::with_capacity(layers.len() + 1);
+                row.push(0.0);
+                for l in layers {
+                    let p = profile::LayerProfile::of(l, gpu);
+                    acc += p.total_secs();
+                    row.push(acc);
+                }
+                row
+            })
+            .collect();
+        StageCostModel {
+            problem,
+            prefix_secs,
+        }
+    }
+
+    /// Pure compute time of layers `range` on stage `stage`'s GPU.
+    pub fn compute_secs(&self, stage: usize, range: Range<usize>) -> f64 {
+        self.prefix_secs[stage][range.end] - self.prefix_secs[stage][range.start]
+    }
+
+    /// Communication time charged to stage `stage` for the layer range:
+    /// receiving forward activations from the previous stage and
+    /// backward gradients from the next stage.
+    ///
+    /// `range.end` is exclusive; `last_stage` receives no gradient from
+    /// the right, and stage 0 receives its input from the data loader
+    /// (not charged — the loader overlaps with compute in practice).
+    pub fn comm_secs(&self, stage: usize, range: Range<usize>) -> f64 {
+        let g = self.problem.graph;
+        let mut secs = 0.0;
+        if stage > 0 {
+            // Forward activations arriving from the left neighbour.
+            let bytes = g.input_bytes_of(range.start);
+            secs += self.problem.links[stage - 1].transfer_secs(bytes);
+        }
+        if stage + 1 < self.problem.stages() {
+            // Gradients w.r.t. our outputs arriving from the right
+            // neighbour (same size as the boundary activations).
+            let bytes = g.boundary_bytes(range.end - 1);
+            secs += self.problem.links[stage].transfer_secs(bytes);
+        }
+        secs
+    }
+
+    /// Full execution time of a stage: compute + incoming communication
+    /// + the fixed dispatch overhead of one forward and one backward
+    /// task (so plans match what the executor simulates).
+    pub fn stage_secs(&self, stage: usize, range: Range<usize>) -> f64 {
+        self.compute_secs(stage, range.clone())
+            + self.comm_secs(stage, range)
+            + 2.0 * STAGE_TASK_OVERHEAD_SECS
+    }
+
+    /// Whether the layer range fits stage `stage`'s GPU memory at the
+    /// problem's `Nm`.
+    pub fn fits(&self, stage: usize, range: Range<usize>) -> bool {
+        TrainingMemoryModel::stage_fits(
+            self.problem.graph,
+            range,
+            stage,
+            self.problem.stages(),
+            self.problem.nm,
+            &self.problem.gpus[stage],
+        )
+    }
+
+    /// The wrapped problem.
+    pub fn problem(&self) -> &PartitionProblem<'a> {
+        self.problem
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetpipe_cluster::GpuKind;
+    use hetpipe_model::vgg19;
+
+    fn problem(graph: &ModelGraph) -> PartitionProblem<'_> {
+        PartitionProblem::new(
+            graph,
+            vec![GpuKind::TitanV.spec(); 4],
+            vec![LinkKind::Pcie; 3],
+            1,
+        )
+    }
+
+    #[test]
+    fn compute_prefix_sums_match_direct() {
+        let g = vgg19(32);
+        let p = problem(&g);
+        let m = StageCostModel::new(&p);
+        let direct = profile::range_time_secs(&g.layers()[3..9], &p.gpus[0]);
+        assert!((m.compute_secs(0, 3..9) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_stages_have_less_comm() {
+        let g = vgg19(32);
+        let p = problem(&g);
+        let m = StageCostModel::new(&p);
+        let quarter = g.len() / 4;
+        // Stage 0 only receives gradients from the right; a middle stage
+        // receives from both sides.
+        let c0 = m.comm_secs(0, 0..quarter);
+        let c1 = m.comm_secs(1, quarter..2 * quarter);
+        assert!(c0 < c1);
+        // The last stage only receives activations from the left.
+        let c3 = m.comm_secs(3, 3 * quarter..g.len());
+        assert!(c3 < c1);
+    }
+
+    #[test]
+    fn stage_secs_is_compute_plus_comm_plus_dispatch() {
+        let g = vgg19(32);
+        let p = problem(&g);
+        let m = StageCostModel::new(&p);
+        let r = 5..12;
+        let expected = m.compute_secs(1, r.clone())
+            + m.comm_secs(1, r.clone())
+            + 2.0 * STAGE_TASK_OVERHEAD_SECS;
+        assert!((m.stage_secs(1, r) - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "one link between")]
+    fn mismatched_links_rejected() {
+        let g = vgg19(32);
+        let _ = PartitionProblem::new(&g, vec![GpuKind::TitanV.spec(); 4], vec![], 1);
+    }
+}

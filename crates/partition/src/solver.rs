@@ -1,0 +1,404 @@
+//! The min–max partition solvers.
+//!
+//! The exact solver is an interval dynamic program: `best[j][i]` is the
+//! minimal achievable bottleneck when the first `i` layers are split
+//! into `j + 1` stages, i.e. stage `j` ends right before layer `i`.
+//! Position-dependent memory constraints (earlier stages hold more
+//! in-flight state) are applied per candidate interval. At the paper's
+//! scale (k = 4, L ≤ 60) the DP solves in microseconds; a binary-search
+//! + greedy variant is provided as a comparison point for the Criterion
+//! benches and larger synthetic instances.
+
+use crate::cost::{PartitionProblem, StageCostModel};
+use std::fmt;
+use std::ops::Range;
+
+/// Why a problem instance cannot be partitioned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PartitionError {
+    /// More stages than layers (empty stages are not allowed).
+    TooManyStages {
+        /// Requested stage count.
+        stages: usize,
+        /// Available layer units.
+        layers: usize,
+    },
+    /// No cut assignment satisfies every stage's memory budget.
+    OutOfMemory,
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::TooManyStages { stages, layers } => write!(
+                f,
+                "cannot split {layers} layer units into {stages} non-empty stages"
+            ),
+            PartitionError::OutOfMemory => {
+                write!(f, "no contiguous partition satisfies the memory budgets")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// A feasible partition of the model onto the pipeline stages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionPlan {
+    /// Layer range of each stage, in stage order.
+    pub ranges: Vec<Range<usize>>,
+    /// Execution time of each stage, seconds.
+    pub stage_secs: Vec<f64>,
+    /// The plan's bottleneck (maximum stage time), seconds.
+    pub bottleneck_secs: f64,
+}
+
+impl PartitionPlan {
+    fn from_ranges(model: &StageCostModel<'_>, ranges: Vec<Range<usize>>) -> PartitionPlan {
+        let stage_secs: Vec<f64> = ranges
+            .iter()
+            .enumerate()
+            .map(|(s, r)| model.stage_secs(s, r.clone()))
+            .collect();
+        let bottleneck_secs = stage_secs.iter().cloned().fold(0.0, f64::max);
+        PartitionPlan {
+            ranges,
+            stage_secs,
+            bottleneck_secs,
+        }
+    }
+
+    /// The pipeline's steady-state throughput upper bound in
+    /// minibatches per second (1 / bottleneck).
+    pub fn minibatches_per_sec(&self) -> f64 {
+        1.0 / self.bottleneck_secs
+    }
+
+    /// Asserts structural invariants: ranges are non-empty, contiguous,
+    /// and cover `0..layers`.
+    pub fn is_valid_cover(&self, layers: usize) -> bool {
+        let mut next = 0;
+        for r in &self.ranges {
+            if r.start != next || r.end <= r.start {
+                return false;
+            }
+            next = r.end;
+        }
+        next == layers
+    }
+}
+
+/// The exact interval-DP solver.
+#[derive(Debug, Clone, Copy)]
+pub struct PartitionSolver;
+
+impl PartitionSolver {
+    /// Solves the min–max partitioning problem exactly.
+    ///
+    /// Returns the optimal plan, or an error when the instance is
+    /// structurally or memory-infeasible.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use hetpipe_cluster::{GpuKind, LinkKind};
+    /// use hetpipe_partition::{PartitionProblem, PartitionSolver};
+    ///
+    /// let g = hetpipe_model::vgg19(32);
+    /// let p = PartitionProblem::new(
+    ///     &g,
+    ///     vec![GpuKind::TitanV.spec(); 4],
+    ///     vec![LinkKind::Pcie; 3],
+    ///     1,
+    /// );
+    /// let plan = PartitionSolver::solve(&p).unwrap();
+    /// assert!(plan.is_valid_cover(g.len()));
+    /// assert_eq!(plan.ranges.len(), 4);
+    /// ```
+    pub fn solve(problem: &PartitionProblem<'_>) -> Result<PartitionPlan, PartitionError> {
+        let k = problem.stages();
+        let n = problem.graph.len();
+        if k > n {
+            return Err(PartitionError::TooManyStages {
+                stages: k,
+                layers: n,
+            });
+        }
+        let model = StageCostModel::new(problem);
+
+        const INF: f64 = f64::INFINITY;
+        // best[j][i]: minimal bottleneck splitting layers 0..i into the
+        // first j+1 stages (stage j ends at i). choice[j][i]: the start
+        // of stage j in that optimum.
+        let mut best = vec![vec![INF; n + 1]; k];
+        let mut choice = vec![vec![usize::MAX; n + 1]; k];
+
+        for i in 1..=n {
+            // Stage 0 covers 0..i.
+            if model.fits(0, 0..i) {
+                best[0][i] = model.stage_secs(0, 0..i);
+                choice[0][i] = 0;
+            }
+        }
+        for j in 1..k {
+            for i in (j + 1)..=n {
+                // Stage j covers s..i for some s in [j, i).
+                for s in j..i {
+                    if best[j - 1][s].is_infinite() {
+                        continue;
+                    }
+                    if !model.fits(j, s..i) {
+                        continue;
+                    }
+                    let b = best[j - 1][s].max(model.stage_secs(j, s..i));
+                    if b < best[j][i] {
+                        best[j][i] = b;
+                        choice[j][i] = s;
+                    }
+                }
+            }
+        }
+
+        if best[k - 1][n].is_infinite() {
+            return Err(PartitionError::OutOfMemory);
+        }
+
+        // Reconstruct ranges right-to-left.
+        let mut ranges = vec![0..0; k];
+        let mut end = n;
+        for j in (0..k).rev() {
+            let start = choice[j][end];
+            ranges[j] = start..end;
+            end = start;
+        }
+        Ok(PartitionPlan::from_ranges(&model, ranges))
+    }
+
+    /// Binary-search + greedy solver (comparison point).
+    ///
+    /// Binary-searches the bottleneck value and greedily packs layers
+    /// left-to-right; exact for monotone cost structures without memory
+    /// constraints, heuristic (but fast) otherwise. Returns `None` if
+    /// the greedy sweep finds no feasible packing.
+    pub fn solve_greedy(problem: &PartitionProblem<'_>) -> Option<PartitionPlan> {
+        let k = problem.stages();
+        let n = problem.graph.len();
+        if k > n {
+            return None;
+        }
+        let model = StageCostModel::new(problem);
+
+        // Upper bound: everything on the slowest single stage.
+        let mut hi = (0..k)
+            .map(|s| model.stage_secs(s, 0..n))
+            .fold(0.0, f64::max);
+        let mut lo = 0.0;
+        let mut found: Option<Vec<Range<usize>>> = None;
+        for _ in 0..48 {
+            let mid = 0.5 * (lo + hi);
+            if let Some(ranges) = greedy_pack(&model, k, n, mid) {
+                found = Some(ranges);
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        found.map(|r| PartitionPlan::from_ranges(&model, r))
+    }
+}
+
+/// Greedily packs layers into stages keeping each stage under `cap`
+/// seconds and within memory; each stage takes the longest feasible
+/// prefix that still leaves at least one layer per remaining stage.
+fn greedy_pack(
+    model: &StageCostModel<'_>,
+    k: usize,
+    n: usize,
+    cap: f64,
+) -> Option<Vec<Range<usize>>> {
+    let mut ranges = Vec::with_capacity(k);
+    let mut start = 0;
+    for stage in 0..k {
+        let remaining_stages = k - stage - 1;
+        let max_end = n - remaining_stages;
+        let mut end = None;
+        for e in (start + 1)..=max_end {
+            if model.stage_secs(stage, start..e) <= cap && model.fits(stage, start..e) {
+                end = Some(e);
+            } else if model.compute_secs(stage, start..e) > cap {
+                // Compute alone already exceeds the cap; longer ranges
+                // only grow, so stop extending.
+                break;
+            }
+        }
+        let e = end?;
+        // The last stage must consume everything.
+        if stage == k - 1 && e != n {
+            return None;
+        }
+        ranges.push(start..e);
+        start = e;
+    }
+    (start == n).then_some(ranges)
+}
+
+/// Finds the largest `Nm` in `1..=limit` for which a feasible partition
+/// exists, together with its plan.
+///
+/// This is the paper's `Max_m` (Section 4): the maximum number of
+/// minibatches that can concurrently execute in the virtual worker,
+/// bounded by GPU memory.
+pub fn max_feasible_nm(
+    graph: &hetpipe_model::ModelGraph,
+    gpus: &[hetpipe_cluster::gpu::GpuSpec],
+    links: &[hetpipe_cluster::network::LinkKind],
+    limit: usize,
+) -> Option<(usize, PartitionPlan)> {
+    let mut best = None;
+    for nm in 1..=limit {
+        let p = PartitionProblem::new(graph, gpus.to_vec(), links.to_vec(), nm);
+        match PartitionSolver::solve(&p) {
+            Ok(plan) => best = Some((nm, plan)),
+            // Memory is monotone in Nm: once infeasible, larger Nm stays
+            // infeasible.
+            Err(_) => break,
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetpipe_cluster::{GpuKind, LinkKind};
+    use hetpipe_model::{mlp, resnet152, vgg19};
+
+    fn homo4(graph: &hetpipe_model::ModelGraph, nm: usize) -> PartitionProblem<'_> {
+        PartitionProblem::new(
+            graph,
+            vec![GpuKind::TitanV.spec(); 4],
+            vec![LinkKind::Pcie; 3],
+            nm,
+        )
+    }
+
+    #[test]
+    fn solves_vgg19_into_4_stages() {
+        let g = vgg19(32);
+        let plan = PartitionSolver::solve(&homo4(&g, 1)).unwrap();
+        assert!(plan.is_valid_cover(g.len()));
+        assert_eq!(plan.ranges.len(), 4);
+        assert!(plan.bottleneck_secs > 0.0);
+        // The bottleneck of a 4-way split should beat a single stage by
+        // a decent margin (ideal 4x, transfers eat some).
+        let whole = StageCostModel::new(&homo4(&g, 1)).compute_secs(0, 0..g.len());
+        assert!(plan.bottleneck_secs < whole / 2.0);
+    }
+
+    #[test]
+    fn heterogeneous_stages_get_uneven_layers() {
+        // A fast GPU paired with slow ones should take more layers.
+        let g = resnet152(32);
+        let p = PartitionProblem::new(
+            &g,
+            vec![
+                GpuKind::TitanV.spec(),
+                GpuKind::TitanV.spec(),
+                GpuKind::QuadroP4000.spec(),
+                GpuKind::QuadroP4000.spec(),
+            ],
+            vec![LinkKind::Pcie; 3],
+            1,
+        );
+        let plan = PartitionSolver::solve(&p).unwrap();
+        let v_layers = plan.ranges[0].len() + plan.ranges[1].len();
+        let q_layers = plan.ranges[2].len() + plan.ranges[3].len();
+        assert!(
+            v_layers > q_layers,
+            "TITAN V stages took {v_layers} units vs Quadro's {q_layers}"
+        );
+    }
+
+    #[test]
+    fn too_many_stages_rejected() {
+        let g = mlp(8, &[16, 16, 10]);
+        let p = PartitionProblem::new(
+            &g,
+            vec![GpuKind::TitanV.spec(); 5],
+            vec![LinkKind::Pcie; 4],
+            1,
+        );
+        assert!(matches!(
+            PartitionSolver::solve(&p),
+            Err(PartitionError::TooManyStages {
+                stages: 5,
+                layers: 3
+            })
+        ));
+    }
+
+    #[test]
+    fn memory_infeasible_rejected() {
+        // ResNet-152 at batch 64 split only two ways across 6 GB GPUs:
+        // whatever the cut, one stage carries activations it cannot hold.
+        let g = resnet152(64);
+        let p = PartitionProblem::new(
+            &g,
+            vec![GpuKind::Rtx2060.spec(); 2],
+            vec![LinkKind::Pcie; 1],
+            1,
+        );
+        assert_eq!(PartitionSolver::solve(&p), Err(PartitionError::OutOfMemory));
+    }
+
+    #[test]
+    fn max_feasible_nm_monotone_gate() {
+        let g = resnet152(64);
+        let gpus = vec![GpuKind::Rtx2060.spec(); 4];
+        let links = vec![LinkKind::Pcie; 3];
+        let limit = hetpipe_model::memory::nm_saturation_limit(4);
+        let (nm, plan) = max_feasible_nm(&g, &gpus, &links, limit).unwrap();
+        assert!(nm >= 1 && nm < limit, "6 GB GPUs cap concurrency, got {nm}");
+        assert!(plan.is_valid_cover(g.len()));
+        // One step further must be infeasible.
+        let p = PartitionProblem::new(&g, gpus.clone(), links.clone(), nm + 1);
+        assert!(PartitionSolver::solve(&p).is_err());
+    }
+
+    #[test]
+    fn greedy_matches_dp_without_memory_pressure() {
+        let g = vgg19(32);
+        let p = homo4(&g, 1);
+        let dp = PartitionSolver::solve(&p).unwrap();
+        let greedy = PartitionSolver::solve_greedy(&p).unwrap();
+        // Greedy is not always optimal but must be within a few percent
+        // here and never better than the exact optimum.
+        assert!(greedy.bottleneck_secs >= dp.bottleneck_secs - 1e-12);
+        assert!(greedy.bottleneck_secs <= dp.bottleneck_secs * 1.10);
+    }
+
+    #[test]
+    fn single_stage_takes_everything() {
+        let g = vgg19(32);
+        let p = PartitionProblem::new(&g, vec![GpuKind::TitanRtx.spec()], vec![], 1);
+        let plan = PartitionSolver::solve(&p).unwrap();
+        assert_eq!(plan.ranges, vec![0..g.len()]);
+        assert_eq!(plan.stage_secs.len(), 1);
+    }
+
+    #[test]
+    fn plan_stage_times_consistent() {
+        let g = resnet152(32);
+        let p = homo4(&g, 4);
+        let plan = PartitionSolver::solve(&p).unwrap();
+        let model = StageCostModel::new(&p);
+        for (s, r) in plan.ranges.iter().enumerate() {
+            assert!((plan.stage_secs[s] - model.stage_secs(s, r.clone())).abs() < 1e-12);
+        }
+        assert!(
+            (plan.bottleneck_secs - plan.stage_secs.iter().cloned().fold(0.0, f64::max)).abs()
+                < 1e-15
+        );
+    }
+}

@@ -1,0 +1,198 @@
+//! Deterministic synthetic classification datasets.
+//!
+//! The paper trains on ImageNet; convergence *behaviour under
+//! staleness* does not depend on the specific dataset, so the threaded
+//! trainer uses seeded synthetic tasks: Gaussian class blobs (linearly
+//! separable-ish, fast) and a teacher-network task (non-linear decision
+//! boundary, harder).
+
+use crate::mlp::Mlp;
+use crate::tensor::Matrix;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A labelled dataset split into train and test parts.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Training inputs, `n_train x dim`.
+    pub train_x: Matrix,
+    /// Training labels.
+    pub train_y: Vec<usize>,
+    /// Test inputs.
+    pub test_x: Matrix,
+    /// Test labels.
+    pub test_y: Vec<usize>,
+    /// Number of classes.
+    pub classes: usize,
+}
+
+impl Dataset {
+    /// Gaussian blobs: `classes` cluster means on a sphere, isotropic
+    /// noise of width `noise`.
+    pub fn gaussian_blobs(
+        dim: usize,
+        classes: usize,
+        n_train: usize,
+        n_test: usize,
+        noise: f32,
+        seed: u64,
+    ) -> Dataset {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Random unit-ish means, scaled.
+        let means: Vec<Vec<f32>> = (0..classes)
+            .map(|_| {
+                let v: Vec<f32> = (0..dim).map(|_| rng.gen::<f32>() * 2.0 - 1.0).collect();
+                let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt().max(1e-6);
+                v.into_iter().map(|x| 2.0 * x / norm).collect()
+            })
+            .collect();
+
+        let sample = |rng: &mut SmallRng, n: usize| {
+            let mut xs = Matrix::zeros(n, dim);
+            let mut ys = Vec::with_capacity(n);
+            for i in 0..n {
+                let c = rng.gen_range(0..classes);
+                ys.push(c);
+                for d in 0..dim {
+                    // Box-Muller normal sample.
+                    let u1: f32 = rng.gen_range(1e-7..1.0);
+                    let u2: f32 = rng.gen::<f32>();
+                    let z = (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();
+                    *xs.get_mut(i, d) = means[c][d] + noise * z;
+                }
+            }
+            (xs, ys)
+        };
+
+        let (train_x, train_y) = sample(&mut rng, n_train);
+        let (test_x, test_y) = sample(&mut rng, n_test);
+        Dataset {
+            train_x,
+            train_y,
+            test_x,
+            test_y,
+            classes,
+        }
+    }
+
+    /// Teacher-network task: inputs are uniform noise, labels come from
+    /// a random MLP's argmax — a non-linear decision boundary that a
+    /// student of equal or larger capacity can fit.
+    pub fn teacher(
+        dim: usize,
+        classes: usize,
+        teacher_hidden: usize,
+        n_train: usize,
+        n_test: usize,
+        seed: u64,
+    ) -> Dataset {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let teacher = Mlp::new(&[dim, teacher_hidden, classes], seed ^ 0xD00D);
+        let sample = |rng: &mut SmallRng, n: usize| {
+            let xs = Matrix::from_fn(n, dim, |_, _| rng.gen::<f32>() * 2.0 - 1.0);
+            let ys = teacher.forward(&xs).argmax_rows();
+            (xs, ys)
+        };
+        let (train_x, train_y) = sample(&mut rng, n_train);
+        let (test_x, test_y) = sample(&mut rng, n_test);
+        Dataset {
+            train_x,
+            train_y,
+            test_x,
+            test_y,
+            classes,
+        }
+    }
+
+    /// Number of training samples.
+    pub fn train_len(&self) -> usize {
+        self.train_y.len()
+    }
+
+    /// Input dimensionality.
+    pub fn dim(&self) -> usize {
+        self.train_x.cols
+    }
+
+    /// Copies minibatch `index` (wrapping) of size `batch` from the
+    /// training set, using a per-worker stride so concurrent workers
+    /// see disjoint streams (data parallelism splits the dataset,
+    /// Section 2.2).
+    pub fn minibatch(
+        &self,
+        worker: usize,
+        workers: usize,
+        index: u64,
+        batch: usize,
+    ) -> (Matrix, Vec<usize>) {
+        let n = self.train_len();
+        let mut xs = Matrix::zeros(batch, self.dim());
+        let mut ys = Vec::with_capacity(batch);
+        for i in 0..batch {
+            // Worker-strided wrap-around sampling.
+            let j = ((index as usize * batch + i) * workers + worker) % n;
+            for d in 0..self.dim() {
+                *xs.get_mut(i, d) = self.train_x.get(j, d);
+            }
+            ys.push(self.train_y[j]);
+        }
+        (xs, ys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blobs_are_deterministic() {
+        let a = Dataset::gaussian_blobs(8, 4, 100, 50, 0.3, 7);
+        let b = Dataset::gaussian_blobs(8, 4, 100, 50, 0.3, 7);
+        assert_eq!(a.train_x, b.train_x);
+        assert_eq!(a.train_y, b.train_y);
+        let c = Dataset::gaussian_blobs(8, 4, 100, 50, 0.3, 8);
+        assert_ne!(a.train_x, c.train_x);
+    }
+
+    #[test]
+    fn labels_in_range() {
+        let d = Dataset::gaussian_blobs(4, 5, 200, 100, 0.5, 3);
+        assert!(d.train_y.iter().all(|&y| y < 5));
+        assert!(d.test_y.iter().all(|&y| y < 5));
+        assert_eq!(d.train_len(), 200);
+        assert_eq!(d.dim(), 4);
+    }
+
+    #[test]
+    fn blobs_learnable_by_small_mlp() {
+        let d = Dataset::gaussian_blobs(16, 4, 512, 256, 0.4, 11);
+        let mut m = Mlp::new(&[16, 32, 4], 1);
+        // A few epochs of plain SGD should separate the blobs well.
+        for step in 0..400u64 {
+            let (x, y) = d.minibatch(0, 1, step, 32);
+            let (_, g) = m.loss_and_gradients(&x, &y);
+            let mut flat = m.to_flat();
+            for (p, gv) in flat.iter_mut().zip(g.to_flat()) {
+                *p -= 0.1 * gv;
+            }
+            m.load_flat(&flat);
+        }
+        let acc = m.accuracy(&d.test_x, &d.test_y);
+        assert!(acc > 0.9, "blob accuracy = {acc}");
+    }
+
+    #[test]
+    fn teacher_labels_consistent() {
+        let a = Dataset::teacher(8, 4, 16, 64, 32, 5);
+        let b = Dataset::teacher(8, 4, 16, 64, 32, 5);
+        assert_eq!(a.train_y, b.train_y);
+    }
+
+    #[test]
+    fn worker_strided_minibatches_are_disjoint() {
+        let d = Dataset::gaussian_blobs(4, 3, 1000, 10, 0.2, 9);
+        let (x0, _) = d.minibatch(0, 4, 0, 8);
+        let (x1, _) = d.minibatch(1, 4, 0, 8);
+        assert_ne!(x0, x1, "different workers draw different samples");
+    }
+}

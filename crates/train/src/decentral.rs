@@ -1,0 +1,238 @@
+//! Decentralized training — the paper's future-work direction.
+//!
+//! Section 3: *"We believe HetPipe can be further optimized by taking
+//! decentralized approaches, but leave this for future work"*, citing
+//! AD-PSGD (Lian et al.). This module implements that extension at the
+//! trainer level: instead of pushing waves to a central parameter
+//! server, each virtual worker — still running pipelined SGD with
+//! HetPipe's local staleness — periodically *averages its weights with
+//! one neighbour* chosen round-robin, the gossip step of AD-PSGD.
+//!
+//! No central server means no straggler-wait at all (the paper's D
+//! bound becomes unnecessary); the price is slower information
+//! propagation (averaging mixes two replicas at a time instead of all
+//! `N` through the server).
+
+use crate::data::Dataset;
+use crate::mlp::Mlp;
+use crate::sgd::{apply_delta, Sgd};
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Configuration of a decentralized (gossip) run.
+#[derive(Debug, Clone)]
+pub struct GossipConfig {
+    /// Number of worker threads.
+    pub workers: usize,
+    /// MLP layer widths.
+    pub dims: Vec<usize>,
+    /// Minibatch size.
+    pub batch: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Pipeline depth per worker (HetPipe's `Nm`; gradients are
+    /// delayed `Nm - 1` injections exactly as in WSP mode).
+    pub nm: usize,
+    /// Average with a neighbour every `gossip_every` completions
+    /// (the wave cadence: `Nm` matches WSP's per-wave sync).
+    pub gossip_every: u64,
+    /// Minibatches per worker.
+    pub steps_per_worker: u64,
+    /// Model seed.
+    pub seed: u64,
+}
+
+impl Default for GossipConfig {
+    fn default() -> Self {
+        GossipConfig {
+            workers: 4,
+            dims: vec![16, 48, 4],
+            batch: 32,
+            lr: 0.05,
+            nm: 4,
+            gossip_every: 4,
+            steps_per_worker: 512,
+            seed: 42,
+        }
+    }
+}
+
+/// Result of a gossip run.
+#[derive(Debug, Clone)]
+pub struct GossipOutcome {
+    /// Test accuracy of the averaged final model.
+    pub final_accuracy: f64,
+    /// Total minibatch updates across workers.
+    pub total_updates: u64,
+    /// Number of pairwise averaging operations performed.
+    pub gossip_rounds: u64,
+}
+
+/// Applies the oldest pending delta to `worker`'s replica and, on the
+/// gossip cadence, averages with the next neighbour (AD-PSGD's
+/// pairwise step; ordered lock acquisition avoids deadlock).
+fn complete_one(
+    worker: usize,
+    replicas: &[Mutex<Vec<f32>>],
+    gossip_count: &Mutex<u64>,
+    config: &GossipConfig,
+    pending: &mut VecDeque<Vec<f32>>,
+    completed: &mut u64,
+) {
+    let delta = pending.pop_front().expect("pipeline non-empty");
+    {
+        let mut w = replicas[worker].lock();
+        apply_delta(&mut w, &delta);
+    }
+    *completed += 1;
+    if *completed % config.gossip_every == 0 {
+        let peer = (worker + 1) % config.workers;
+        let (a, b) = (worker.min(peer), worker.max(peer));
+        let mut wa = replicas[a].lock();
+        let mut wb = replicas[b].lock();
+        for (x, y) in wa.iter_mut().zip(wb.iter_mut()) {
+            let avg = 0.5 * (*x + *y);
+            *x = avg;
+            *y = avg;
+        }
+        *gossip_count.lock() += 1;
+    }
+}
+
+/// Runs decentralized pipelined SGD: per-worker weight replicas under
+/// a shared lock table, pairwise-averaged round-robin.
+pub fn train_gossip(dataset: &Dataset, config: &GossipConfig) -> GossipOutcome {
+    assert!(config.workers >= 2, "gossip needs at least two workers");
+    assert_eq!(
+        *config.dims.last().expect("non-empty dims"),
+        dataset.classes,
+        "model output width must equal the class count"
+    );
+
+    let init = Mlp::new(&config.dims, config.seed);
+    let replicas: Arc<Vec<Mutex<Vec<f32>>>> = Arc::new(
+        (0..config.workers)
+            .map(|_| Mutex::new(init.to_flat()))
+            .collect(),
+    );
+    let gossip_count = Arc::new(Mutex::new(0u64));
+
+    std::thread::scope(|scope| {
+        for worker in 0..config.workers {
+            let replicas = Arc::clone(&replicas);
+            let gossip_count = Arc::clone(&gossip_count);
+            let config = config.clone();
+            scope.spawn(move || {
+                let mut model = Mlp::new(&config.dims, config.seed);
+                let mut opt = Sgd::new(model.param_count(), config.lr, 0.0);
+                let mut pending: VecDeque<Vec<f32>> = VecDeque::new();
+                let mut completed = 0u64;
+                let s_local = config.nm - 1;
+
+                for p in 1..=config.steps_per_worker {
+                    // Inject: gradient at the current replica (copy out
+                    // under the lock, compute outside it).
+                    let local = replicas[worker].lock().clone();
+                    model.load_flat(&local);
+                    let (x, y) = dataset.minibatch(worker, config.workers, p - 1, config.batch);
+                    let (_, grads) = model.loss_and_gradients(&x, &y);
+                    pending.push_back(opt.delta(&grads.to_flat()));
+
+                    // Completion with HetPipe's pipeline delay.
+                    if pending.len() > s_local {
+                        complete_one(
+                            worker,
+                            &replicas,
+                            &gossip_count,
+                            &config,
+                            &mut pending,
+                            &mut completed,
+                        );
+                    }
+                }
+                // Drain the pipeline.
+                while !pending.is_empty() {
+                    complete_one(
+                        worker,
+                        &replicas,
+                        &gossip_count,
+                        &config,
+                        &mut pending,
+                        &mut completed,
+                    );
+                }
+            });
+        }
+    });
+
+    // Evaluate the average of all replicas (the consensus model).
+    let dim = init.param_count();
+    let mut avg = vec![0.0f32; dim];
+    for r in replicas.iter() {
+        let w = r.lock();
+        for (a, &v) in avg.iter_mut().zip(w.iter()) {
+            *a += v / config.workers as f32;
+        }
+    }
+    let mut model = init;
+    model.load_flat(&avg);
+    let gossip_rounds = *gossip_count.lock();
+    GossipOutcome {
+        final_accuracy: model.accuracy(&dataset.test_x, &dataset.test_y),
+        total_updates: config.steps_per_worker * config.workers as u64,
+        gossip_rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::Dataset;
+
+    #[test]
+    fn gossip_converges_on_blobs() {
+        let dataset = Dataset::gaussian_blobs(16, 4, 2048, 512, 0.35, 13);
+        let config = GossipConfig {
+            dims: vec![16, 64, 4],
+            steps_per_worker: 512,
+            ..GossipConfig::default()
+        };
+        let out = train_gossip(&dataset, &config);
+        assert!(
+            out.final_accuracy > 0.8,
+            "gossip accuracy = {}",
+            out.final_accuracy
+        );
+        assert_eq!(out.total_updates, 4 * 512);
+        assert!(out.gossip_rounds > 0);
+    }
+
+    #[test]
+    fn gossip_rounds_follow_cadence() {
+        let dataset = Dataset::gaussian_blobs(8, 3, 256, 64, 0.4, 5);
+        let config = GossipConfig {
+            workers: 2,
+            dims: vec![8, 16, 3],
+            nm: 2,
+            gossip_every: 8,
+            steps_per_worker: 64,
+            ..GossipConfig::default()
+        };
+        let out = train_gossip(&dataset, &config);
+        // Each worker completes 64 minibatches; every 8th gossips.
+        assert_eq!(out.gossip_rounds, 2 * 64 / 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two workers")]
+    fn single_worker_rejected() {
+        let dataset = Dataset::gaussian_blobs(8, 3, 64, 16, 0.4, 1);
+        let config = GossipConfig {
+            workers: 1,
+            dims: vec![8, 16, 3],
+            ..GossipConfig::default()
+        };
+        let _ = train_gossip(&dataset, &config);
+    }
+}

@@ -1,0 +1,43 @@
+//! Real SGD training under WSP staleness semantics.
+//!
+//! The paper's convergence experiments (Figures 5–6) train real models
+//! on real hardware; this crate is the laptop-scale substitute that
+//! preserves what matters for convergence: *the staleness pattern of
+//! gradients*. `N` OS threads play the virtual workers; each runs a
+//! *pipelined* SGD loop in which minibatch `p`'s gradient is computed
+//! against the weights as of `p`'s injection and applied `s_local`
+//! injections later (exactly HetPipe's `w_p` semantics), waves of `Nm`
+//! updates are pushed to a shared parameter server as one aggregated
+//! delta, and the clock-distance bound `D` gates progress — real
+//! waiting on a real condition variable.
+//!
+//! - [`tensor`] — a minimal dense matrix with the kernels an MLP needs,
+//!   backward passes checked against numerical gradients.
+//! - [`mlp`] — a multi-layer perceptron with manual backprop.
+//! - [`sgd`] — SGD with momentum.
+//! - [`data`] — deterministic synthetic classification datasets.
+//! - [`ps`] — the shared parameter server (clocks, waves, condvars).
+//! - [`runner`] — the threaded training harness for WSP / BSP / SSP /
+//!   ASP, with a staleness audit trail.
+//! - [`convex`] — convex problem instances and a deterministic
+//!   noisy-weight executor for validating the Theorem-1 regret bound.
+//! - [`decentral`] — the paper's future-work extension: AD-PSGD-style
+//!   decentralized (gossip) training without a parameter server.
+
+pub mod convex;
+pub mod data;
+pub mod decentral;
+pub mod mlp;
+pub mod ps;
+pub mod runner;
+pub mod schedule;
+pub mod sgd;
+pub mod tensor;
+
+pub use data::Dataset;
+pub use decentral::{train_gossip, GossipConfig, GossipOutcome};
+pub use mlp::Mlp;
+pub use ps::ParameterServer;
+pub use runner::{train, Mode, TrainConfig, TrainOutcome};
+pub use schedule::LrSchedule;
+pub use tensor::Matrix;

@@ -1,0 +1,246 @@
+//! A multi-layer perceptron with manual backpropagation.
+//!
+//! Parameters are a flat list of (weight, bias) pairs; gradients come
+//! back in the same layout, so the parameter server can treat a model
+//! as one flat `Vec<f32>` delta. Layers are `Linear -> ReLU` except the
+//! last, which feeds softmax cross-entropy.
+
+use crate::tensor::{softmax_cross_entropy, Matrix};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// One dense layer's parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dense {
+    /// Weight matrix, `in_dim x out_dim`.
+    pub w: Matrix,
+    /// Bias vector, `out_dim` long.
+    pub b: Vec<f32>,
+}
+
+/// An MLP: a stack of dense layers with ReLU between them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mlp {
+    /// The layers, input to output.
+    pub layers: Vec<Dense>,
+}
+
+/// Gradients in the same layout as [`Mlp`].
+#[derive(Debug, Clone)]
+pub struct Gradients {
+    /// Per-layer (dW, db).
+    pub layers: Vec<(Matrix, Vec<f32>)>,
+}
+
+impl Mlp {
+    /// Random (He) initialization for the given layer widths, seeded
+    /// for reproducibility.
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than two widths are given.
+    pub fn new(dims: &[usize], seed: u64) -> Mlp {
+        assert!(dims.len() >= 2, "an MLP needs at least one layer");
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let layers = dims
+            .windows(2)
+            .map(|w| {
+                let (d_in, d_out) = (w[0], w[1]);
+                let scale = (2.0 / d_in as f32).sqrt();
+                Dense {
+                    w: Matrix::from_fn(d_in, d_out, |_, _| (rng.gen::<f32>() * 2.0 - 1.0) * scale),
+                    b: vec![0.0; d_out],
+                }
+            })
+            .collect();
+        Mlp { layers }
+    }
+
+    /// Forward pass returning the logits (no loss).
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = h.matmul(&layer.w);
+            h.add_row(&layer.b);
+            if i != last {
+                h.relu();
+            }
+        }
+        h
+    }
+
+    /// Forward + backward for one minibatch; returns `(loss, gradients)`.
+    pub fn loss_and_gradients(&self, x: &Matrix, labels: &[usize]) -> (f32, Gradients) {
+        // Forward, stashing inputs of every layer and post-ReLU
+        // activations.
+        let last = self.layers.len() - 1;
+        let mut inputs: Vec<Matrix> = Vec::with_capacity(self.layers.len());
+        let mut h = x.clone();
+        for (i, layer) in self.layers.iter().enumerate() {
+            inputs.push(h.clone());
+            h = h.matmul(&layer.w);
+            h.add_row(&layer.b);
+            if i != last {
+                h.relu();
+            }
+        }
+        let (loss, mut grad) = softmax_cross_entropy(&h, labels);
+
+        // Backward.
+        let mut grads: Vec<(Matrix, Vec<f32>)> = Vec::with_capacity(self.layers.len());
+        for i in (0..self.layers.len()).rev() {
+            let dw = inputs[i].t_matmul(&grad);
+            let db = grad.col_sums();
+            if i > 0 {
+                grad = grad.matmul_t(&self.layers[i].w);
+                // ReLU sat between layer i-1's affine output and layer
+                // i's input; `inputs[i]` is exactly the post-ReLU value.
+                grad.relu_backward(&inputs[i]);
+            }
+            grads.push((dw, db));
+        }
+        grads.reverse();
+        (loss, Gradients { layers: grads })
+    }
+
+    /// Mean top-1 accuracy over a labelled set.
+    pub fn accuracy(&self, x: &Matrix, labels: &[usize]) -> f64 {
+        let logits = self.forward(x);
+        let preds = logits.argmax_rows();
+        let correct = preds.iter().zip(labels).filter(|(p, l)| p == l).count();
+        correct as f64 / labels.len() as f64
+    }
+
+    /// Total parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers.iter().map(|l| l.w.data.len() + l.b.len()).sum()
+    }
+
+    /// Flattens all parameters into one vector (weight-major, layer
+    /// order).
+    pub fn to_flat(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count());
+        for l in &self.layers {
+            out.extend_from_slice(&l.w.data);
+            out.extend_from_slice(&l.b);
+        }
+        out
+    }
+
+    /// Overwrites all parameters from a flat vector (inverse of
+    /// [`Mlp::to_flat`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `flat.len()` does not match the parameter count.
+    pub fn load_flat(&mut self, flat: &[f32]) {
+        assert_eq!(flat.len(), self.param_count(), "flat size mismatch");
+        let mut off = 0;
+        for l in &mut self.layers {
+            let wn = l.w.data.len();
+            l.w.data.copy_from_slice(&flat[off..off + wn]);
+            off += wn;
+            let bn = l.b.len();
+            l.b.copy_from_slice(&flat[off..off + bn]);
+            off += bn;
+        }
+    }
+}
+
+impl Gradients {
+    /// Flattens gradients in the [`Mlp::to_flat`] layout.
+    pub fn to_flat(&self) -> Vec<f32> {
+        let mut out = Vec::new();
+        for (dw, db) in &self.layers {
+            out.extend_from_slice(&dw.data);
+            out.extend_from_slice(db);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_batch() -> (Matrix, Vec<usize>) {
+        let x = Matrix::from_fn(4, 3, |r, c| ((r + c) as f32 * 0.37).sin());
+        (x, vec![0, 1, 2, 1])
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let m = Mlp::new(&[3, 8, 3], 1);
+        let (x, _) = tiny_batch();
+        let logits = m.forward(&x);
+        assert_eq!((logits.rows, logits.cols), (4, 3));
+    }
+
+    #[test]
+    fn gradients_match_numerical() {
+        let m = Mlp::new(&[3, 5, 3], 7);
+        let (x, y) = tiny_batch();
+        let (_, grads) = m.loss_and_gradients(&x, &y);
+        let flat_grad = grads.to_flat();
+        let flat = m.to_flat();
+        let eps = 2e-3f32;
+        // Spot-check a spread of parameter indices.
+        for &i in &[0usize, 3, 7, 14, 15, 20, 30, flat.len() - 1] {
+            let mut mp = m.clone();
+            let mut fp = flat.clone();
+            fp[i] += eps;
+            mp.load_flat(&fp);
+            let (lp, _) = mp.loss_and_gradients(&x, &y);
+            let mut fm = flat.clone();
+            fm[i] -= eps;
+            mp.load_flat(&fm);
+            let (lm, _) = mp.loss_and_gradients(&x, &y);
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (numeric - flat_grad[i]).abs() < 2e-2,
+                "param {i}: numeric {numeric} vs analytic {}",
+                flat_grad[i]
+            );
+        }
+    }
+
+    #[test]
+    fn flat_roundtrip() {
+        let m = Mlp::new(&[4, 6, 2], 42);
+        let flat = m.to_flat();
+        assert_eq!(flat.len(), m.param_count());
+        let mut m2 = Mlp::new(&[4, 6, 2], 43);
+        assert_ne!(m, m2, "different seeds differ");
+        m2.load_flat(&flat);
+        assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn one_sgd_step_reduces_loss() {
+        let mut m = Mlp::new(&[3, 16, 3], 3);
+        let (x, y) = tiny_batch();
+        let (l0, grads) = m.loss_and_gradients(&x, &y);
+        let mut flat = m.to_flat();
+        for (p, g) in flat.iter_mut().zip(grads.to_flat()) {
+            *p -= 0.1 * g;
+        }
+        m.load_flat(&flat);
+        let (l1, _) = m.loss_and_gradients(&x, &y);
+        assert!(l1 < l0, "loss must drop: {l0} -> {l1}");
+    }
+
+    #[test]
+    fn accuracy_bounds() {
+        let m = Mlp::new(&[3, 8, 3], 5);
+        let (x, y) = tiny_batch();
+        let acc = m.accuracy(&x, &y);
+        assert!((0.0..=1.0).contains(&acc));
+    }
+
+    #[test]
+    fn deterministic_init() {
+        assert_eq!(Mlp::new(&[3, 4, 2], 9), Mlp::new(&[3, 4, 2], 9));
+        assert_ne!(Mlp::new(&[3, 4, 2], 9), Mlp::new(&[3, 4, 2], 10));
+    }
+}

@@ -1,0 +1,167 @@
+//! The shared parameter server.
+//!
+//! A real (lock + condition variable) parameter server shared by the
+//! worker threads. It maintains the global weights, a per-worker push
+//! clock, and periodic weight snapshots for offline accuracy curves.
+//! Under WSP a "push" is one *wave* (the aggregated delta of `Nm`
+//! minibatches, Section 5); under BSP/SSP/ASP a push is one minibatch.
+//!
+//! `pull_wait(target)` implements the paper's straggler wait: it blocks
+//! until *every* worker's clock is past `target` — the distance-`D`
+//! rule — and returns a snapshot of the weights plus the clock it
+//! covers.
+
+use parking_lot::{Condvar, Mutex};
+
+struct Inner {
+    weights: Vec<f32>,
+    clocks: Vec<u64>,
+    total_updates: u64,
+    last_snapshot_at: u64,
+    snapshots: Vec<(u64, Vec<f32>)>,
+    max_clock_distance: u64,
+}
+
+/// The shared parameter server.
+pub struct ParameterServer {
+    inner: Mutex<Inner>,
+    cond: Condvar,
+    snapshot_every: u64,
+}
+
+impl ParameterServer {
+    /// Creates a server for `workers` workers with initial weights and
+    /// a snapshot interval in minibatch updates (0 disables snapshots).
+    pub fn new(init: Vec<f32>, workers: usize, snapshot_every: u64) -> ParameterServer {
+        ParameterServer {
+            inner: Mutex::new(Inner {
+                weights: init,
+                clocks: vec![0; workers],
+                total_updates: 0,
+                last_snapshot_at: 0,
+                snapshots: Vec::new(),
+                max_clock_distance: 0,
+            }),
+            cond: Condvar::new(),
+            snapshot_every,
+        }
+    }
+
+    /// Applies a pushed delta covering `minibatches` updates and
+    /// advances `worker`'s clock.
+    pub fn push(&self, worker: usize, delta: &[f32], minibatches: u64) {
+        let mut g = self.inner.lock();
+        assert_eq!(g.weights.len(), delta.len(), "delta size mismatch");
+        for (w, &d) in g.weights.iter_mut().zip(delta) {
+            *w += d;
+        }
+        g.clocks[worker] += 1;
+        g.total_updates += minibatches;
+
+        let max = *g.clocks.iter().max().expect("at least one worker");
+        let min = *g.clocks.iter().min().expect("at least one worker");
+        g.max_clock_distance = g.max_clock_distance.max(max - min);
+
+        if self.snapshot_every > 0 && g.total_updates - g.last_snapshot_at >= self.snapshot_every {
+            g.last_snapshot_at = g.total_updates;
+            let snap = (g.total_updates, g.weights.clone());
+            g.snapshots.push(snap);
+        }
+        self.cond.notify_all();
+    }
+
+    /// Blocks until every worker's clock exceeds `target` (i.e. all
+    /// have pushed wave/update `target`, 0-indexed), then returns the
+    /// weights and the newest clock fully covered (`min_clock - 1`).
+    pub fn pull_wait(&self, target: u64) -> (Vec<f32>, u64) {
+        let mut g = self.inner.lock();
+        while g.clocks.iter().min().copied().unwrap_or(0) < target + 1 {
+            self.cond.wait(&mut g);
+        }
+        let covered = g.clocks.iter().min().copied().expect("non-empty") - 1;
+        (g.weights.clone(), covered)
+    }
+
+    /// Returns the current weights without waiting (ASP).
+    pub fn pull_now(&self) -> Vec<f32> {
+        self.inner.lock().weights.clone()
+    }
+
+    /// Total minibatch updates applied so far.
+    pub fn total_updates(&self) -> u64 {
+        self.inner.lock().total_updates
+    }
+
+    /// The largest clock distance ever observed between the fastest and
+    /// slowest worker (the quantity WSP bounds by `D`, modulo the
+    /// in-flight push that makes the observable bound `D + 1`).
+    pub fn max_clock_distance(&self) -> u64 {
+        self.inner.lock().max_clock_distance
+    }
+
+    /// Drains the recorded `(total_updates, weights)` snapshots.
+    pub fn take_snapshots(&self) -> Vec<(u64, Vec<f32>)> {
+        std::mem::take(&mut self.inner.lock().snapshots)
+    }
+
+    /// Current weights (final result).
+    pub fn final_weights(&self) -> Vec<f32> {
+        self.inner.lock().weights.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn push_applies_delta_and_advances_clock() {
+        let ps = ParameterServer::new(vec![0.0; 3], 2, 0);
+        ps.push(0, &[1.0, 2.0, 3.0], 4);
+        assert_eq!(ps.pull_now(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(ps.total_updates(), 4);
+    }
+
+    #[test]
+    fn pull_wait_returns_when_all_pushed() {
+        let ps = Arc::new(ParameterServer::new(vec![0.0], 2, 0));
+        let ps2 = Arc::clone(&ps);
+        let waiter = std::thread::spawn(move || ps2.pull_wait(0));
+        // The waiter needs both workers past clock 0.
+        ps.push(0, &[1.0], 1);
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        assert!(!waiter.is_finished(), "must still wait for worker 1");
+        ps.push(1, &[1.0], 1);
+        let (w, covered) = waiter.join().expect("no panic");
+        assert_eq!(w, vec![2.0]);
+        assert_eq!(covered, 0);
+    }
+
+    #[test]
+    fn clock_distance_tracked() {
+        let ps = ParameterServer::new(vec![0.0], 3, 0);
+        ps.push(0, &[0.0], 1);
+        ps.push(0, &[0.0], 1);
+        ps.push(0, &[0.0], 1);
+        assert_eq!(ps.max_clock_distance(), 3);
+        ps.push(1, &[0.0], 1);
+        ps.push(2, &[0.0], 1);
+        // Distance never shrinks retroactively.
+        assert_eq!(ps.max_clock_distance(), 3);
+    }
+
+    #[test]
+    fn snapshots_at_interval() {
+        let ps = ParameterServer::new(vec![0.0], 1, 8);
+        for _ in 0..4 {
+            ps.push(0, &[1.0], 4);
+        }
+        let snaps = ps.take_snapshots();
+        // Updates 8 and 16 trigger snapshots.
+        assert_eq!(snaps.len(), 2);
+        assert_eq!(snaps[0].0, 8);
+        assert_eq!(snaps[1].0, 16);
+        assert!(ps.take_snapshots().is_empty(), "drained");
+    }
+}

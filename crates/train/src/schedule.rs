@@ -1,0 +1,118 @@
+//! Learning-rate schedules.
+//!
+//! The paper (Section 9) notes that learning-rate techniques such as
+//! Goyal et al.'s warmup can be applied to HetPipe to converge faster;
+//! this module provides the standard schedules used with large-batch
+//! and stale-gradient training, including the `1/sqrt(t)` decay the
+//! convergence proof of Theorem 1 assumes.
+
+/// A learning-rate schedule: maps a (1-indexed) step to a rate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LrSchedule {
+    /// Constant rate.
+    Constant(f32),
+    /// Linear warmup from `start` to `peak` over `warmup_steps`, then
+    /// constant (Goyal et al.).
+    Warmup {
+        /// Initial rate.
+        start: f32,
+        /// Rate after warmup.
+        peak: f32,
+        /// Steps to reach `peak`.
+        warmup_steps: u64,
+    },
+    /// Step decay: `base * factor^(step / every)`.
+    StepDecay {
+        /// Initial rate.
+        base: f32,
+        /// Multiplicative factor per interval (e.g. 0.1).
+        factor: f32,
+        /// Interval in steps.
+        every: u64,
+    },
+    /// `sigma / sqrt(t)` — the schedule of Theorem 1.
+    InverseSqrt {
+        /// The numerator `sigma`.
+        sigma: f32,
+    },
+}
+
+impl LrSchedule {
+    /// The learning rate at `step` (1-indexed).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `step == 0`.
+    pub fn at(&self, step: u64) -> f32 {
+        debug_assert!(step >= 1, "steps are 1-indexed");
+        match *self {
+            LrSchedule::Constant(lr) => lr,
+            LrSchedule::Warmup {
+                start,
+                peak,
+                warmup_steps,
+            } => {
+                if step >= warmup_steps {
+                    peak
+                } else {
+                    start + (peak - start) * step as f32 / warmup_steps as f32
+                }
+            }
+            LrSchedule::StepDecay {
+                base,
+                factor,
+                every,
+            } => base * factor.powi((step / every.max(1)) as i32),
+            LrSchedule::InverseSqrt { sigma } => sigma / (step as f32).sqrt(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant(0.1);
+        assert_eq!(s.at(1), 0.1);
+        assert_eq!(s.at(1_000_000), 0.1);
+    }
+
+    #[test]
+    fn warmup_ramps_then_holds() {
+        let s = LrSchedule::Warmup {
+            start: 0.0,
+            peak: 0.4,
+            warmup_steps: 100,
+        };
+        assert!(s.at(1) < 0.01);
+        assert!((s.at(50) - 0.2).abs() < 1e-6);
+        assert_eq!(s.at(100), 0.4);
+        assert_eq!(s.at(500), 0.4);
+    }
+
+    #[test]
+    fn step_decay_steps() {
+        let s = LrSchedule::StepDecay {
+            base: 1.0,
+            factor: 0.1,
+            every: 10,
+        };
+        assert_eq!(s.at(9), 1.0);
+        assert!((s.at(10) - 0.1).abs() < 1e-7);
+        assert!((s.at(25) - 0.01).abs() < 1e-8);
+    }
+
+    #[test]
+    fn inverse_sqrt_matches_theorem1() {
+        let s = LrSchedule::InverseSqrt { sigma: 2.0 };
+        assert_eq!(s.at(1), 2.0);
+        assert_eq!(s.at(4), 1.0);
+        assert_eq!(s.at(16), 0.5);
+        // Monotone decreasing.
+        for t in 1..100u64 {
+            assert!(s.at(t + 1) <= s.at(t));
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! Real multi-threaded training under WSP staleness semantics.
+//!
+//! Four worker threads play four virtual workers, each running
+//! *pipelined* SGD (gradients computed against injection-time weights,
+//! wave-aggregated pushes, D-bounded pulls) against a shared parameter
+//! server. Compares WSP at D = 0 / 4 / 32 with classic BSP and ASP on
+//! the same synthetic task — the Figure-6 mechanism at laptop scale.
+//!
+//! Run with: `cargo run --release --example convergence_wsp`
+
+use hetpipe::train::{train, Dataset, Mode, TrainConfig};
+
+fn main() {
+    let dataset = Dataset::teacher(24, 8, 48, 8192, 2048, 7);
+    println!(
+        "task: teacher-network classification, {} train / {} test samples, {} classes\n",
+        dataset.train_len(),
+        dataset.test_y.len(),
+        dataset.classes
+    );
+
+    println!(
+        "{:<22} {:>10} {:>14} {:>16}",
+        "mode", "final acc", "updates", "max clock dist"
+    );
+    for (label, mode) in [
+        ("BSP", Mode::Bsp),
+        ("ASP", Mode::Asp),
+        ("SSP (s=3)", Mode::Ssp { s: 3 }),
+        ("WSP (Nm=4, D=0)", Mode::Wsp { nm: 4, d: 0 }),
+        ("WSP (Nm=4, D=4)", Mode::Wsp { nm: 4, d: 4 }),
+        ("WSP (Nm=4, D=32)", Mode::Wsp { nm: 4, d: 32 }),
+    ] {
+        let config = TrainConfig {
+            mode,
+            workers: 4,
+            dims: vec![24, 48, 32, 8],
+            batch: 32,
+            lr: 0.04,
+            momentum: 0.9,
+            steps_per_worker: 4000,
+            seed: 42,
+            snapshot_every: 0,
+            ..TrainConfig::default()
+        };
+        let out = train(&dataset, &config);
+        println!(
+            "{:<22} {:>10.3} {:>14} {:>16}",
+            label, out.final_accuracy, out.total_updates, out.max_clock_distance
+        );
+    }
+    println!(
+        "\nWSP keeps the clock distance within D+1 by construction; D = 32 lets the\n\
+         replicas drift (workers pull global weights only every 33 waves), costing\n\
+         statistical efficiency — the paper's Figure-6 observation."
+    );
+}

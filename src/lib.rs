@@ -1,0 +1,64 @@
+//! HetPipe: heterogeneous pipelined-model-parallel + data-parallel DNN training.
+//!
+//! This is the facade crate of the HetPipe workspace, a from-scratch Rust
+//! reproduction of *"HetPipe: Enabling Large DNN Training on (Whimpy)
+//! Heterogeneous GPU Clusters through Integration of Pipelined Model
+//! Parallelism and Data Parallelism"* (Park et al., USENIX ATC 2020).
+//!
+//! It re-exports the component crates:
+//!
+//! - [`cluster`] — heterogeneous GPU cluster substrate (Table 1 testbed,
+//!   PCIe/InfiniBand transfer models).
+//! - [`des`] — deterministic discrete-event simulation engine.
+//! - [`model`] — DNN model graphs and the ResNet-152 / VGG-19 zoo with
+//!   analytic compute/memory profiles.
+//! - [`partition`] — the heterogeneity- and memory-aware min–max model
+//!   partitioner (the paper's CPLEX formulation, solved exactly).
+//! - [`core`] — the HetPipe system itself: virtual workers, pipelined
+//!   execution, the Wave Synchronous Parallel (WSP) model, parameter
+//!   servers, resource-allocation policies, and end-to-end simulation.
+//! - [`allreduce`] — the Horovod-like all-reduce data-parallel baseline.
+//! - [`train`] — a real (threaded, lock-based) WSP/SSP/BSP/ASP parameter
+//!   server and SGD trainer used for convergence experiments.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use hetpipe::prelude::*;
+//!
+//! // The paper's 16-GPU testbed, partitioned by the Equal-Distribution
+//! // policy into 4 virtual workers with local parameter placement.
+//! let cluster = Cluster::paper_testbed();
+//! let model = vgg19(32);
+//! let config = SystemConfig {
+//!     policy: AllocationPolicy::EqualDistribution,
+//!     placement: Placement::Local,
+//!     staleness_bound: 0,
+//!     ..SystemConfig::default()
+//! };
+//! let report = HetPipeSystem::build(&cluster, &model, &config)
+//!     .expect("feasible configuration")
+//!     .run(SimTime::from_secs(60.0));
+//! assert!(report.throughput_images_per_sec() > 0.0);
+//! ```
+
+pub use hetpipe_allreduce as allreduce;
+pub use hetpipe_cluster as cluster;
+pub use hetpipe_core as core;
+pub use hetpipe_des as des;
+pub use hetpipe_model as model;
+pub use hetpipe_partition as partition;
+pub use hetpipe_train as train;
+
+/// Commonly used items, re-exported for convenience.
+pub mod prelude {
+    pub use hetpipe_allreduce::{HorovodBaseline, RingAllreduce};
+    pub use hetpipe_cluster::{Cluster, DeviceId, GpuKind, LinkKind, NetworkModel, Node, NodeId};
+    pub use hetpipe_core::{
+        AllocationPolicy, HetPipeSystem, Placement, SyncModel, SystemConfig, SystemReport,
+        VirtualWorker,
+    };
+    pub use hetpipe_des::SimTime;
+    pub use hetpipe_model::{mlp, resnet152, resnet50, vgg19, LayerKind, ModelGraph};
+    pub use hetpipe_partition::{PartitionPlan, PartitionSolver};
+}

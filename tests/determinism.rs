@@ -1,0 +1,67 @@
+//! Reproducibility: identical configurations must simulate to
+//! bit-identical reports (fixed-point time + deterministic event
+//! ordering), and the trainer's gate must agree with the simulator's
+//! staleness algebra.
+
+use hetpipe::prelude::*;
+
+fn report(d: usize) -> SystemReport {
+    let cluster = Cluster::paper_testbed();
+    let graph = resnet152(32);
+    let config = SystemConfig {
+        policy: AllocationPolicy::HybridDistribution,
+        placement: Placement::Default,
+        staleness_bound: d,
+        ..SystemConfig::default()
+    };
+    HetPipeSystem::build(&cluster, &graph, &config)
+        .expect("feasible")
+        .run(SimTime::from_secs(20.0))
+}
+
+#[test]
+fn identical_runs_identical_reports() {
+    let a = report(0);
+    let b = report(0);
+    assert_eq!(a.minibatches_per_vw, b.minibatches_per_vw);
+    assert_eq!(a.waves_per_vw, b.waves_per_vw);
+    assert_eq!(a.sync_bytes_inter, b.sync_bytes_inter);
+    assert_eq!(a.act_bytes_inter, b.act_bytes_inter);
+    assert_eq!(a.pull_wait_per_vw, b.pull_wait_per_vw);
+    let ua: Vec<_> = a.gpu_utilization.iter().map(|(_, u)| u.to_bits()).collect();
+    let ub: Vec<_> = b.gpu_utilization.iter().map(|(_, u)| u.to_bits()).collect();
+    assert_eq!(ua, ub, "utilizations must be bit-identical");
+}
+
+#[test]
+fn different_d_changes_behaviour() {
+    let a = report(0);
+    let b = report(4);
+    // With HD's (mildly) heterogeneous VWs the waiting budget differs.
+    assert!(
+        a.total_pull_wait_secs() >= b.total_pull_wait_secs(),
+        "D=4 must not wait longer than D=0"
+    );
+}
+
+#[test]
+fn trainer_is_deterministic_single_worker() {
+    use hetpipe::train::{train, Dataset, Mode, TrainConfig};
+    let dataset = Dataset::gaussian_blobs(8, 3, 256, 64, 0.4, 3);
+    let config = TrainConfig {
+        mode: Mode::Wsp { nm: 3, d: 0 },
+        workers: 1,
+        dims: vec![8, 12, 3],
+        batch: 16,
+        lr: 0.05,
+        momentum: 0.9,
+        steps_per_worker: 60,
+        seed: 9,
+        snapshot_every: 0,
+        ..TrainConfig::default()
+    };
+    let a = train(&dataset, &config);
+    let b = train(&dataset, &config);
+    assert_eq!(a.final_accuracy, b.final_accuracy);
+    assert_eq!(a.total_updates, b.total_updates);
+}

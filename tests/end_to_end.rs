@@ -1,0 +1,242 @@
+//! End-to-end integration tests: the paper's qualitative results must
+//! hold on the assembled system (cluster -> allocation -> partitioning
+//! -> pipelined simulation -> report).
+
+use hetpipe::cluster::GpuKind;
+use hetpipe::prelude::*;
+
+fn run(
+    cluster: &Cluster,
+    graph: &hetpipe::model::ModelGraph,
+    policy: AllocationPolicy,
+    placement: Placement,
+    nm: Option<usize>,
+) -> f64 {
+    let config = SystemConfig {
+        policy,
+        placement,
+        staleness_bound: 0,
+        nm_override: nm,
+        ..SystemConfig::default()
+    };
+    HetPipeSystem::build(cluster, graph, &config)
+        .expect("feasible")
+        .run(SimTime::from_secs(25.0))
+        .throughput_images_per_sec()
+}
+
+#[test]
+fn figure4_vgg_orderings() {
+    let cluster = Cluster::paper_testbed();
+    let graph = vgg19(32);
+    // At the paper's Nm values: only ED-local beats Horovod for VGG-19;
+    // NP is the slowest policy.
+    let horovod = HorovodBaseline::evaluate_all(&cluster, &graph)
+        .expect("VGG fits all GPUs")
+        .images_per_sec;
+    let np = run(
+        &cluster,
+        &graph,
+        AllocationPolicy::NodePartition,
+        Placement::Default,
+        Some(2),
+    );
+    let ed = run(
+        &cluster,
+        &graph,
+        AllocationPolicy::EqualDistribution,
+        Placement::Default,
+        Some(5),
+    );
+    let ed_local = run(
+        &cluster,
+        &graph,
+        AllocationPolicy::EqualDistribution,
+        Placement::Local,
+        Some(5),
+    );
+    let hd = run(
+        &cluster,
+        &graph,
+        AllocationPolicy::HybridDistribution,
+        Placement::Default,
+        Some(2),
+    );
+
+    assert!(
+        ed_local > horovod,
+        "ED-local {ed_local:.0} must beat Horovod {horovod:.0}"
+    );
+    assert!(
+        ed < horovod,
+        "ED {ed:.0} must lose to Horovod {horovod:.0} (default placement)"
+    );
+    assert!(np < horovod, "NP {np:.0} must lose to Horovod {horovod:.0}");
+    assert!(hd < horovod, "HD {hd:.0} must lose to Horovod {horovod:.0}");
+    assert!(
+        ed_local > ed,
+        "local placement must help: {ed_local:.0} vs {ed:.0}"
+    );
+    assert!(np < ed_local, "NP is the worst policy for VGG-19");
+}
+
+#[test]
+fn figure4_resnet_orderings() {
+    let cluster = Cluster::paper_testbed();
+    let graph = resnet152(32);
+    let horovod = HorovodBaseline::evaluate_all(&cluster, &graph)
+        .expect("12 capable GPUs")
+        .images_per_sec;
+    let np = run(
+        &cluster,
+        &graph,
+        AllocationPolicy::NodePartition,
+        Placement::Default,
+        Some(2),
+    );
+    let ed = run(
+        &cluster,
+        &graph,
+        AllocationPolicy::EqualDistribution,
+        Placement::Default,
+        Some(7),
+    );
+    let ed_local = run(
+        &cluster,
+        &graph,
+        AllocationPolicy::EqualDistribution,
+        Placement::Local,
+        Some(7),
+    );
+
+    assert!(
+        np < horovod,
+        "NP (straggler-bound) loses: {np:.0} vs {horovod:.0}"
+    );
+    assert!(
+        ed_local > horovod,
+        "ED-local wins: {ed_local:.0} vs {horovod:.0}"
+    );
+    assert!(ed_local > ed, "local placement helps ResNet too");
+}
+
+#[test]
+fn table4_hetpipe_beats_horovod_at_every_rung() {
+    use GpuKind::*;
+    let graph = vgg19(32);
+    for kinds in [
+        vec![TitanV, TitanRtx],
+        vec![TitanV, TitanRtx, QuadroP4000],
+        vec![TitanV, TitanRtx, QuadroP4000, Rtx2060],
+    ] {
+        let cluster = Cluster::testbed_subset(&kinds);
+        let horovod = HorovodBaseline::evaluate_all(&cluster, &graph)
+            .expect("VGG fits")
+            .images_per_sec;
+        let hetpipe = run(
+            &cluster,
+            &graph,
+            AllocationPolicy::EqualDistribution,
+            Placement::Local,
+            None,
+        );
+        assert!(
+            hetpipe > horovod,
+            "{} nodes: HetPipe {hetpipe:.0} vs Horovod {horovod:.0}",
+            kinds.len()
+        );
+    }
+}
+
+#[test]
+fn resnet_on_g_only_cluster_needs_hetpipe() {
+    // The headline capability: PMP fits what DP cannot.
+    let cluster = Cluster::testbed_subset(&[GpuKind::Rtx2060]);
+    let graph = resnet152(32);
+    assert!(HorovodBaseline::evaluate_all(&cluster, &graph).is_err());
+    let tput = run(
+        &cluster,
+        &graph,
+        AllocationPolicy::Custom(vec![cluster.devices().collect()]),
+        Placement::Local,
+        None,
+    );
+    assert!(tput > 0.0, "HetPipe trains where Horovod cannot");
+}
+
+#[test]
+fn larger_d_never_hurts_throughput() {
+    let cluster = Cluster::paper_testbed();
+    let graph = vgg19(32);
+    let mut last = 0.0;
+    for d in [0usize, 4] {
+        let config = SystemConfig {
+            policy: AllocationPolicy::NodePartition,
+            placement: Placement::Default,
+            staleness_bound: d,
+            nm_override: Some(2),
+            ..SystemConfig::default()
+        };
+        let t = HetPipeSystem::build(&cluster, &graph, &config)
+            .expect("feasible")
+            .run(SimTime::from_secs(25.0))
+            .throughput_images_per_sec();
+        assert!(
+            t >= last * 0.98,
+            "D={d} throughput {t:.0} must not regress (was {last:.0})"
+        );
+        last = t;
+    }
+}
+
+#[test]
+fn ed_local_eliminates_cross_node_sync_traffic() {
+    let cluster = Cluster::paper_testbed();
+    let graph = vgg19(32);
+    let config = SystemConfig {
+        policy: AllocationPolicy::EqualDistribution,
+        placement: Placement::Local,
+        staleness_bound: 0,
+        ..SystemConfig::default()
+    };
+    let report = HetPipeSystem::build(&cluster, &graph, &config)
+        .expect("feasible")
+        .run(SimTime::from_secs(20.0));
+    assert_eq!(report.sync_bytes_inter, 0);
+    assert!(report.sync_bytes_intra > 0);
+    assert!(
+        report.act_bytes_inter > 0,
+        "ED activations still cross nodes"
+    );
+}
+
+#[test]
+fn report_utilizations_are_sane() {
+    let cluster = Cluster::paper_testbed();
+    let graph = resnet152(32);
+    let config = SystemConfig {
+        policy: AllocationPolicy::EqualDistribution,
+        placement: Placement::Local,
+        staleness_bound: 0,
+        ..SystemConfig::default()
+    };
+    let report = HetPipeSystem::build(&cluster, &graph, &config)
+        .expect("feasible")
+        .run(SimTime::from_secs(20.0));
+    for (d, u) in &report.gpu_utilization {
+        assert!(
+            (0.0..=1.01).contains(u),
+            "{d}: utilization {u} out of range"
+        );
+    }
+    // The pipeline bottleneck stage should be busy most of the time.
+    let max = report
+        .gpu_utilization
+        .iter()
+        .map(|(_, u)| *u)
+        .fold(0.0, f64::max);
+    assert!(
+        max > 0.5,
+        "bottleneck utilization {max:.2} suspiciously low"
+    );
+}

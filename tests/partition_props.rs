@@ -1,0 +1,110 @@
+//! Property tests of the partition solver: structural invariants plus
+//! optimality certified against exhaustive enumeration.
+
+use hetpipe::cluster::{GpuKind, LinkKind};
+use hetpipe::model::mlp;
+use hetpipe::partition::brute::solve_brute;
+use hetpipe::partition::{PartitionProblem, PartitionSolver};
+use proptest::prelude::*;
+
+fn gpu_pool() -> Vec<GpuKind> {
+    vec![
+        GpuKind::TitanV,
+        GpuKind::TitanRtx,
+        GpuKind::Rtx2060,
+        GpuKind::QuadroP4000,
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// On random MLPs with random heterogeneous GPU assignments, the DP
+    /// solver's bottleneck equals the brute-force optimum, and the plan
+    /// is a contiguous cover.
+    #[test]
+    fn dp_matches_brute_force(
+        widths in prop::collection::vec(8usize..256, 3..9),
+        k in 2usize..5,
+        picks in prop::collection::vec(0usize..4, 4),
+        link_picks in prop::collection::vec(0usize..2, 4),
+        nm in 1usize..4,
+    ) {
+        let dims: Vec<usize> = widths;
+        let graph = mlp(16, &dims);
+        prop_assume!(graph.len() >= k);
+        let pool = gpu_pool();
+        let gpus: Vec<_> = (0..k).map(|i| pool[picks[i % picks.len()]].spec()).collect();
+        let links: Vec<LinkKind> = (0..k - 1)
+            .map(|i| if link_picks[i % link_picks.len()] == 0 {
+                LinkKind::Pcie
+            } else {
+                LinkKind::Infiniband
+            })
+            .collect();
+        let problem = PartitionProblem::new(&graph, gpus, links, nm);
+        let dp = PartitionSolver::solve(&problem);
+        let brute = solve_brute(&problem);
+        match (dp, brute) {
+            (Ok(a), Ok(b)) => {
+                prop_assert!((a.bottleneck_secs - b.bottleneck_secs).abs() < 1e-12,
+                    "dp {} vs brute {}", a.bottleneck_secs, b.bottleneck_secs);
+                prop_assert!(a.is_valid_cover(graph.len()));
+                prop_assert_eq!(a.ranges.len(), k);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(a, b),
+            (a, b) => prop_assert!(false, "feasibility disagreement: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// The greedy binary-search solver never reports a bottleneck below
+    /// the exact optimum.
+    #[test]
+    fn greedy_never_beats_exact(
+        widths in prop::collection::vec(8usize..128, 3..8),
+        k in 2usize..4,
+    ) {
+        let graph = mlp(16, &widths);
+        prop_assume!(graph.len() >= k);
+        let gpus = vec![GpuKind::TitanV.spec(); k];
+        let links = vec![LinkKind::Pcie; k - 1];
+        let problem = PartitionProblem::new(&graph, gpus, links, 1);
+        if let (Ok(exact), Some(greedy)) = (
+            PartitionSolver::solve(&problem),
+            PartitionSolver::solve_greedy(&problem),
+        ) {
+            prop_assert!(greedy.bottleneck_secs >= exact.bottleneck_secs - 1e-12);
+            prop_assert!(greedy.is_valid_cover(graph.len()));
+        }
+    }
+
+    /// Feasibility is monotone in Nm: if Nm is feasible, so is Nm - 1.
+    #[test]
+    fn feasibility_monotone_in_nm(nm in 2usize..8) {
+        let graph = hetpipe::model::resnet152(48);
+        let gpus = vec![GpuKind::Rtx2060.spec(); 4];
+        let links = vec![LinkKind::Pcie; 3];
+        let at = |n: usize| {
+            PartitionSolver::solve(&PartitionProblem::new(&graph, gpus.clone(), links.clone(), n)).is_ok()
+        };
+        if at(nm) {
+            prop_assert!(at(nm - 1), "Nm={} feasible but Nm={} not", nm, nm - 1);
+        }
+    }
+}
+
+/// The paper-testbed plans for both evaluation models are valid covers
+/// with monotonically reasonable bottlenecks.
+#[test]
+fn evaluation_model_plans_are_valid() {
+    for graph in [hetpipe::model::resnet152(32), hetpipe::model::vgg19(32)] {
+        for k in 1..=4usize {
+            let gpus: Vec<_> = gpu_pool().into_iter().take(k).map(|g| g.spec()).collect();
+            let links = vec![LinkKind::Pcie; k.saturating_sub(1)];
+            let plan = PartitionSolver::solve(&PartitionProblem::new(&graph, gpus, links, 1))
+                .expect("feasible at Nm=1");
+            assert!(plan.is_valid_cover(graph.len()), "{} k={k}", graph.name);
+            assert!(plan.bottleneck_secs > 0.0);
+        }
+    }
+}

@@ -1,0 +1,140 @@
+//! The three scheduling conditions of Section 4, verified on the
+//! simulated trace rather than assumed:
+//!
+//! 1. forward of minibatch `p` at a stage runs only after forwards of
+//!    all `p' < p` at that stage;
+//! 2. likewise for backwards;
+//! 3. tasks on one GPU never overlap (serial FIFO service);
+//! plus the fused forward+backward at the last stage.
+
+use hetpipe::cluster::{Cluster, DeviceId};
+use hetpipe::core::exec::SpanTag;
+use hetpipe::core::{AllocationPolicy, HetPipeSystem, Placement, SystemConfig};
+use hetpipe::des::SimTime;
+
+fn single_vw_stats() -> (hetpipe::core::exec::RunStats, usize) {
+    let cluster = Cluster::paper_testbed();
+    let graph = hetpipe::model::vgg19(32);
+    let config = SystemConfig {
+        policy: AllocationPolicy::Custom(vec![(0..4).map(DeviceId).collect()]),
+        placement: Placement::Default,
+        staleness_bound: 0,
+        nm_override: Some(4),
+        sync_transfers: false,
+        ..SystemConfig::default()
+    };
+    let sys = HetPipeSystem::build(&cluster, &graph, &config).expect("builds");
+    let (_, stats) = sys.run_with_stats(SimTime::from_secs(10.0));
+    (stats, 4)
+}
+
+#[test]
+fn forwards_and_backwards_in_minibatch_order() {
+    let (stats, stages) = single_vw_stats();
+    for stage in 0..stages {
+        let rid = stats.gpu_resources[stage];
+        let mut fwd_starts = Vec::new();
+        let mut bwd_starts = Vec::new();
+        for s in stats.trace.spans() {
+            if s.resource != rid {
+                continue;
+            }
+            match s.tag {
+                SpanTag::Forward { mb, .. } => fwd_starts.push((s.start, mb)),
+                SpanTag::Backward { mb, .. } => bwd_starts.push((s.start, mb)),
+                _ => {}
+            }
+        }
+        fwd_starts.sort();
+        bwd_starts.sort();
+        // Condition 1: forward start order == minibatch order.
+        for w in fwd_starts.windows(2) {
+            assert!(
+                w[0].1 < w[1].1,
+                "stage {stage}: forward of mb {} started before mb {}",
+                w[1].1,
+                w[0].1
+            );
+        }
+        // Condition 2: same for backwards.
+        for w in bwd_starts.windows(2) {
+            assert!(w[0].1 < w[1].1, "stage {stage}: backward order violated");
+        }
+    }
+}
+
+#[test]
+fn gpu_tasks_never_overlap() {
+    let (stats, stages) = single_vw_stats();
+    for stage in 0..stages {
+        let rid = stats.gpu_resources[stage];
+        let mut spans: Vec<(SimTime, SimTime)> = stats
+            .trace
+            .spans()
+            .iter()
+            .filter(|s| s.resource == rid)
+            .map(|s| (s.start, s.end))
+            .collect();
+        spans.sort();
+        for w in spans.windows(2) {
+            assert!(
+                w[1].0 >= w[0].1,
+                "stage {stage}: overlapping tasks {:?} and {:?}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+}
+
+#[test]
+fn last_stage_is_fused() {
+    let (stats, stages) = single_vw_stats();
+    let last = stats.gpu_resources[stages - 1];
+    // The last stage records only fused (Backward-tagged) tasks — no
+    // standalone forwards.
+    let fwd = stats.trace.count_where(
+        |t| matches!(t, SpanTag::Forward { stage, .. } if *stage as usize == stages - 1),
+    );
+    assert_eq!(fwd, 0, "last stage must fuse forward+backward");
+    let fused = stats
+        .trace
+        .spans()
+        .iter()
+        .filter(|s| s.resource == last)
+        .count();
+    assert!(fused > 0, "last stage did run tasks");
+}
+
+#[test]
+fn first_stage_holds_up_to_nm_in_flight() {
+    // Count the maximum number of minibatches whose forward at stage 0
+    // has run but whose backward at stage 0 has not — the Section-4
+    // memory-asymmetry quantity — and check it is bounded by the
+    // Figure-1 occupancy (min(Nm, 2k-1) = 4 here).
+    let (stats, _) = single_vw_stats();
+    let rid = stats.gpu_resources[0];
+    let mut events: Vec<(SimTime, i64)> = Vec::new();
+    for s in stats.trace.spans() {
+        if s.resource != rid {
+            continue;
+        }
+        match s.tag {
+            SpanTag::Forward { .. } => events.push((s.end, 1)),
+            SpanTag::Backward { .. } => events.push((s.end, -1)),
+            _ => {}
+        }
+    }
+    events.sort();
+    let mut live = 0i64;
+    let mut peak = 0i64;
+    for (_, d) in events {
+        live += d;
+        peak = peak.max(live);
+    }
+    assert!(
+        peak >= 3,
+        "pipelining should overlap minibatches, peak {peak}"
+    );
+    assert!(peak <= 4, "occupancy must respect Nm, peak {peak}");
+}
