@@ -1,13 +1,13 @@
 //! Ablations of HetPipe's design choices (DESIGN.md section 4):
 //!
 //! 1. **Partitioner** — the min–max DP vs an equal-layer-count split
-//!   vs the greedy binary-search variant (planned bottleneck and
-//!   simulated throughput).
+//!    vs the greedy binary-search variant (planned bottleneck and
+//!    simulated throughput).
 //! 2. **Wave-aggregated pushes** — parameter bytes pushed per wave vs
-//!   the per-minibatch pushing WSP avoids (Section 5: "significantly
-//!   reduce the communication overhead").
+//!    the per-minibatch pushing WSP avoids (Section 5: "significantly
+//!    reduce the communication overhead").
 //! 3. **Stage-order search** — throughput with and without searching
-//!   GPU orders inside heterogeneous virtual workers.
+//!    GPU orders inside heterogeneous virtual workers.
 
 use hetpipe_bench::{maybe_write_json, print_table, run_hetpipe, HORIZON_SECS};
 use hetpipe_cluster::{Cluster, DeviceId};

@@ -67,7 +67,6 @@ fn main() {
             steps_per_worker: total / 4,
             seed: 42,
             snapshot_every: 0,
-            ..TrainConfig::default()
         };
         let out = train(&dataset, &config);
         rows.push(vec![

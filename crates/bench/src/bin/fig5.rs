@@ -37,7 +37,6 @@ fn curve_of(mode: Mode, workers: usize, dataset: &Dataset) -> AccuracyCurve {
         steps_per_worker: TOTAL_UPDATES / workers as u64,
         seed: 42,
         snapshot_every: 100,
-        ..TrainConfig::default()
     };
     let out = train(dataset, &config);
     AccuracyCurve::new(out.curve_steps, out.curve_accuracy)

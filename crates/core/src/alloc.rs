@@ -95,8 +95,8 @@ impl AllocationPolicy {
             AllocationPolicy::HybridDistribution => {
                 let nodes = cluster.node_count();
                 let per_node = cluster.nodes()[0].gpu_count;
-                if nodes % 2 != 0
-                    || per_node % 2 != 0
+                if !nodes.is_multiple_of(2)
+                    || !per_node.is_multiple_of(2)
                     || cluster.nodes().iter().any(|n| n.gpu_count != per_node)
                 {
                     return Err(AllocError::HdShape);

@@ -1,0 +1,522 @@
+//! The pre-refactor (seed) pipeline executor, frozen for golden-trace
+//! regression testing.
+//!
+//! This module is a verbatim copy of the original single-schedule
+//! executor that `crate::exec` generalized. It implements exactly one
+//! schedule — the paper's Figure-1 wave schedule — with the event
+//! logic the seed shipped. The tier-1 golden test
+//! (`tests/golden_wave.rs`) runs both executors on the same inputs and
+//! asserts the span traces are identical, proving the refactor changed
+//! nothing about wave-schedule behaviour.
+//!
+//! Do not "improve" this module: its value is that it does not change.
+//! (`ExecParams::schedule` is ignored here by construction.)
+
+use crate::exec::{ExecParams, RunStats, SpanTag, VwStats};
+use crate::pserver::SyncChunk;
+use hetpipe_cluster::network::LinkKind;
+use hetpipe_cluster::NodeId;
+use hetpipe_des::{Engine, Resource, ResourceId, ResourcePool, SimTime, Trace};
+use hetpipe_model::profile::{pass_time_secs, Pass, STAGE_TASK_OVERHEAD_SECS};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Ev {
+    FwdArrive { vw: u32, stage: u32, mb: u64 },
+    FwdDone { vw: u32, stage: u32, mb: u64 },
+    BwdArrive { vw: u32, stage: u32, mb: u64 },
+    BwdDone { vw: u32, stage: u32, mb: u64 },
+    PushChunkDone { vw: u32, wave: u64 },
+    PullChunkDone { vw: u32 },
+    TryInject { vw: u32 },
+}
+
+struct VwState {
+    next_mb: u64,
+    completed: u64,
+    clock: u64,
+    pulled: i64,
+    pull_request: Option<(u64, SimTime)>,
+    pull_remaining: usize,
+    pull_serving_version: i64,
+    push_remaining: usize,
+    block_start: Option<SimTime>,
+    stats: VwStats,
+}
+
+struct Exec<'a> {
+    p: ExecParams<'a>,
+    engine: Engine<Ev>,
+    pool: ResourcePool,
+    trace: Trace<SpanTag>,
+    gpu_res: Vec<ResourceId>,
+    nic_res: Vec<ResourceId>,
+    states: Vec<VwState>,
+    fwd: Vec<Vec<SimTime>>,
+    bwd: Vec<Vec<SimTime>>,
+    chunks: Vec<Vec<SyncChunk>>,
+    sync_inter: u64,
+    sync_intra: u64,
+    act_inter: u64,
+    act_intra: u64,
+}
+
+impl<'a> Exec<'a> {
+    fn new(p: ExecParams<'a>) -> Self {
+        let cluster = p.cluster;
+        let mut pool = ResourcePool::new();
+        let gpu_res: Vec<ResourceId> = cluster
+            .devices()
+            .map(|d| pool.add(Resource::new(format!("gpu{}", d.0))))
+            .collect();
+        let nic_res: Vec<ResourceId> = (0..cluster.node_count())
+            .map(|n| pool.add(Resource::new(format!("nic{n}"))))
+            .collect();
+
+        let mut fwd = Vec::new();
+        let mut bwd = Vec::new();
+        let mut chunks = Vec::new();
+        for vw in p.vws {
+            let mut f = Vec::new();
+            let mut b = Vec::new();
+            for (q, range) in vw.plan.ranges.iter().enumerate() {
+                let spec = cluster.spec_of(vw.devices[q]);
+                let layers = &p.graph.layers()[range.clone()];
+                let fs: f64 = layers
+                    .iter()
+                    .map(|l| pass_time_secs(l, &spec, Pass::Forward))
+                    .sum();
+                let bs: f64 = layers
+                    .iter()
+                    .map(|l| pass_time_secs(l, &spec, Pass::Backward))
+                    .sum();
+                f.push(SimTime::from_secs(fs + STAGE_TASK_OVERHEAD_SECS));
+                b.push(SimTime::from_secs(bs + STAGE_TASK_OVERHEAD_SECS));
+            }
+            fwd.push(f);
+            bwd.push(b);
+            chunks.push(p.shards.chunks_for(p.graph, cluster, vw));
+        }
+
+        let states = (0..p.vws.len())
+            .map(|_| VwState {
+                next_mb: 1,
+                completed: 0,
+                clock: 0,
+                pulled: -1,
+                pull_request: None,
+                pull_remaining: 0,
+                pull_serving_version: -1,
+                push_remaining: 0,
+                block_start: None,
+                stats: VwStats::default(),
+            })
+            .collect();
+
+        Exec {
+            p,
+            engine: Engine::new(),
+            pool,
+            trace: Trace::new(),
+            gpu_res,
+            nic_res,
+            states,
+            fwd,
+            bwd,
+            chunks,
+            sync_inter: 0,
+            sync_intra: 0,
+            act_inter: 0,
+            act_intra: 0,
+        }
+    }
+
+    fn gpu_of(&self, vw: usize, stage: usize) -> ResourceId {
+        self.gpu_res[self.p.vws[vw].devices[stage].0]
+    }
+
+    fn node_of(&self, vw: usize, stage: usize) -> NodeId {
+        self.p.cluster.node_of(self.p.vws[vw].devices[stage])
+    }
+
+    fn in_flight(&self, vw: usize) -> u64 {
+        let s = &self.states[vw];
+        s.next_mb - 1 - s.completed
+    }
+
+    fn min_clock(&self) -> u64 {
+        self.states.iter().map(|s| s.clock).min().unwrap_or(0)
+    }
+
+    fn transfer(&mut self, from: NodeId, to: NodeId, bytes: u64, tag: SpanTag) -> SimTime {
+        let now = self.engine.now();
+        if from == to {
+            now + SimTime::from_secs(LinkKind::Pcie.transfer_secs(bytes))
+        } else {
+            let dur = SimTime::from_secs(LinkKind::Infiniband.transfer_secs(bytes));
+            let a = self.nic_res[from.0];
+            let b = self.nic_res[to.0];
+            let start = now
+                .max(self.pool.get(a).free_at())
+                .max(self.pool.get(b).free_at());
+            let (s1, e1) = self.pool.get_mut(a).reserve(start, dur);
+            let (s2, e2) = self.pool.get_mut(b).reserve(start, dur);
+            debug_assert_eq!((s1, e1), (s2, e2), "paired NIC slots must align");
+            self.trace.record(a, s1, e1, tag);
+            self.trace.record(b, s2, e2, tag);
+            e1
+        }
+    }
+
+    fn account_act(&mut self, from: NodeId, to: NodeId, bytes: u64) {
+        if from == to {
+            self.act_intra += bytes;
+        } else {
+            self.act_inter += bytes;
+        }
+    }
+
+    fn account_sync(&mut self, from: NodeId, to: NodeId, bytes: u64) {
+        if from == to {
+            self.sync_intra += bytes;
+        } else {
+            self.sync_inter += bytes;
+        }
+    }
+
+    fn handle(&mut self, ev: Ev) {
+        match ev {
+            Ev::TryInject { vw } => self.try_inject(vw as usize),
+            Ev::FwdArrive { vw, stage, mb } => self.fwd_arrive(vw as usize, stage as usize, mb),
+            Ev::FwdDone { vw, stage, mb } => self.fwd_done(vw as usize, stage as usize, mb),
+            Ev::BwdArrive { vw, stage, mb } => self.bwd_arrive(vw as usize, stage as usize, mb),
+            Ev::BwdDone { vw, stage, mb } => self.bwd_done(vw as usize, stage as usize, mb),
+            Ev::PushChunkDone { vw, wave } => self.push_chunk_done(vw as usize, wave),
+            Ev::PullChunkDone { vw } => self.pull_chunk_done(vw as usize),
+        }
+    }
+
+    fn try_inject(&mut self, vw: usize) {
+        let now = self.engine.now();
+        loop {
+            if self.in_flight(vw) >= self.p.wsp.nm as u64 {
+                break;
+            }
+            let p = self.states[vw].next_mb;
+            if let Some(req) = self.p.wsp.required_wave(p) {
+                if self.states[vw].pulled < req as i64 {
+                    let st = &mut self.states[vw];
+                    if st.block_start.is_none() {
+                        st.block_start = Some(now);
+                    }
+                    return;
+                }
+            }
+            let st = &mut self.states[vw];
+            if let Some(b) = st.block_start.take() {
+                st.stats.inject_blocked += now - b;
+            }
+            st.next_mb += 1;
+            self.engine.schedule_in(
+                SimTime::ZERO,
+                Ev::FwdArrive {
+                    vw: vw as u32,
+                    stage: 0,
+                    mb: p,
+                },
+            );
+        }
+    }
+
+    fn fwd_arrive(&mut self, vw: usize, stage: usize, mb: u64) {
+        let now = self.engine.now();
+        let k = self.p.vws[vw].stages();
+        let gpu = self.gpu_of(vw, stage);
+        if stage == k - 1 {
+            let dur = self.fwd[vw][stage] + self.bwd[vw][stage];
+            let (s, e) = self.pool.get_mut(gpu).reserve(now, dur);
+            self.trace.record(
+                gpu,
+                s,
+                e,
+                SpanTag::Backward {
+                    vw: vw as u32,
+                    stage: stage as u32,
+                    mb,
+                },
+            );
+            self.engine.schedule_at(
+                e,
+                Ev::BwdDone {
+                    vw: vw as u32,
+                    stage: stage as u32,
+                    mb,
+                },
+            );
+        } else {
+            let dur = self.fwd[vw][stage];
+            let (s, e) = self.pool.get_mut(gpu).reserve(now, dur);
+            self.trace.record(
+                gpu,
+                s,
+                e,
+                SpanTag::Forward {
+                    vw: vw as u32,
+                    stage: stage as u32,
+                    mb,
+                },
+            );
+            self.engine.schedule_at(
+                e,
+                Ev::FwdDone {
+                    vw: vw as u32,
+                    stage: stage as u32,
+                    mb,
+                },
+            );
+        }
+    }
+
+    fn fwd_done(&mut self, vw: usize, stage: usize, mb: u64) {
+        let range_end = self.p.vws[vw].plan.ranges[stage].end;
+        let bytes = self.p.graph.boundary_bytes(range_end - 1);
+        let from = self.node_of(vw, stage);
+        let to = self.node_of(vw, stage + 1);
+        self.account_act(from, to, bytes);
+        let arrive = self.transfer(
+            from,
+            to,
+            bytes,
+            SpanTag::ActTransfer {
+                vw: vw as u32,
+                stage: stage as u32,
+                backward: false,
+            },
+        );
+        self.engine.schedule_at(
+            arrive,
+            Ev::FwdArrive {
+                vw: vw as u32,
+                stage: (stage + 1) as u32,
+                mb,
+            },
+        );
+    }
+
+    fn bwd_arrive(&mut self, vw: usize, stage: usize, mb: u64) {
+        let now = self.engine.now();
+        let gpu = self.gpu_of(vw, stage);
+        let dur = self.bwd[vw][stage];
+        let (s, e) = self.pool.get_mut(gpu).reserve(now, dur);
+        self.trace.record(
+            gpu,
+            s,
+            e,
+            SpanTag::Backward {
+                vw: vw as u32,
+                stage: stage as u32,
+                mb,
+            },
+        );
+        self.engine.schedule_at(
+            e,
+            Ev::BwdDone {
+                vw: vw as u32,
+                stage: stage as u32,
+                mb,
+            },
+        );
+    }
+
+    fn bwd_done(&mut self, vw: usize, stage: usize, mb: u64) {
+        if stage > 0 {
+            let range_start = self.p.vws[vw].plan.ranges[stage].start;
+            let bytes = self.p.graph.input_bytes_of(range_start);
+            let from = self.node_of(vw, stage);
+            let to = self.node_of(vw, stage - 1);
+            self.account_act(from, to, bytes);
+            let arrive = self.transfer(
+                from,
+                to,
+                bytes,
+                SpanTag::ActTransfer {
+                    vw: vw as u32,
+                    stage: stage as u32,
+                    backward: true,
+                },
+            );
+            self.engine.schedule_at(
+                arrive,
+                Ev::BwdArrive {
+                    vw: vw as u32,
+                    stage: (stage - 1) as u32,
+                    mb,
+                },
+            );
+            return;
+        }
+
+        let now = self.engine.now();
+        let st = &mut self.states[vw];
+        st.completed += 1;
+        st.stats.completions.push(now);
+        let completed = st.completed;
+        self.engine
+            .schedule_in(SimTime::ZERO, Ev::TryInject { vw: vw as u32 });
+        debug_assert_eq!(completed, mb, "FIFO pipelines complete in order");
+
+        let nm = self.p.wsp.nm as u64;
+        if completed.is_multiple_of(nm) {
+            let wave = completed / nm - 1;
+            self.start_push(vw, wave);
+        }
+    }
+
+    fn start_push(&mut self, vw: usize, wave: u64) {
+        let chunk_list = if self.p.sync_transfers {
+            self.chunks[vw].clone()
+        } else {
+            Vec::new()
+        };
+        if chunk_list.is_empty() {
+            self.push_completed(vw, wave);
+            return;
+        }
+        self.states[vw].push_remaining = chunk_list.len();
+        for ch in chunk_list {
+            self.account_sync(ch.gpu_node, ch.shard_node, ch.bytes);
+            let arrive = self.transfer(
+                ch.gpu_node,
+                ch.shard_node,
+                ch.bytes,
+                SpanTag::SyncTransfer {
+                    vw: vw as u32,
+                    wave,
+                    pull: false,
+                },
+            );
+            self.engine.schedule_at(
+                arrive,
+                Ev::PushChunkDone {
+                    vw: vw as u32,
+                    wave,
+                },
+            );
+        }
+    }
+
+    fn push_chunk_done(&mut self, vw: usize, wave: u64) {
+        let st = &mut self.states[vw];
+        st.push_remaining -= 1;
+        if st.push_remaining == 0 {
+            self.push_completed(vw, wave);
+        }
+    }
+
+    fn push_completed(&mut self, vw: usize, wave: u64) {
+        let now = self.engine.now();
+        {
+            let st = &mut self.states[vw];
+            st.clock = wave + 1;
+            st.stats.waves_pushed = st.clock;
+        }
+        if let Some(target) = self.p.wsp.pull_target_after_push(wave) {
+            let st = &mut self.states[vw];
+            match &mut st.pull_request {
+                Some((t, _since)) => *t = (*t).max(target),
+                None => st.pull_request = Some((target, now)),
+            }
+        }
+        for v in 0..self.states.len() {
+            self.try_serve_pull(v);
+        }
+    }
+
+    fn try_serve_pull(&mut self, vw: usize) {
+        if self.states[vw].pull_remaining > 0 {
+            return;
+        }
+        let Some((target, since)) = self.states[vw].pull_request else {
+            return;
+        };
+        let min_clock = self.min_clock();
+        if min_clock < target + 1 {
+            return;
+        }
+        let now = self.engine.now();
+        {
+            let st = &mut self.states[vw];
+            st.stats.pull_wait += now - since;
+            st.stats.wait_windows.push((since, now));
+            st.pull_request = None;
+            st.pull_serving_version = min_clock as i64 - 1;
+        }
+        let chunk_list = if self.p.sync_transfers {
+            self.chunks[vw].clone()
+        } else {
+            Vec::new()
+        };
+        if chunk_list.is_empty() {
+            let st = &mut self.states[vw];
+            st.pulled = st.pulled.max(st.pull_serving_version);
+            self.engine
+                .schedule_in(SimTime::ZERO, Ev::TryInject { vw: vw as u32 });
+            return;
+        }
+        self.states[vw].pull_remaining = chunk_list.len();
+        for ch in chunk_list {
+            self.account_sync(ch.shard_node, ch.gpu_node, ch.bytes);
+            let wave = self.states[vw].pull_serving_version.max(0) as u64;
+            let arrive = self.transfer(
+                ch.shard_node,
+                ch.gpu_node,
+                ch.bytes,
+                SpanTag::SyncTransfer {
+                    vw: vw as u32,
+                    wave,
+                    pull: true,
+                },
+            );
+            self.engine
+                .schedule_at(arrive, Ev::PullChunkDone { vw: vw as u32 });
+        }
+    }
+
+    fn pull_chunk_done(&mut self, vw: usize) {
+        let st = &mut self.states[vw];
+        st.pull_remaining -= 1;
+        if st.pull_remaining == 0 {
+            st.pulled = st.pulled.max(st.pull_serving_version);
+            self.engine
+                .schedule_in(SimTime::ZERO, Ev::TryInject { vw: vw as u32 });
+            self.try_serve_pull(vw);
+        }
+    }
+
+    fn run(mut self, horizon: SimTime) -> RunStats {
+        for vw in 0..self.p.vws.len() {
+            self.engine
+                .schedule_at(SimTime::ZERO, Ev::TryInject { vw: vw as u32 });
+        }
+        while let Some(ev) = self.engine.next_event_until(horizon) {
+            self.handle(ev);
+        }
+        RunStats {
+            horizon,
+            vws: self.states.into_iter().map(|s| s.stats).collect(),
+            trace: self.trace,
+            gpu_resources: self.gpu_res,
+            nic_resources: self.nic_res,
+            pool: self.pool,
+            sync_bytes_inter: self.sync_inter,
+            sync_bytes_intra: self.sync_intra,
+            act_bytes_inter: self.act_inter,
+            act_bytes_intra: self.act_intra,
+        }
+    }
+}
+
+/// Runs the frozen seed executor until `horizon`
+/// (`params.schedule` is ignored: this executor predates the knob).
+pub fn run(params: ExecParams<'_>, horizon: SimTime) -> RunStats {
+    Exec::new(params).run(horizon)
+}

@@ -29,6 +29,7 @@
 pub mod alloc;
 pub mod convergence;
 pub mod exec;
+pub mod golden;
 pub mod metrics;
 pub mod pserver;
 pub mod sync;
@@ -36,6 +37,7 @@ pub mod system;
 pub mod vw;
 
 pub use alloc::AllocationPolicy;
+pub use hetpipe_schedule::{PipelineSchedule, Schedule};
 pub use metrics::SystemReport;
 pub use pserver::Placement;
 pub use sync::{SyncModel, WspParams};

@@ -16,7 +16,10 @@ use hetpipe_cluster::{Cluster, DeviceId};
 use hetpipe_des::SimTime;
 use hetpipe_model::memory::nm_saturation_limit;
 use hetpipe_model::ModelGraph;
-use hetpipe_partition::{max_feasible_nm, order::search_orders, PartitionProblem, PartitionSolver};
+use hetpipe_partition::{
+    max_feasible_nm_for, order::search_orders, PartitionProblem, PartitionSolver,
+};
+use hetpipe_schedule::{PipelineSchedule, Schedule};
 use std::fmt;
 
 /// System-level configuration.
@@ -40,6 +43,10 @@ pub struct SystemConfig {
     /// system; false measures standalone virtual workers as in the
     /// paper's Figure 3).
     pub sync_transfers: bool,
+    /// The pipeline schedule every virtual worker runs (the paper's
+    /// wave schedule by default). Interleaved schedules repartition
+    /// the model over `chunks × GPUs` virtual stages.
+    pub schedule: Schedule,
 }
 
 impl Default for SystemConfig {
@@ -52,6 +59,7 @@ impl Default for SystemConfig {
             order_search: true,
             warmup_fraction: 0.15,
             sync_transfers: true,
+            schedule: Schedule::HetPipeWave,
         }
     }
 }
@@ -121,6 +129,15 @@ impl<'a> HetPipeSystem<'a> {
         config: &SystemConfig,
     ) -> Result<Self, BuildError> {
         let groups = config.policy.allocate(cluster)?;
+        let schedule = config.schedule;
+
+        // Interleaved schedules run `chunks` virtual stages per GPU:
+        // the executor's stage list repeats the physical GPUs
+        // round-robin (virtual stage `s` runs on GPU `s % k`).
+        let expand = |ordered: &[DeviceId]| -> Vec<DeviceId> {
+            let vk = schedule.virtual_stages(ordered.len());
+            (0..vk).map(|s| ordered[s % ordered.len()]).collect()
+        };
 
         // Resolve the stage order of every VW (optionally searched) and
         // this VW's Max_m.
@@ -133,12 +150,14 @@ impl<'a> HetPipeSystem<'a> {
                 // flight sustains min(1/bottleneck, Nm/latency) — this
                 // accounts for orders whose memory layout caps Max_m.
                 let gpus: Vec<_> = devices.iter().map(|&d| cluster.spec_of(d)).collect();
-                let limit = nm_saturation_limit(devices.len());
+                let limit = nm_saturation_limit(schedule.virtual_stages(devices.len()));
                 let result = search_orders(&gpus, |order| {
-                    let devs: Vec<DeviceId> = order.iter().map(|&j| devices[j]).collect();
+                    let devs: Vec<DeviceId> =
+                        expand(&order.iter().map(|&j| devices[j]).collect::<Vec<_>>());
                     let ordered_gpus: Vec<_> = devs.iter().map(|&d| cluster.spec_of(d)).collect();
                     let links = VirtualWorker::links(cluster, &devs);
-                    let (maxm, plan) = max_feasible_nm(graph, &ordered_gpus, &links, limit)?;
+                    let (maxm, plan) =
+                        max_feasible_nm_for(graph, &ordered_gpus, &links, limit, schedule)?;
                     let latency: f64 = plan.stage_secs.iter().sum();
                     Some((1.0 / plan.bottleneck_secs).min(maxm as f64 / latency))
                 })
@@ -148,10 +167,11 @@ impl<'a> HetPipeSystem<'a> {
                 devices.clone()
             };
 
+            let ordered = expand(&ordered);
             let gpus: Vec<_> = ordered.iter().map(|&d| cluster.spec_of(d)).collect();
             let links = VirtualWorker::links(cluster, &ordered);
             let limit = nm_saturation_limit(ordered.len());
-            let (maxm, _plan) = max_feasible_nm(graph, &gpus, &links, limit)
+            let (maxm, _plan) = max_feasible_nm_for(graph, &gpus, &links, limit, schedule)
                 .ok_or(BuildError::NoFeasiblePartition { vw: i })?;
             maxms.push(maxm);
             ordered_groups.push(ordered);
@@ -180,8 +200,9 @@ impl<'a> HetPipeSystem<'a> {
                     for devices in &ordered_groups {
                         let gpus: Vec<_> = devices.iter().map(|&d| cluster.spec_of(d)).collect();
                         let links = VirtualWorker::links(cluster, devices);
-                        match PartitionSolver::solve(&PartitionProblem::new(graph, gpus, links, nm))
-                        {
+                        match PartitionSolver::solve(&PartitionProblem::with_schedule(
+                            graph, gpus, links, nm, schedule,
+                        )) {
                             Ok(plan) => {
                                 let latency: f64 = plan.stage_secs.iter().sum();
                                 let rate = (1.0 / plan.bottleneck_secs).min(nm as f64 / latency);
@@ -206,8 +227,10 @@ impl<'a> HetPipeSystem<'a> {
         for (i, devices) in ordered_groups.into_iter().enumerate() {
             let gpus: Vec<_> = devices.iter().map(|&d| cluster.spec_of(d)).collect();
             let links = VirtualWorker::links(cluster, &devices);
-            let plan = PartitionSolver::solve(&PartitionProblem::new(graph, gpus, links, nm))
-                .map_err(|_| BuildError::NmInfeasible { vw: i, nm })?;
+            let plan = PartitionSolver::solve(&PartitionProblem::with_schedule(
+                graph, gpus, links, nm, schedule,
+            ))
+            .map_err(|_| BuildError::NmInfeasible { vw: i, nm })?;
             vws.push(VirtualWorker {
                 index: i,
                 devices,
@@ -242,29 +265,30 @@ impl<'a> HetPipeSystem<'a> {
         &self.shards
     }
 
+    /// The schedule in effect.
+    pub fn schedule(&self) -> Schedule {
+        self.config.schedule
+    }
+
+    /// Peak training-memory bytes per physical GPU of a virtual
+    /// worker, under the configured schedule (sums the virtual-stage
+    /// chunks an interleaved schedule co-locates).
+    pub fn per_gpu_peak_bytes(&self, vw: usize) -> Vec<u64> {
+        let v = &self.vws[vw];
+        let gpus = v.stages() / self.config.schedule.colocated_stages();
+        hetpipe_model::memory::TrainingMemoryModel::per_gpu_peak_bytes(
+            self.graph,
+            &v.plan.ranges,
+            gpus,
+            self.nm,
+            &self.config.schedule,
+        )
+    }
+
     /// Simulates training until `horizon` and reports.
     pub fn run(&self, horizon: SimTime) -> SystemReport {
-        let wsp = WspParams::new(self.nm, self.config.staleness_bound);
-        let stats = exec::run(
-            ExecParams {
-                cluster: self.cluster,
-                graph: self.graph,
-                vws: &self.vws,
-                wsp,
-                shards: &self.shards,
-                sync_transfers: self.config.sync_transfers,
-            },
-            horizon,
-        );
-        let warmup = SimTime::from_secs(horizon.as_secs() * self.config.warmup_fraction);
-        let vw_devices: Vec<Vec<DeviceId>> = self.vws.iter().map(|v| v.devices.clone()).collect();
-        SystemReport::from_stats(
-            &stats,
-            self.cluster,
-            self.graph.batch_size,
-            warmup,
-            &vw_devices,
-        )
+        let (report, _) = self.run_with_stats(horizon);
+        report
     }
 
     /// Simulates and returns both the report and the raw statistics
@@ -279,6 +303,7 @@ impl<'a> HetPipeSystem<'a> {
                 wsp,
                 shards: &self.shards,
                 sync_transfers: self.config.sync_transfers,
+                schedule: self.config.schedule,
             },
             horizon,
         );
@@ -374,6 +399,97 @@ mod tests {
         assert_eq!(sys.virtual_workers().len(), 4);
         let report = sys.run(SimTime::from_secs(20.0));
         assert!(report.throughput_images_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn all_schedules_build_and_run() {
+        let cluster = Cluster::paper_testbed();
+        let graph = hetpipe_model::vgg19(32);
+        for schedule in Schedule::ALL {
+            let config = SystemConfig {
+                schedule,
+                order_search: false,
+                ..cfg(AllocationPolicy::EqualDistribution, Placement::Local, 0)
+            };
+            let sys = HetPipeSystem::build(&cluster, &graph, &config)
+                .unwrap_or_else(|e| panic!("{schedule}: {e}"));
+            let expected_stages = schedule.virtual_stages(4);
+            for vw in sys.virtual_workers() {
+                assert_eq!(vw.stages(), expected_stages, "{schedule}");
+            }
+            let report = sys.run(SimTime::from_secs(20.0));
+            let tput = report.throughput_images_per_sec();
+            assert!(tput > 50.0, "{schedule} throughput = {tput:.0}");
+        }
+    }
+
+    #[test]
+    fn interleaved_round_robins_devices() {
+        let cluster = Cluster::paper_testbed();
+        let graph = hetpipe_model::vgg19(32);
+        let config = SystemConfig {
+            schedule: Schedule::Interleaved1F1B { chunks: 2 },
+            order_search: false,
+            ..cfg(AllocationPolicy::EqualDistribution, Placement::Local, 0)
+        };
+        let sys = HetPipeSystem::build(&cluster, &graph, &config).unwrap();
+        let vw = &sys.virtual_workers()[0];
+        assert_eq!(vw.devices.len(), 8);
+        // Virtual stage s runs on GPU s % 4.
+        for s in 0..8 {
+            assert_eq!(vw.devices[s], vw.devices[s % 4]);
+        }
+        assert!(vw.plan.is_valid_cover(graph.len()));
+    }
+
+    #[test]
+    fn interleaved_runs_deterministically() {
+        // The one schedule where two virtual stages race on one GPU
+        // timeline; two full runs must agree exactly.
+        let cluster = Cluster::paper_testbed();
+        let graph = hetpipe_model::vgg19(32);
+        let config = SystemConfig {
+            schedule: Schedule::Interleaved1F1B { chunks: 2 },
+            order_search: false,
+            ..cfg(AllocationPolicy::EqualDistribution, Placement::Local, 0)
+        };
+        let sys = HetPipeSystem::build(&cluster, &graph, &config).unwrap();
+        let (_, a) = sys.run_with_stats(SimTime::from_secs(10.0));
+        let (_, b) = sys.run_with_stats(SimTime::from_secs(10.0));
+        assert_eq!(a.trace.len(), b.trace.len());
+        for (x, y) in a.trace.spans().iter().zip(b.trace.spans()) {
+            assert_eq!(x, y);
+        }
+        for (x, y) in a.vws.iter().zip(&b.vws) {
+            assert_eq!(x.completions, y.completions);
+            assert_eq!(x.waves_pushed, y.waves_pushed);
+        }
+    }
+
+    #[test]
+    fn per_gpu_peaks_fit_their_gpus() {
+        let cluster = Cluster::paper_testbed();
+        let graph = hetpipe_model::vgg19(32);
+        for schedule in Schedule::ALL {
+            let config = SystemConfig {
+                schedule,
+                order_search: false,
+                ..cfg(AllocationPolicy::EqualDistribution, Placement::Local, 0)
+            };
+            let sys = HetPipeSystem::build(&cluster, &graph, &config).unwrap();
+            for (i, vw) in sys.virtual_workers().iter().enumerate() {
+                let peaks = sys.per_gpu_peak_bytes(i);
+                assert_eq!(peaks.len(), 4, "{schedule}");
+                // Holds for interleaved chunks too: the solver splits
+                // each GPU's budget across its co-located stages
+                // (PipelineSchedule::colocated_stages), so certified
+                // plans fit the per-GPU *sum*.
+                for (g, &peak) in peaks.iter().enumerate() {
+                    let cap = cluster.spec_of(vw.devices[g]).memory_bytes;
+                    assert!(peak <= cap, "{schedule} vw{i} gpu{g}: {peak} > {cap}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -118,6 +118,6 @@ mod tests {
         );
         assert_eq!(vw.label(&c), "VRGQ");
         assert_eq!(vw.stages(), 4);
-        drop(GpuKind::ALL);
+        let _ = GpuKind::ALL;
     }
 }

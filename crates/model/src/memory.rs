@@ -14,6 +14,7 @@
 
 use crate::graph::ModelGraph;
 use hetpipe_cluster::gpu::GpuSpec;
+use hetpipe_schedule::{HetPipeWave, PipelineSchedule, Schedule};
 use std::ops::Range;
 
 /// cuDNN scratch workspace reserved per GPU, bytes.
@@ -44,8 +45,7 @@ pub const PARAM_STATE_COPIES: u64 = 3;
 /// assert_eq!(in_flight_at_stage(3, 4, 4), 1);
 /// ```
 pub fn in_flight_at_stage(stage: usize, k: usize, nm: usize) -> usize {
-    debug_assert!(stage < k, "stage index out of range");
-    nm.min(2 * (k - 1 - stage) + 1)
+    HetPipeWave.max_in_flight(stage, k, nm)
 }
 
 /// The `Nm` beyond which a `k`-stage pipeline gains nothing.
@@ -81,7 +81,7 @@ impl TrainingMemoryModel {
 
     /// Bytes needed by pipeline stage `stage` (0-based of `k`) holding
     /// the contiguous layer range `range`, with `nm` minibatches in the
-    /// pipeline.
+    /// pipeline, under the paper's wave schedule.
     ///
     /// Per Section 4, each in-flight minibatch additionally pins the
     /// weight version it started with (`w_p` is kept until minibatch
@@ -94,19 +94,40 @@ impl TrainingMemoryModel {
         k: usize,
         nm: usize,
     ) -> u64 {
+        Self::stage_bytes_for(graph, range, stage, k, nm, &HetPipeWave)
+    }
+
+    /// Bytes needed by pipeline stage `stage` under an arbitrary
+    /// [`PipelineSchedule`]: the schedule determines both the peak
+    /// number of in-flight activation sets
+    /// ([`PipelineSchedule::max_in_flight`]) and the extra pinned
+    /// weight versions
+    /// ([`PipelineSchedule::extra_weight_versions`]) — e.g. GPipe
+    /// fill-drain stores a whole wave of activations but a single
+    /// weight version, while 1F1B bounds activations by pipeline depth
+    /// but stashes one version per in-flight minibatch.
+    pub fn stage_bytes_for(
+        graph: &ModelGraph,
+        range: Range<usize>,
+        stage: usize,
+        k: usize,
+        nm: usize,
+        schedule: &dyn PipelineSchedule,
+    ) -> u64 {
         let layers = &graph.layers()[range.clone()];
         let params: u64 = layers.iter().map(|l| l.param_bytes).sum();
         let stored: u64 = layers.iter().map(|l| l.stored_bytes).sum();
-        let in_flight = in_flight_at_stage(stage, k, nm) as u64;
+        let in_flight = schedule.max_in_flight(stage, k, nm) as u64;
+        let extra_versions = schedule.extra_weight_versions(stage, k, nm);
         let input_buf = graph.input_bytes_of(range.start);
 
-        params * (PARAM_STATE_COPIES + in_flight.saturating_sub(1))
+        params * (PARAM_STATE_COPIES + extra_versions)
             + in_flight * (stored + input_buf)
             + CUDNN_WORKSPACE_BYTES
             + FRAMEWORK_OVERHEAD_BYTES
     }
 
-    /// Whether `gpu` can host the given stage.
+    /// Whether `gpu` can host the given stage under the wave schedule.
     pub fn stage_fits(
         graph: &ModelGraph,
         range: Range<usize>,
@@ -116,6 +137,58 @@ impl TrainingMemoryModel {
         gpu: &GpuSpec,
     ) -> bool {
         Self::stage_bytes(graph, range, stage, k, nm) <= gpu.memory_bytes
+    }
+
+    /// Whether `gpu` can host the given stage under `schedule`.
+    ///
+    /// Schedules that co-locate several virtual stages on one GPU
+    /// (interleaved chunks) split the GPU's budget: each stage must
+    /// fit an equal share of the memory left after the per-GPU fixed
+    /// overheads (counted once). Equal split is conservative — the
+    /// chunk sums it admits always fit — and keeps the constraint
+    /// per-stage, which is what the interval DP can check.
+    pub fn stage_fits_for(
+        graph: &ModelGraph,
+        range: Range<usize>,
+        stage: usize,
+        k: usize,
+        nm: usize,
+        gpu: &GpuSpec,
+        schedule: &dyn PipelineSchedule,
+    ) -> bool {
+        let colocated = schedule.colocated_stages() as u64;
+        let budget = if colocated > 1 {
+            let fixed = CUDNN_WORKSPACE_BYTES + FRAMEWORK_OVERHEAD_BYTES;
+            fixed + gpu.memory_bytes.saturating_sub(fixed) / colocated
+        } else {
+            gpu.memory_bytes
+        };
+        Self::stage_bytes_for(graph, range, stage, k, nm, schedule) <= budget
+    }
+
+    /// Peak memory per *physical GPU* for a full partition plan under
+    /// `schedule`: per-stage bytes, with interleaved virtual stages
+    /// that share a GPU summed (minus the per-GPU fixed overheads
+    /// counted once).
+    ///
+    /// `ranges` has one entry per executor stage
+    /// (`schedule.virtual_stages(gpus)` of them); stage `s` runs on
+    /// GPU `s % gpus`. Returns one peak-bytes figure per GPU.
+    pub fn per_gpu_peak_bytes(
+        graph: &ModelGraph,
+        ranges: &[Range<usize>],
+        gpus: usize,
+        nm: usize,
+        schedule: &Schedule,
+    ) -> Vec<u64> {
+        let k = ranges.len();
+        let fixed = CUDNN_WORKSPACE_BYTES + FRAMEWORK_OVERHEAD_BYTES;
+        let mut per_gpu = vec![fixed; gpus];
+        for (stage, range) in ranges.iter().enumerate() {
+            let stage_total = Self::stage_bytes_for(graph, range.clone(), stage, k, nm, schedule);
+            per_gpu[stage % gpus] += stage_total - fixed;
+        }
+        per_gpu
     }
 }
 
@@ -189,6 +262,52 @@ mod tests {
         let m4 = TrainingMemoryModel::stage_bytes(&g, r.clone(), 0, 4, 4);
         let m7 = TrainingMemoryModel::stage_bytes(&g, r, 0, 4, 7);
         assert!(m1 < m4 && m4 < m7);
+    }
+
+    #[test]
+    fn schedule_changes_stage_memory() {
+        use hetpipe_schedule::Schedule;
+        let g = vgg19(32);
+        let r = 0..g.len() / 4;
+        let (k, nm) = (4, 8);
+        let wave =
+            TrainingMemoryModel::stage_bytes_for(&g, r.clone(), 0, k, nm, &Schedule::HetPipeWave);
+        let gpipe =
+            TrainingMemoryModel::stage_bytes_for(&g, r.clone(), 0, k, nm, &Schedule::FillDrain);
+        let ofob =
+            TrainingMemoryModel::stage_bytes_for(&g, r.clone(), 0, k, nm, &Schedule::OneFOneB);
+        // Stage 0, Nm = 8 > depth: fill-drain stores 8 activation sets,
+        // the wave schedule 7, 1F1B only 4 — 1F1B must be cheapest.
+        assert!(ofob < wave, "1F1B {ofob} vs wave {wave}");
+        assert!(wave < gpipe, "wave {wave} vs fill-drain {gpipe}");
+        // The wave-schedule path and the legacy API agree exactly.
+        assert_eq!(wave, TrainingMemoryModel::stage_bytes(&g, r, 0, k, nm));
+    }
+
+    #[test]
+    fn per_gpu_peaks_aggregate_interleaved_chunks() {
+        use hetpipe_schedule::Schedule;
+        let g = vgg19(32);
+        let n = g.len();
+        // 4 GPUs, 2 chunks: 8 virtual stages of equal layer count.
+        let per = n / 8;
+        let ranges: Vec<_> = (0..8)
+            .map(|i| i * per..if i == 7 { n } else { (i + 1) * per })
+            .collect();
+        let sched = Schedule::Interleaved1F1B { chunks: 2 };
+        let peaks = TrainingMemoryModel::per_gpu_peak_bytes(&g, &ranges, 4, 4, &sched);
+        assert_eq!(peaks.len(), 4);
+        // Each GPU hosts 2 chunks: its peak exceeds either chunk alone
+        // but counts the fixed workspace/framework overhead only once.
+        let k = ranges.len();
+        let lone = TrainingMemoryModel::stage_bytes_for(&g, ranges[0].clone(), 0, k, 4, &sched);
+        assert!(peaks[0] > lone);
+        let double_fixed =
+            lone + TrainingMemoryModel::stage_bytes_for(&g, ranges[4].clone(), 4, k, 4, &sched);
+        assert!(
+            peaks[0] < double_fixed,
+            "fixed overhead must not be double-counted"
+        );
     }
 
     #[test]

@@ -406,7 +406,7 @@ mod tests {
         let g = transformer_encoder(24, 1024, 16, 256, 32);
         let total = g.total_flops();
         assert!(total > 0.0);
-        drop(GpuKind::ALL);
+        let _ = GpuKind::ALL;
         assert!(
             g.total_param_bytes() > (300u64 << 20),
             "a deliberately large model"

@@ -11,15 +11,20 @@ use hetpipe_model::memory::TrainingMemoryModel;
 use hetpipe_model::profile;
 use hetpipe_model::profile::STAGE_TASK_OVERHEAD_SECS;
 use hetpipe_model::ModelGraph;
+use hetpipe_schedule::Schedule;
 use std::ops::Range;
 
 /// A partitioning problem instance: a model, an ordered list of stage
-/// GPUs, the links feeding each stage, and the pipeline concurrency.
+/// GPUs, the links feeding each stage, the pipeline concurrency, and
+/// the pipeline schedule (whose per-stage memory profile shapes the
+/// feasible cut set).
 #[derive(Debug, Clone)]
 pub struct PartitionProblem<'a> {
     /// The model to partition.
     pub graph: &'a ModelGraph,
-    /// GPU of each pipeline stage, in stage order (`k` entries).
+    /// GPU of each pipeline stage, in stage order (`k` entries). For
+    /// interleaved schedules these are *virtual* stages and the list
+    /// repeats physical GPUs round-robin.
     pub gpus: Vec<GpuSpec>,
     /// Link crossed between stage `i` and stage `i + 1`
     /// (`k - 1` entries).
@@ -27,15 +32,33 @@ pub struct PartitionProblem<'a> {
     /// Number of minibatches concurrently in the pipeline (`Nm`);
     /// drives the per-stage memory constraint.
     pub nm: usize,
+    /// The pipeline schedule the stages will run; determines per-stage
+    /// in-flight activation counts and pinned weight versions.
+    pub schedule: Schedule,
 }
 
 impl<'a> PartitionProblem<'a> {
-    /// Creates a problem instance.
+    /// Creates a problem instance for the paper's wave schedule.
     ///
     /// # Panics
     ///
     /// Panics if `links.len() + 1 != gpus.len()` or if `nm == 0`.
     pub fn new(graph: &'a ModelGraph, gpus: Vec<GpuSpec>, links: Vec<LinkKind>, nm: usize) -> Self {
+        Self::with_schedule(graph, gpus, links, nm, Schedule::HetPipeWave)
+    }
+
+    /// Creates a problem instance for an arbitrary schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `links.len() + 1 != gpus.len()` or if `nm == 0`.
+    pub fn with_schedule(
+        graph: &'a ModelGraph,
+        gpus: Vec<GpuSpec>,
+        links: Vec<LinkKind>,
+        nm: usize,
+        schedule: Schedule,
+    ) -> Self {
         assert_eq!(
             links.len() + 1,
             gpus.len(),
@@ -47,6 +70,7 @@ impl<'a> PartitionProblem<'a> {
             gpus,
             links,
             nm,
+            schedule,
         }
     }
 
@@ -118,9 +142,10 @@ impl<'a> StageCostModel<'a> {
         secs
     }
 
-    /// Full execution time of a stage: compute + incoming communication
-    /// + the fixed dispatch overhead of one forward and one backward
-    /// task (so plans match what the executor simulates).
+    /// Full execution time of a stage: compute, plus incoming
+    /// communication, plus the fixed dispatch overhead of one forward
+    /// and one backward task (so plans match what the executor
+    /// simulates).
     pub fn stage_secs(&self, stage: usize, range: Range<usize>) -> f64 {
         self.compute_secs(stage, range.clone())
             + self.comm_secs(stage, range)
@@ -128,15 +153,16 @@ impl<'a> StageCostModel<'a> {
     }
 
     /// Whether the layer range fits stage `stage`'s GPU memory at the
-    /// problem's `Nm`.
+    /// problem's `Nm` under the problem's schedule.
     pub fn fits(&self, stage: usize, range: Range<usize>) -> bool {
-        TrainingMemoryModel::stage_fits(
+        TrainingMemoryModel::stage_fits_for(
             self.problem.graph,
             range,
             stage,
             self.problem.stages(),
             self.problem.nm,
             &self.problem.gpus[stage],
+            &self.problem.schedule,
         )
     }
 

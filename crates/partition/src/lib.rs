@@ -27,4 +27,6 @@ pub mod solver;
 
 pub use cost::{PartitionProblem, StageCostModel};
 pub use order::{best_order, OrderSearchResult};
-pub use solver::{max_feasible_nm, PartitionError, PartitionPlan, PartitionSolver};
+pub use solver::{
+    max_feasible_nm, max_feasible_nm_for, PartitionError, PartitionPlan, PartitionSolver,
+};

@@ -5,9 +5,9 @@
 //! into `j + 1` stages, i.e. stage `j` ends right before layer `i`.
 //! Position-dependent memory constraints (earlier stages hold more
 //! in-flight state) are applied per candidate interval. At the paper's
-//! scale (k = 4, L ≤ 60) the DP solves in microseconds; a binary-search
-//! + greedy variant is provided as a comparison point for the Criterion
-//! benches and larger synthetic instances.
+//! scale (k = 4, L ≤ 60) the DP solves in microseconds; a faster
+//! binary-search/greedy variant is provided as a comparison point for
+//! the Criterion benches and larger synthetic instances.
 
 use crate::cost::{PartitionProblem, StageCostModel};
 use std::fmt;
@@ -255,9 +255,28 @@ pub fn max_feasible_nm(
     links: &[hetpipe_cluster::network::LinkKind],
     limit: usize,
 ) -> Option<(usize, PartitionPlan)> {
+    max_feasible_nm_for(
+        graph,
+        gpus,
+        links,
+        limit,
+        hetpipe_schedule::Schedule::HetPipeWave,
+    )
+}
+
+/// [`max_feasible_nm`] under an arbitrary pipeline schedule: the
+/// schedule's per-stage memory profile (in-flight activations, pinned
+/// weight versions) shapes which `Nm` fit.
+pub fn max_feasible_nm_for(
+    graph: &hetpipe_model::ModelGraph,
+    gpus: &[hetpipe_cluster::gpu::GpuSpec],
+    links: &[hetpipe_cluster::network::LinkKind],
+    limit: usize,
+    schedule: hetpipe_schedule::Schedule,
+) -> Option<(usize, PartitionPlan)> {
     let mut best = None;
     for nm in 1..=limit {
-        let p = PartitionProblem::new(graph, gpus.to_vec(), links.to_vec(), nm);
+        let p = PartitionProblem::with_schedule(graph, gpus.to_vec(), links.to_vec(), nm, schedule);
         match PartitionSolver::solve(&p) {
             Ok(plan) => best = Some((nm, plan)),
             // Memory is monotone in Nm: once infeasible, larger Nm stays

@@ -1,0 +1,55 @@
+//! Pluggable pipeline schedules.
+//!
+//! HetPipe (Park et al., USENIX ATC 2020) fixes one pipeline schedule —
+//! the Figure-1 wave schedule with `Nm` minibatches in flight — but the
+//! design space it competes in is defined by *schedules*: GPipe's
+//! fill-drain, PipeDream's one-forward-one-backward (1F1B), and
+//! interleaved virtual-stage variants. This crate reifies a static
+//! pipeline schedule as data so the executor, the memory model, and the
+//! partitioner can all be generic over it:
+//!
+//! - [`ScheduleOp`] — the alphabet: forward / backward / fused tasks
+//!   plus the WSP wave bookkeeping ops (`Push`, `PullGate`).
+//! - [`ScheduleStream`] — a deterministic, infinite, per-stage op
+//!   stream (the schedule *as data*).
+//! - [`PipelineSchedule`] — the trait: op streams, the dispatch
+//!   discipline, and per-stage peak-memory accounting (in-flight
+//!   activations and pinned weight versions).
+//! - [`HetPipeWave`], [`FillDrain`], [`OneFOneB`],
+//!   [`Interleaved1F1B`] — the four concrete schedules.
+//! - [`Schedule`] — the config-level knob (a `Copy` enum) that
+//!   dispatches to the concrete implementations.
+//! - [`WspParams`] — the Wave Synchronous Parallel clock / staleness
+//!   algebra (Sections 4–5 of the paper), which every schedule's wave
+//!   bookkeeping is expressed in.
+//!
+//! # Example
+//!
+//! ```
+//! use hetpipe_schedule::{PipelineSchedule, Schedule, ScheduleOp, WspParams};
+//!
+//! // Stage 0 of a 4-stage 1F1B pipeline with waves of 4: four warmup
+//! // forwards, then strict one-forward-one-backward alternation.
+//! let wsp = WspParams::new(4, 0);
+//! let ops: Vec<ScheduleOp> = Schedule::OneFOneB.stream(0, 4, wsp).take(6).collect();
+//! assert_eq!(ops[..4], [
+//!     ScheduleOp::Forward { mb: 1 },
+//!     ScheduleOp::Forward { mb: 2 },
+//!     ScheduleOp::Forward { mb: 3 },
+//!     ScheduleOp::Forward { mb: 4 },
+//! ]);
+//! assert_eq!(ops[4], ScheduleOp::Backward { mb: 1 });
+//! assert_eq!(ops[5], ScheduleOp::Forward { mb: 5 });
+//! ```
+
+pub mod ops;
+pub mod schedules;
+pub mod stream;
+pub mod wsp;
+
+pub use ops::{Dispatch, ScheduleOp};
+pub use schedules::{
+    FillDrain, HetPipeWave, Interleaved1F1B, OneFOneB, PipelineSchedule, Schedule,
+};
+pub use stream::ScheduleStream;
+pub use wsp::WspParams;

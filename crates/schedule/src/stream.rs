@@ -1,0 +1,272 @@
+//! Deterministic, infinite per-stage op streams.
+//!
+//! A [`ScheduleStream`] is the schedule *as data*: the exact sequence
+//! of [`ScheduleOp`]s one pipeline stage executes, decorated (on
+//! stage 0) with the WSP wave bookkeeping — a [`ScheduleOp::Push`]
+//! after the last backward of every wave and a
+//! [`ScheduleOp::PullGate`] before the first forward that requires a
+//! global wave. Streams are infinite iterators; executors pull ops on
+//! demand and tests `take(n)` a prefix.
+
+use crate::ops::ScheduleOp;
+use crate::wsp::WspParams;
+use std::collections::VecDeque;
+
+/// The base compute pattern of a stream, before wave decoration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum BasePattern {
+    /// `warmup` forwards, then strict backward/forward alternation
+    /// (PipeDream 1F1B; also the steady-state shape of the HetPipe
+    /// wave schedule at non-last stages).
+    Interleave {
+        /// Forwards executed before the first backward.
+        warmup: u64,
+    },
+    /// All `Nm` forwards of a wave, then all `Nm` backwards (GPipe).
+    FillDrain,
+    /// Forward and backward of each minibatch fused as one task (the
+    /// wave schedule's last stage).
+    Fused,
+}
+
+/// An infinite, deterministic op stream for one pipeline stage.
+#[derive(Debug, Clone)]
+pub struct ScheduleStream {
+    pattern: BasePattern,
+    /// Wave bookkeeping (`Push` / `PullGate`) is emitted on stage 0
+    /// only — pushes and pulls are per-virtual-worker, not per-stage.
+    decorate: bool,
+    wsp: WspParams,
+    /// Forwards emitted so far (the next forward is `fwd_emitted + 1`).
+    fwd_emitted: u64,
+    /// Backwards emitted so far.
+    bwd_emitted: u64,
+    /// Newest wave already gated on (−1 = none), to emit each gate once.
+    gated: i64,
+    pending: VecDeque<ScheduleOp>,
+}
+
+impl ScheduleStream {
+    pub(crate) fn new(pattern: BasePattern, stage: usize, wsp: WspParams) -> Self {
+        ScheduleStream {
+            pattern,
+            decorate: stage == 0,
+            wsp,
+            fwd_emitted: 0,
+            bwd_emitted: 0,
+            gated: -1,
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Emits the gate for `p`'s required wave (once per wave) ahead of
+    /// the forward of `p`.
+    fn gate_before_forward(&mut self, p: u64) {
+        if !self.decorate {
+            return;
+        }
+        if let Some(w) = self.wsp.required_wave(p) {
+            if w as i64 > self.gated {
+                self.gated = w as i64;
+                self.pending.push_back(ScheduleOp::PullGate { wave: w });
+            }
+        }
+    }
+
+    /// Emits the push after `p`'s backward when `p` closes a wave.
+    fn push_after_backward(&mut self, p: u64) {
+        if !self.decorate {
+            return;
+        }
+        if p.is_multiple_of(self.wsp.nm as u64) {
+            self.pending.push_back(ScheduleOp::Push {
+                wave: p / self.wsp.nm as u64 - 1,
+            });
+        }
+    }
+
+    /// Generates the next base op (plus decorations) into `pending`.
+    fn refill(&mut self) {
+        let nm = self.wsp.nm as u64;
+        match self.pattern {
+            BasePattern::Fused => {
+                let p = self.fwd_emitted + 1;
+                self.gate_before_forward(p);
+                self.pending.push_back(ScheduleOp::FusedFwdBwd { mb: p });
+                self.fwd_emitted = p;
+                self.bwd_emitted = p;
+                self.push_after_backward(p);
+            }
+            BasePattern::Interleave { warmup } => {
+                let outstanding = self.fwd_emitted - self.bwd_emitted;
+                // A forward while the pipeline window has room (which
+                // covers the initial warmup run of forwards), a
+                // backward once it is full.
+                if outstanding < warmup {
+                    let p = self.fwd_emitted + 1;
+                    self.gate_before_forward(p);
+                    self.pending.push_back(ScheduleOp::Forward { mb: p });
+                    self.fwd_emitted = p;
+                } else {
+                    let p = self.bwd_emitted + 1;
+                    self.pending.push_back(ScheduleOp::Backward { mb: p });
+                    self.bwd_emitted = p;
+                    self.push_after_backward(p);
+                }
+            }
+            BasePattern::FillDrain => {
+                let outstanding = self.fwd_emitted - self.bwd_emitted;
+                // Fill while a wave is incomplete, drain it entirely
+                // before touching the next wave.
+                if outstanding < nm && self.bwd_emitted.is_multiple_of(nm) {
+                    let p = self.fwd_emitted + 1;
+                    self.gate_before_forward(p);
+                    self.pending.push_back(ScheduleOp::Forward { mb: p });
+                    self.fwd_emitted = p;
+                } else {
+                    let p = self.bwd_emitted + 1;
+                    self.pending.push_back(ScheduleOp::Backward { mb: p });
+                    self.bwd_emitted = p;
+                    self.push_after_backward(p);
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for ScheduleStream {
+    type Item = ScheduleOp;
+
+    /// Always `Some`: schedules are infinite.
+    fn next(&mut self) -> Option<ScheduleOp> {
+        if self.pending.is_empty() {
+            self.refill();
+        }
+        self.pending.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ops(pattern: BasePattern, stage: usize, wsp: WspParams, n: usize) -> Vec<ScheduleOp> {
+        ScheduleStream::new(pattern, stage, wsp).take(n).collect()
+    }
+
+    #[test]
+    fn fill_drain_alternates_whole_waves() {
+        use ScheduleOp::*;
+        let got = ops(BasePattern::FillDrain, 1, WspParams::new(3, 0), 9);
+        assert_eq!(
+            got,
+            vec![
+                Forward { mb: 1 },
+                Forward { mb: 2 },
+                Forward { mb: 3 },
+                Backward { mb: 1 },
+                Backward { mb: 2 },
+                Backward { mb: 3 },
+                Forward { mb: 4 },
+                Forward { mb: 5 },
+                Forward { mb: 6 },
+            ]
+        );
+    }
+
+    #[test]
+    fn interleave_warmup_then_1f1b() {
+        use ScheduleOp::*;
+        let got = ops(
+            BasePattern::Interleave { warmup: 2 },
+            1,
+            WspParams::new(4, 0),
+            8,
+        );
+        assert_eq!(
+            got,
+            vec![
+                Forward { mb: 1 },
+                Forward { mb: 2 },
+                Backward { mb: 1 },
+                Forward { mb: 3 },
+                Backward { mb: 2 },
+                Forward { mb: 4 },
+                Backward { mb: 3 },
+                Forward { mb: 5 },
+            ]
+        );
+    }
+
+    #[test]
+    fn stage0_gets_push_and_gate_decorations() {
+        let wsp = WspParams::new(2, 0); // s_global = 2: mb 4 requires wave 0.
+        let got = ops(BasePattern::FillDrain, 0, wsp, 12);
+        let pushes: Vec<_> = got
+            .iter()
+            .filter(|o| matches!(o, ScheduleOp::Push { .. }))
+            .collect();
+        let gates: Vec<_> = got
+            .iter()
+            .filter(|o| matches!(o, ScheduleOp::PullGate { .. }))
+            .collect();
+        assert!(!pushes.is_empty(), "stage 0 pushes waves: {got:?}");
+        assert!(!gates.is_empty(), "stage 0 gates on waves: {got:?}");
+        // The push of wave 0 appears right after Backward{2}.
+        let b2 = got
+            .iter()
+            .position(|o| *o == ScheduleOp::Backward { mb: 2 })
+            .unwrap();
+        assert_eq!(got[b2 + 1], ScheduleOp::Push { wave: 0 });
+        // The gate for wave 0 precedes Forward{4} (required_wave(4) = 0).
+        let g = got
+            .iter()
+            .position(|o| *o == ScheduleOp::PullGate { wave: 0 })
+            .unwrap();
+        let f4 = got
+            .iter()
+            .position(|o| *o == ScheduleOp::Forward { mb: 4 })
+            .unwrap();
+        assert!(g < f4, "gate must precede the gated forward: {got:?}");
+    }
+
+    #[test]
+    fn non_zero_stages_have_no_decorations() {
+        for pattern in [
+            BasePattern::FillDrain,
+            BasePattern::Interleave { warmup: 3 },
+            BasePattern::Fused,
+        ] {
+            let got = ops(pattern, 2, WspParams::new(2, 0), 40);
+            assert!(
+                got.iter().all(ScheduleOp::is_compute),
+                "{pattern:?} stage 2 must be pure compute"
+            );
+        }
+    }
+
+    #[test]
+    fn fused_stream_is_one_task_per_minibatch() {
+        let got = ops(BasePattern::Fused, 3, WspParams::new(4, 0), 5);
+        for (i, op) in got.iter().enumerate() {
+            assert_eq!(*op, ScheduleOp::FusedFwdBwd { mb: i as u64 + 1 });
+        }
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let a = ops(
+            BasePattern::Interleave { warmup: 4 },
+            0,
+            WspParams::new(4, 1),
+            200,
+        );
+        let b = ops(
+            BasePattern::Interleave { warmup: 4 },
+            0,
+            WspParams::new(4, 1),
+            200,
+        );
+        assert_eq!(a, b);
+    }
+}

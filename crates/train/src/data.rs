@@ -53,12 +53,12 @@ impl Dataset {
             for i in 0..n {
                 let c = rng.gen_range(0..classes);
                 ys.push(c);
-                for d in 0..dim {
+                for (d, &mean) in means[c].iter().enumerate() {
                     // Box-Muller normal sample.
                     let u1: f32 = rng.gen_range(1e-7..1.0);
                     let u2: f32 = rng.gen::<f32>();
                     let z = (-2.0 * u1.ln()).sqrt() * (std::f32::consts::TAU * u2).cos();
-                    *xs.get_mut(i, d) = means[c][d] + noise * z;
+                    *xs.get_mut(i, d) = mean + noise * z;
                 }
             }
             (xs, ys)

@@ -86,7 +86,7 @@ fn complete_one(
         apply_delta(&mut w, &delta);
     }
     *completed += 1;
-    if *completed % config.gossip_every == 0 {
+    if (*completed).is_multiple_of(config.gossip_every) {
         let peer = (worker + 1) % config.workers;
         let (a, b) = (worker.min(peer), worker.max(peer));
         let mut wa = replicas[a].lock();

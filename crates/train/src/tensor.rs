@@ -119,10 +119,9 @@ impl Matrix {
     /// Panics if `bias.len() != self.cols`.
     pub fn add_row(&mut self, bias: &[f32]) {
         assert_eq!(bias.len(), self.cols, "bias width must match");
-        for r in 0..self.rows {
-            let row = r * self.cols;
-            for c in 0..self.cols {
-                self.data[row + c] += bias[c];
+        for row in self.data.chunks_mut(self.cols) {
+            for (v, b) in row.iter_mut().zip(bias) {
+                *v += b;
             }
         }
     }
@@ -130,10 +129,9 @@ impl Matrix {
     /// Column sums (gradient of a broadcast bias).
     pub fn col_sums(&self) -> Vec<f32> {
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
-            let row = r * self.cols;
-            for c in 0..self.cols {
-                out[c] += self.data[row + c];
+        for row in self.data.chunks(self.cols) {
+            for (o, v) in out.iter_mut().zip(row) {
+                *o += v;
             }
         }
         out
@@ -190,16 +188,15 @@ pub fn softmax_cross_entropy(logits: &Matrix, labels: &[usize]) -> (f32, Matrix)
     let mut grad = Matrix::zeros(logits.rows, logits.cols);
     let mut loss = 0.0;
     let inv_batch = 1.0 / logits.rows as f32;
-    for r in 0..logits.rows {
+    for (r, &label) in labels.iter().enumerate() {
         let row = &logits.data[r * logits.cols..(r + 1) * logits.cols];
         let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
         let exps: Vec<f32> = row.iter().map(|&v| (v - max).exp()).collect();
         let sum: f32 = exps.iter().sum();
-        let label = labels[r];
         debug_assert!(label < logits.cols, "label out of range");
         loss -= (exps[label] / sum).ln();
-        for c in 0..logits.cols {
-            let p = exps[c] / sum;
+        for (c, &e) in exps.iter().enumerate() {
+            let p = e / sum;
             let y = if c == label { 1.0 } else { 0.0 };
             *grad.get_mut(r, c) = (p - y) * inv_batch;
         }

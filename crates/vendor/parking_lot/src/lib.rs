@@ -1,0 +1,135 @@
+//! Offline stand-in for the `parking_lot` crate.
+//!
+//! The build environment has no network access, so this workspace
+//! vendors the subset `hetpipe-train` uses: a [`Mutex`] whose `lock()`
+//! returns the guard directly (no poison `Result`) and a [`Condvar`]
+//! whose `wait` takes the guard by `&mut`. Implemented over
+//! `std::sync`; lock poisoning is absorbed (a panicking holder does
+//! not poison the lock for others, matching parking_lot semantics).
+
+use std::ops::{Deref, DerefMut};
+use std::sync;
+
+/// A mutual-exclusion lock with parking_lot's panic-free API.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(sync::Mutex<T>);
+
+/// Guard returned by [`Mutex::lock`].
+pub struct MutexGuard<'a, T> {
+    // `Option` so Condvar::wait can move the std guard out and back
+    // while the caller keeps holding `&mut MutexGuard`.
+    inner: Option<sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex holding `value`.
+    pub const fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    /// Acquires the lock, blocking the current thread.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: Some(self.0.lock().unwrap_or_else(sync::PoisonError::into_inner)),
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0
+            .into_inner()
+            .unwrap_or_else(sync::PoisonError::into_inner)
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard is live")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard is live")
+    }
+}
+
+/// A condition variable pairing with [`Mutex`].
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub const fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Atomically releases the guard's lock and blocks until notified;
+    /// the lock is re-acquired before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("guard is live");
+        guard.inner = Some(
+            self.0
+                .wait(inner)
+                .unwrap_or_else(sync::PoisonError::into_inner),
+        );
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(1);
+        *m.lock() += 41;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn condvar_wakes_waiter() {
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        let pair2 = Arc::clone(&pair);
+        let t = std::thread::spawn(move || {
+            let (lock, cvar) = &*pair2;
+            let mut g = lock.lock();
+            while !*g {
+                cvar.wait(&mut g);
+            }
+            *g
+        });
+        {
+            let (lock, cvar) = &*pair;
+            *lock.lock() = true;
+            cvar.notify_all();
+        }
+        assert!(t.join().unwrap());
+    }
+
+    #[test]
+    fn panicking_holder_does_not_poison() {
+        let m = Arc::new(Mutex::new(0));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("holder dies");
+        })
+        .join();
+        assert_eq!(*m.lock(), 0, "lock stays usable after a panic");
+    }
+}

@@ -1,0 +1,387 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! The build environment has no network access, so this workspace
+//! vendors the small surface it actually uses: the [`Value`] tree, the
+//! [`json!`] constructor macro, and [`to_string_pretty`] /
+//! [`to_string`]. Output is valid JSON with object keys in insertion
+//! order. Nothing here implements serde's `Serialize`/`Deserialize`;
+//! the experiment harnesses only ever *build* values and print them.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A JSON value tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`; integers that fit print
+    /// without a decimal point).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object. Keys keep insertion order.
+    Object(Map),
+}
+
+/// An order-preserving string-keyed map (insertion order, like
+/// `serde_json`'s `preserve_order` feature).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    keys: Vec<String>,
+    values: BTreeMap<String, Value>,
+}
+
+impl Map {
+    /// Creates an empty map.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts `value` under `key`, keeping first-insertion order.
+    pub fn insert(&mut self, key: impl Into<String>, value: Value) {
+        let key = key.into();
+        if !self.values.contains_key(&key) {
+            self.keys.push(key.clone());
+        }
+        self.values.insert(key, value);
+    }
+
+    /// Looks up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.values.get(key)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when no entry exists.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Iterates `(key, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.keys.iter().map(|k| (k.as_str(), &self.values[k]))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(v)
+    }
+}
+
+impl From<&f64> for Value {
+    fn from(v: &f64) -> Value {
+        Value::Number(*v)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(v as f64)
+    }
+}
+
+impl From<&f32> for Value {
+    fn from(v: &f32) -> Value {
+        Value::Number(*v as f64)
+    }
+}
+
+macro_rules! from_number {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(v as f64)
+            }
+        }
+        impl From<&$t> for Value {
+            fn from(v: &$t) -> Value {
+                Value::Number(*v as f64)
+            }
+        }
+    )*};
+}
+from_number!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<&&str> for Value {
+    fn from(v: &&str) -> Value {
+        Value::String((*v).to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone, const N: usize> From<[T; N]> for Value {
+    fn from(v: [T; N]) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value> + Clone, const N: usize> From<&[T; N]> for Value {
+    fn from(v: &[T; N]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        v.map_or(Value::Null, Into::into)
+    }
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn number_to_string(n: f64) -> String {
+    if n.is_finite() && n == n.trunc() && n.abs() < 9.007_199_254_740_992e15 {
+        format!("{}", n as i64)
+    } else if n.is_finite() {
+        // `{:?}` prints the shortest representation that round-trips.
+        format!("{n:?}")
+    } else {
+        // JSON has no NaN/Inf; match serde_json's lossy `null`.
+        "null".to_string()
+    }
+}
+
+fn write_value(out: &mut String, v: &Value, indent: usize, pretty: bool) {
+    let pad = |out: &mut String, level: usize| {
+        if pretty {
+            out.push('\n');
+            for _ in 0..level {
+                out.push_str("  ");
+            }
+        }
+    };
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&number_to_string(*n)),
+        Value::String(s) => escape_into(out, s),
+        Value::Array(items) => {
+            if items.is_empty() {
+                out.push_str("[]");
+                return;
+            }
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, indent + 1);
+                write_value(out, item, indent + 1, pretty);
+            }
+            pad(out, indent);
+            out.push(']');
+        }
+        Value::Object(map) => {
+            if map.is_empty() {
+                out.push_str("{}");
+                return;
+            }
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                pad(out, indent + 1);
+                escape_into(out, k);
+                out.push(':');
+                if pretty {
+                    out.push(' ');
+                }
+                write_value(out, val, indent + 1, pretty);
+            }
+            pad(out, indent);
+            out.push('}');
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = String::new();
+        write_value(&mut s, self, 0, false);
+        f.write_str(&s)
+    }
+}
+
+/// Serializes a value compactly. Infallible for this value model; the
+/// `Result` mirrors serde_json's signature.
+pub fn to_string<T: Into<Value> + Clone>(value: &T) -> Result<String, fmt::Error> {
+    Ok(value.clone().into().to_string())
+}
+
+/// Serializes a value with two-space indentation.
+pub fn to_string_pretty<T: Into<Value> + Clone>(value: &T) -> Result<String, fmt::Error> {
+    let mut s = String::new();
+    write_value(&mut s, &value.clone().into(), 0, true);
+    Ok(s)
+}
+
+/// Builds a [`Value`] from JSON-looking syntax, mirroring
+/// `serde_json::json!` for the object / array / expression forms.
+/// Object values may be arbitrary expressions (commas inside
+/// parentheses, brackets, or braces are grouped by the tokenizer, so
+/// only top-level commas separate entries).
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($tt:tt)* ]) => {{
+        #[allow(unused_mut)]
+        let mut items: Vec<$crate::Value> = Vec::new();
+        $crate::json_internal!(@arr items () $($tt)*);
+        $crate::Value::Array(items)
+    }};
+    ({ $($tt:tt)* }) => {{
+        #[allow(unused_mut)]
+        let mut map = $crate::Map::new();
+        $crate::json_internal!(@obj map $($tt)*);
+        $crate::Value::Object(map)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+/// Token munchers backing [`json!`]. Not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ---- object entries: `"key": <expr>, ...` ----
+    (@obj $map:ident) => {};
+    (@obj $map:ident ,) => {};
+    (@obj $map:ident $key:literal : $($rest:tt)*) => {
+        $crate::json_internal!(@objval $map $key () $($rest)*);
+    };
+    // Value complete at a top-level comma.
+    (@objval $map:ident $key:literal ($($v:tt)*) , $($rest:tt)*) => {
+        $map.insert($key, $crate::json_internal!(@tovalue $($v)*));
+        $crate::json_internal!(@obj $map $($rest)*);
+    };
+    // Value complete at end of input.
+    (@objval $map:ident $key:literal ($($v:tt)*)) => {
+        $map.insert($key, $crate::json_internal!(@tovalue $($v)*));
+    };
+    // Keep accumulating the value's tokens.
+    (@objval $map:ident $key:literal ($($v:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_internal!(@objval $map $key ($($v)* $next) $($rest)*);
+    };
+    // ---- array items ----
+    (@arr $vec:ident ()) => {};
+    (@arr $vec:ident ($($v:tt)+)) => {
+        $vec.push($crate::json_internal!(@tovalue $($v)+));
+    };
+    (@arr $vec:ident ($($v:tt)+) , $($rest:tt)*) => {
+        $vec.push($crate::json_internal!(@tovalue $($v)+));
+        $crate::json_internal!(@arr $vec () $($rest)*);
+    };
+    (@arr $vec:ident ($($v:tt)*) $next:tt $($rest:tt)*) => {
+        $crate::json_internal!(@arr $vec ($($v)* $next) $($rest)*);
+    };
+    // ---- one collected value: recurse for JSON forms, coerce exprs ----
+    (@tovalue null) => { $crate::Value::Null };
+    (@tovalue { $($tt:tt)* }) => { $crate::json!({ $($tt)* }) };
+    (@tovalue [ $($tt:tt)* ]) => { $crate::json!([ $($tt)* ]) };
+    (@tovalue $($e:tt)+) => { $crate::Value::from($($e)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_macro_and_pretty_print() {
+        let v = json!({
+            "name": "vgg19",
+            "nm": 4usize,
+            "throughput": 123.5f64,
+            "nested": { "ok": true },
+            "series": vec![1u64, 2, 3],
+        });
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains("\"name\": \"vgg19\""));
+        assert!(s.contains("\"nm\": 4"));
+        assert!(s.contains("\"throughput\": 123.5"));
+        assert!(s.contains("\"ok\": true"));
+        // Insertion order preserved.
+        assert!(s.find("name").unwrap() < s.find("series").unwrap());
+    }
+
+    #[test]
+    fn arrays_and_scalars() {
+        assert_eq!(json!(null).to_string(), "null");
+        assert_eq!(json!(1.25f64).to_string(), "1.25");
+        assert_eq!(json!(7u64).to_string(), "7");
+        assert_eq!(json!("a\"b").to_string(), "\"a\\\"b\"");
+        let arr = json!(vec![json!(1u32), json!("x")]);
+        assert_eq!(arr.to_string(), "[1,\"x\"]");
+    }
+
+    #[test]
+    fn vec_of_values_wraps_to_array() {
+        let dump = vec![json!({"a": 1u32}), json!({"a": 2u32})];
+        let v = json!(dump);
+        assert_eq!(v.to_string(), "[{\"a\":1},{\"a\":2}]");
+    }
+
+    #[test]
+    fn non_finite_numbers_degrade_to_null() {
+        assert_eq!(json!(f64::NAN).to_string(), "null");
+        assert_eq!(json!(f64::INFINITY).to_string(), "null");
+    }
+}

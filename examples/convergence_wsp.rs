@@ -41,7 +41,6 @@ fn main() {
             steps_per_worker: 4000,
             seed: 42,
             snapshot_every: 0,
-            ..TrainConfig::default()
         };
         let out = train(&dataset, &config);
         println!(

@@ -21,6 +21,11 @@
 //! - [`train`] — a real (threaded, lock-based) WSP/SSP/BSP/ASP parameter
 //!   server and SGD trainer used for convergence experiments.
 //!
+//! - [`schedule`] — pluggable static pipeline schedules (the paper's
+//!   wave schedule, GPipe fill-drain, PipeDream 1F1B, interleaved
+//!   1F1B) reified as per-stage op streams, with per-schedule peak
+//!   memory accounting.
+//!
 //! # Quickstart
 //!
 //! ```
@@ -41,6 +46,36 @@
 //!     .run(SimTime::from_secs(60.0));
 //! assert!(report.throughput_images_per_sec() > 0.0);
 //! ```
+//!
+//! # Choosing a pipeline schedule
+//!
+//! The executor is generic over the pipeline schedule; the paper's
+//! wave schedule is the default, and the GPipe / PipeDream / Megatron
+//! alternatives plug in through [`SystemConfig::schedule`] — same
+//! cluster, same partitioner, same WSP synchronization:
+//!
+//! ```
+//! use hetpipe::prelude::*;
+//!
+//! let cluster = Cluster::paper_testbed();
+//! let model = vgg19(32);
+//! let config = SystemConfig {
+//!     schedule: Schedule::OneFOneB, // or FillDrain, HetPipeWave,
+//!                                   // Interleaved1F1B { chunks: 2 }
+//!     ..SystemConfig::default()
+//! };
+//! let sys = HetPipeSystem::build(&cluster, &model, &config).expect("feasible");
+//! // Per-schedule memory accounting: peak bytes per physical GPU.
+//! let peaks = sys.per_gpu_peak_bytes(0);
+//! assert_eq!(peaks.len(), 4);
+//! assert!(sys.run(SimTime::from_secs(30.0)).throughput_images_per_sec() > 0.0);
+//! ```
+//!
+//! The `schedule_compare` binary in `hetpipe-bench` sweeps all four
+//! schedules across the paper testbed and a homogeneous cluster and
+//! can export per-GPU `chrome://tracing` timelines (`--trace-out`).
+//!
+//! [`SystemConfig::schedule`]: hetpipe_core::SystemConfig
 
 pub use hetpipe_allreduce as allreduce;
 pub use hetpipe_cluster as cluster;
@@ -48,6 +83,7 @@ pub use hetpipe_core as core;
 pub use hetpipe_des as des;
 pub use hetpipe_model as model;
 pub use hetpipe_partition as partition;
+pub use hetpipe_schedule as schedule;
 pub use hetpipe_train as train;
 
 /// Commonly used items, re-exported for convenience.
@@ -61,4 +97,5 @@ pub mod prelude {
     pub use hetpipe_des::SimTime;
     pub use hetpipe_model::{mlp, resnet152, resnet50, vgg19, LayerKind, ModelGraph};
     pub use hetpipe_partition::{PartitionPlan, PartitionSolver};
+    pub use hetpipe_schedule::{PipelineSchedule, Schedule, ScheduleOp, WspParams};
 }

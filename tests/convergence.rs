@@ -16,7 +16,6 @@ fn run_mode(mode: Mode, workers: usize, steps: u64) -> (f64, AccuracyCurve) {
         steps_per_worker: steps,
         seed: 42,
         snapshot_every: 64,
-        ..TrainConfig::default()
     };
     let out = train(&dataset, &config);
     (

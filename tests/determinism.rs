@@ -58,7 +58,6 @@ fn trainer_is_deterministic_single_worker() {
         steps_per_worker: 60,
         seed: 9,
         snapshot_every: 0,
-        ..TrainConfig::default()
     };
     let a = train(&dataset, &config);
     let b = train(&dataset, &config);

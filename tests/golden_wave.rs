@@ -1,0 +1,199 @@
+//! Golden-trace regression: the schedule-generic executor running
+//! [`Schedule::HetPipeWave`] must reproduce the pre-refactor (seed)
+//! executor's span traces *exactly* — same spans, same resources, same
+//! start/end instants, same order — across representative
+//! configurations of the paper testbed.
+//!
+//! The seed executor is frozen verbatim in `hetpipe::core::golden`;
+//! this test is what makes "bit-identical event order" a checked
+//! property instead of a claim.
+
+use hetpipe::cluster::{Cluster, DeviceId};
+use hetpipe::core::exec::{self, ExecParams, RunStats};
+use hetpipe::core::golden;
+use hetpipe::core::pserver::{Placement, ShardMap};
+use hetpipe::core::{Schedule, VirtualWorker, WspParams};
+use hetpipe::des::SimTime;
+use hetpipe::model::ModelGraph;
+use hetpipe::partition::{PartitionProblem, PartitionSolver};
+
+fn build_vws(
+    cluster: &Cluster,
+    graph: &ModelGraph,
+    groups: &[Vec<DeviceId>],
+    nm: usize,
+) -> Vec<VirtualWorker> {
+    groups
+        .iter()
+        .enumerate()
+        .map(|(i, devices)| {
+            let gpus = devices.iter().map(|&d| cluster.spec_of(d)).collect();
+            let links = VirtualWorker::links(cluster, devices);
+            let plan = PartitionSolver::solve(&PartitionProblem::new(graph, gpus, links, nm))
+                .expect("feasible");
+            VirtualWorker {
+                index: i,
+                devices: devices.clone(),
+                plan,
+                nm,
+            }
+        })
+        .collect()
+}
+
+fn assert_identical(a: &RunStats, b: &RunStats, label: &str) {
+    // Span traces: same length, and element-wise identical.
+    assert_eq!(a.trace.len(), b.trace.len(), "{label}: span count");
+    for (i, (x, y)) in a.trace.spans().iter().zip(b.trace.spans()).enumerate() {
+        assert_eq!(x, y, "{label}: span {i} differs");
+    }
+    // Per-VW statistics.
+    assert_eq!(a.vws.len(), b.vws.len(), "{label}");
+    for (i, (x, y)) in a.vws.iter().zip(&b.vws).enumerate() {
+        assert_eq!(x.completions, y.completions, "{label}: vw{i} completions");
+        assert_eq!(x.waves_pushed, y.waves_pushed, "{label}: vw{i} waves");
+        assert_eq!(x.pull_wait, y.pull_wait, "{label}: vw{i} pull_wait");
+        assert_eq!(x.wait_windows, y.wait_windows, "{label}: vw{i} windows");
+        assert_eq!(
+            x.inject_blocked, y.inject_blocked,
+            "{label}: vw{i} inject_blocked"
+        );
+    }
+    // Traffic accounting.
+    assert_eq!(a.sync_bytes_inter, b.sync_bytes_inter, "{label}");
+    assert_eq!(a.sync_bytes_intra, b.sync_bytes_intra, "{label}");
+    assert_eq!(a.act_bytes_inter, b.act_bytes_inter, "{label}");
+    assert_eq!(a.act_bytes_intra, b.act_bytes_intra, "{label}");
+    // Resource busy-time accounting.
+    assert_eq!(a.pool.len(), b.pool.len(), "{label}");
+    for ((ia, ra), (_, rb)) in a.pool.iter().zip(b.pool.iter()) {
+        assert_eq!(
+            ra.busy_time(),
+            rb.busy_time(),
+            "{label}: resource {ia:?} busy time"
+        );
+        assert_eq!(ra.reservations(), rb.reservations(), "{label}: {ia:?}");
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn compare(
+    graph: &ModelGraph,
+    groups: &[Vec<DeviceId>],
+    nm: usize,
+    d: usize,
+    placement: Placement,
+    sync_transfers: bool,
+    secs: f64,
+    label: &str,
+) {
+    let cluster = Cluster::paper_testbed();
+    let vws = build_vws(&cluster, graph, groups, nm);
+    let shards = ShardMap::build(placement, graph, &cluster, &vws[0]);
+    let params = ExecParams {
+        cluster: &cluster,
+        graph,
+        vws: &vws,
+        wsp: WspParams::new(nm, d),
+        shards: &shards,
+        sync_transfers,
+        schedule: Schedule::HetPipeWave,
+    };
+    let horizon = SimTime::from_secs(secs);
+    let new = exec::run(params.clone(), horizon);
+    let old = golden::run(params, horizon);
+    assert!(
+        new.trace.len() > 100,
+        "{label}: trivial trace ({} spans) proves nothing",
+        new.trace.len()
+    );
+    assert_identical(&new, &old, label);
+}
+
+fn ed_groups() -> Vec<Vec<DeviceId>> {
+    (0..4)
+        .map(|j| (0..4).map(|n| DeviceId(n * 4 + j)).collect())
+        .collect()
+}
+
+fn np_groups() -> Vec<Vec<DeviceId>> {
+    (0..4)
+        .map(|n| (0..4).map(|j| DeviceId(n * 4 + j)).collect())
+        .collect()
+}
+
+#[test]
+fn golden_ed_local_vgg() {
+    let graph = hetpipe::model::vgg19(32);
+    compare(
+        &graph,
+        &ed_groups(),
+        4,
+        0,
+        Placement::Local,
+        true,
+        15.0,
+        "ED-local VGG-19 Nm=4 D=0",
+    );
+}
+
+#[test]
+fn golden_np_default_vgg_with_staleness() {
+    let graph = hetpipe::model::vgg19(32);
+    compare(
+        &graph,
+        &np_groups(),
+        2,
+        2,
+        Placement::Default,
+        true,
+        15.0,
+        "NP-default VGG-19 Nm=2 D=2",
+    );
+}
+
+#[test]
+fn golden_np_resnet() {
+    let graph = hetpipe::model::resnet152(32);
+    compare(
+        &graph,
+        &np_groups(),
+        2,
+        0,
+        Placement::Default,
+        true,
+        15.0,
+        "NP-default ResNet-152 Nm=2 D=0",
+    );
+}
+
+#[test]
+fn golden_standalone_vw_no_sync_transfers() {
+    // The Figure-3 measurement mode (sync transfers free).
+    let graph = hetpipe::model::vgg19(32);
+    compare(
+        &graph,
+        &[(0..4).map(DeviceId).collect()],
+        4,
+        0,
+        Placement::Default,
+        false,
+        10.0,
+        "standalone VVVV VGG-19 Nm=4",
+    );
+}
+
+#[test]
+fn golden_single_gpu_vws() {
+    let graph = hetpipe::model::vgg19(32);
+    compare(
+        &graph,
+        &[vec![DeviceId(0)], vec![DeviceId(12)]],
+        1,
+        0,
+        Placement::Default,
+        true,
+        10.0,
+        "two single-GPU VWs Nm=1",
+    );
+}

@@ -1,11 +1,16 @@
 //! Property tests of the partition solver: structural invariants plus
 //! optimality certified against exhaustive enumeration.
+//!
+//! Written as seeded random sweeps rather than `proptest` (the offline
+//! build vendors no shrinking framework); each case prints its seed on
+//! failure so it can be replayed.
 
 use hetpipe::cluster::{GpuKind, LinkKind};
 use hetpipe::model::mlp;
 use hetpipe::partition::brute::solve_brute;
 use hetpipe::partition::{PartitionProblem, PartitionSolver};
-use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
 
 fn gpu_pool() -> Vec<GpuKind> {
     vec![
@@ -16,30 +21,32 @@ fn gpu_pool() -> Vec<GpuKind> {
     ]
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// On random MLPs with random heterogeneous GPU assignments, the DP
-    /// solver's bottleneck equals the brute-force optimum, and the plan
-    /// is a contiguous cover.
-    #[test]
-    fn dp_matches_brute_force(
-        widths in prop::collection::vec(8usize..256, 3..9),
-        k in 2usize..5,
-        picks in prop::collection::vec(0usize..4, 4),
-        link_picks in prop::collection::vec(0usize..2, 4),
-        nm in 1usize..4,
-    ) {
-        let dims: Vec<usize> = widths;
-        let graph = mlp(16, &dims);
-        prop_assume!(graph.len() >= k);
-        let pool = gpu_pool();
-        let gpus: Vec<_> = (0..k).map(|i| pool[picks[i % picks.len()]].spec()).collect();
+/// On random MLPs with random heterogeneous GPU assignments, the DP
+/// solver's bottleneck equals the brute-force optimum, and the plan is
+/// a contiguous cover.
+#[test]
+fn dp_matches_brute_force() {
+    let pool = gpu_pool();
+    for case in 0u64..48 {
+        let mut rng = SmallRng::seed_from_u64(0xA11C_E000 + case);
+        let n_layers = rng.gen_range(3usize..9);
+        let widths: Vec<usize> = (0..n_layers).map(|_| rng.gen_range(8usize..256)).collect();
+        let k = rng.gen_range(2usize..5);
+        let nm = rng.gen_range(1usize..4);
+        let graph = mlp(16, &widths);
+        if graph.len() < k {
+            continue;
+        }
+        let gpus: Vec<_> = (0..k)
+            .map(|_| pool[rng.gen_range(0usize..4)].spec())
+            .collect();
         let links: Vec<LinkKind> = (0..k - 1)
-            .map(|i| if link_picks[i % link_picks.len()] == 0 {
-                LinkKind::Pcie
-            } else {
-                LinkKind::Infiniband
+            .map(|_| {
+                if rng.gen_range(0usize..2) == 0 {
+                    LinkKind::Pcie
+                } else {
+                    LinkKind::Infiniband
+                }
             })
             .collect();
         let problem = PartitionProblem::new(&graph, gpus, links, nm);
@@ -47,25 +54,34 @@ proptest! {
         let brute = solve_brute(&problem);
         match (dp, brute) {
             (Ok(a), Ok(b)) => {
-                prop_assert!((a.bottleneck_secs - b.bottleneck_secs).abs() < 1e-12,
-                    "dp {} vs brute {}", a.bottleneck_secs, b.bottleneck_secs);
-                prop_assert!(a.is_valid_cover(graph.len()));
-                prop_assert_eq!(a.ranges.len(), k);
+                assert!(
+                    (a.bottleneck_secs - b.bottleneck_secs).abs() < 1e-12,
+                    "case {case}: dp {} vs brute {}",
+                    a.bottleneck_secs,
+                    b.bottleneck_secs
+                );
+                assert!(a.is_valid_cover(graph.len()), "case {case}");
+                assert_eq!(a.ranges.len(), k, "case {case}");
             }
-            (Err(a), Err(b)) => prop_assert_eq!(a, b),
-            (a, b) => prop_assert!(false, "feasibility disagreement: {a:?} vs {b:?}"),
+            (Err(a), Err(b)) => assert_eq!(a, b, "case {case}"),
+            (a, b) => panic!("case {case}: feasibility disagreement: {a:?} vs {b:?}"),
         }
     }
+}
 
-    /// The greedy binary-search solver never reports a bottleneck below
-    /// the exact optimum.
-    #[test]
-    fn greedy_never_beats_exact(
-        widths in prop::collection::vec(8usize..128, 3..8),
-        k in 2usize..4,
-    ) {
+/// The greedy binary-search solver never reports a bottleneck below
+/// the exact optimum.
+#[test]
+fn greedy_never_beats_exact() {
+    for case in 0u64..32 {
+        let mut rng = SmallRng::seed_from_u64(0x6EEE_D000 + case);
+        let n_layers = rng.gen_range(3usize..8);
+        let widths: Vec<usize> = (0..n_layers).map(|_| rng.gen_range(8usize..128)).collect();
+        let k = rng.gen_range(2usize..4);
         let graph = mlp(16, &widths);
-        prop_assume!(graph.len() >= k);
+        if graph.len() < k {
+            continue;
+        }
         let gpus = vec![GpuKind::TitanV.spec(); k];
         let links = vec![LinkKind::Pcie; k - 1];
         let problem = PartitionProblem::new(&graph, gpus, links, 1);
@@ -73,22 +89,33 @@ proptest! {
             PartitionSolver::solve(&problem),
             PartitionSolver::solve_greedy(&problem),
         ) {
-            prop_assert!(greedy.bottleneck_secs >= exact.bottleneck_secs - 1e-12);
-            prop_assert!(greedy.is_valid_cover(graph.len()));
+            assert!(
+                greedy.bottleneck_secs >= exact.bottleneck_secs - 1e-12,
+                "case {case}"
+            );
+            assert!(greedy.is_valid_cover(graph.len()), "case {case}");
         }
     }
+}
 
-    /// Feasibility is monotone in Nm: if Nm is feasible, so is Nm - 1.
-    #[test]
-    fn feasibility_monotone_in_nm(nm in 2usize..8) {
-        let graph = hetpipe::model::resnet152(48);
-        let gpus = vec![GpuKind::Rtx2060.spec(); 4];
-        let links = vec![LinkKind::Pcie; 3];
-        let at = |n: usize| {
-            PartitionSolver::solve(&PartitionProblem::new(&graph, gpus.clone(), links.clone(), n)).is_ok()
-        };
+/// Feasibility is monotone in Nm: if Nm is feasible, so is Nm - 1.
+#[test]
+fn feasibility_monotone_in_nm() {
+    let graph = hetpipe::model::resnet152(48);
+    let gpus = vec![GpuKind::Rtx2060.spec(); 4];
+    let links = vec![LinkKind::Pcie; 3];
+    let at = |n: usize| {
+        PartitionSolver::solve(&PartitionProblem::new(
+            &graph,
+            gpus.clone(),
+            links.clone(),
+            n,
+        ))
+        .is_ok()
+    };
+    for nm in 2usize..8 {
         if at(nm) {
-            prop_assert!(at(nm - 1), "Nm={} feasible but Nm={} not", nm, nm - 1);
+            assert!(at(nm - 1), "Nm={} feasible but Nm={} not", nm, nm - 1);
         }
     }
 }

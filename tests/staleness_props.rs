@@ -1,80 +1,109 @@
 //! Property tests of the WSP staleness algebra and its enforcement by
 //! both the simulator and the real threaded trainer.
+//!
+//! Written as exhaustive/seeded sweeps rather than `proptest` (the
+//! offline build vendors no shrinking framework); the parameter grids
+//! cover the same domains the original strategies sampled.
 
 use hetpipe::core::WspParams;
-use proptest::prelude::*;
 
-proptest! {
-    /// The closed-form global staleness bound of Section 5.
-    #[test]
-    fn s_global_formula(nm in 1usize..16, d in 0usize..8) {
-        let w = WspParams::new(nm, d);
-        let s_local = nm - 1;
-        prop_assert_eq!(w.s_local(), s_local);
-        prop_assert_eq!(w.s_global(), (d + 1) * (s_local + 1) + s_local - 1);
+/// The closed-form global staleness bound of Section 5.
+#[test]
+fn s_global_formula() {
+    for nm in 1usize..16 {
+        for d in 0usize..8 {
+            let w = WspParams::new(nm, d);
+            let s_local = nm - 1;
+            assert_eq!(w.s_local(), s_local);
+            assert_eq!(w.s_global(), (d + 1) * (s_local + 1) + s_local - 1);
+        }
     }
+}
 
-    /// Every minibatch's required wave is far enough in the past that
-    /// the staleness guarantee `p` sees all updates up to
-    /// `p - (s_global + 1)` holds, and no further (tightness).
-    #[test]
-    fn required_wave_is_exact(nm in 1usize..12, d in 0usize..6, p in 1u64..4000) {
-        let w = WspParams::new(nm, d);
-        match w.required_wave(p) {
-            None => {
-                // Only the first s_global + 1 minibatches are exempt.
-                prop_assert!(p <= w.s_global() as u64 + 1);
-            }
-            Some(wave) => {
-                // The wave must cover minibatch p - s_global - 1 ...
-                let must_see = p - w.s_global() as u64 - 1;
-                prop_assert!(w.last_of_wave(wave) >= must_see,
-                    "wave {wave} ends at {} but must cover {must_see}",
-                    w.last_of_wave(wave));
-                // ... and the previous wave must NOT cover it (tight).
-                if wave > 0 {
-                    prop_assert!(w.last_of_wave(wave - 1) < must_see);
+/// Every minibatch's required wave is far enough in the past that the
+/// staleness guarantee `p` sees all updates up to `p - (s_global + 1)`
+/// holds, and no further (tightness).
+#[test]
+fn required_wave_is_exact() {
+    for nm in 1usize..12 {
+        for d in 0usize..6 {
+            let w = WspParams::new(nm, d);
+            for p in 1u64..4000 {
+                match w.required_wave(p) {
+                    None => {
+                        // Only the first s_global + 1 minibatches are exempt.
+                        assert!(p <= w.s_global() as u64 + 1);
+                    }
+                    Some(wave) => {
+                        // The wave must cover minibatch p - s_global - 1 ...
+                        let must_see = p - w.s_global() as u64 - 1;
+                        assert!(
+                            w.last_of_wave(wave) >= must_see,
+                            "wave {wave} ends at {} but must cover {must_see}",
+                            w.last_of_wave(wave)
+                        );
+                        // ... and the previous wave must NOT cover it (tight).
+                        if wave > 0 {
+                            assert!(w.last_of_wave(wave - 1) < must_see);
+                        }
+                    }
                 }
             }
         }
     }
+}
 
-    /// Required waves are monotone in `p` and decrease with `D`.
-    #[test]
-    fn required_wave_monotone(nm in 1usize..10, d in 0usize..5, p in 2u64..2000) {
-        let w = WspParams::new(nm, d);
-        let r_prev = w.required_wave(p - 1);
-        let r = w.required_wave(p);
-        prop_assert!(r_prev.unwrap_or(0) <= r.unwrap_or(u64::MAX).max(r_prev.unwrap_or(0)));
-        // Looser D never requires more.
-        let looser = WspParams::new(nm, d + 1);
-        match (looser.required_wave(p), r) {
-            (Some(a), Some(b)) => prop_assert!(a <= b),
-            (Some(_), None) => prop_assert!(false, "looser D cannot add requirements"),
-            _ => {}
+/// Required waves are monotone in `p` and decrease with `D`.
+#[test]
+fn required_wave_monotone() {
+    for nm in 1usize..10 {
+        for d in 0usize..5 {
+            let w = WspParams::new(nm, d);
+            for p in 2u64..2000 {
+                let r_prev = w.required_wave(p - 1);
+                let r = w.required_wave(p);
+                assert!(r_prev.unwrap_or(0) <= r.unwrap_or(u64::MAX).max(r_prev.unwrap_or(0)));
+                // Looser D never requires more.
+                let looser = WspParams::new(nm, d + 1);
+                match (looser.required_wave(p), r) {
+                    (Some(a), Some(b)) => assert!(a <= b),
+                    (Some(_), None) => panic!("looser D cannot add requirements"),
+                    _ => {}
+                }
+            }
         }
     }
+}
 
-    /// Wave indexing round-trips.
-    #[test]
-    fn wave_indexing_roundtrip(nm in 1usize..16, wave in 0u64..1000) {
+/// Wave indexing round-trips.
+#[test]
+fn wave_indexing_roundtrip() {
+    for nm in 1usize..16 {
         let w = WspParams::new(nm, 0);
-        let first = w.first_of_wave(wave);
-        let last = w.last_of_wave(wave);
-        prop_assert_eq!(last - first + 1, nm as u64);
-        prop_assert_eq!(w.wave_of(first), wave);
-        prop_assert_eq!(w.wave_of(last), wave);
-        if first > 1 {
-            prop_assert_eq!(w.wave_of(first - 1), wave - 1);
+        for wave in 0u64..1000 {
+            let first = w.first_of_wave(wave);
+            let last = w.last_of_wave(wave);
+            assert_eq!(last - first + 1, nm as u64);
+            assert_eq!(w.wave_of(first), wave);
+            assert_eq!(w.wave_of(last), wave);
+            if first > 1 {
+                assert_eq!(w.wave_of(first - 1), wave - 1);
+            }
         }
     }
+}
 
-    /// Clock-distance rule consistency.
-    #[test]
-    fn distance_rule(d in 0usize..10, slowest in 0u64..100, ahead in 0u64..20) {
+/// Clock-distance rule consistency.
+#[test]
+fn distance_rule() {
+    for d in 0usize..10 {
         let w = WspParams::new(4, d);
-        let mine = slowest + ahead;
-        prop_assert_eq!(w.within_distance(mine, slowest), ahead <= d as u64);
+        for slowest in 0u64..100 {
+            for ahead in 0u64..20 {
+                let mine = slowest + ahead;
+                assert_eq!(w.within_distance(mine, slowest), ahead <= d as u64);
+            }
+        }
     }
 }
 
@@ -95,7 +124,6 @@ fn trainer_clock_distance_respects_bound() {
             steps_per_worker: 96,
             seed: 11,
             snapshot_every: 0,
-            ..TrainConfig::default()
         };
         let out = train(&dataset, &config);
         assert!(
