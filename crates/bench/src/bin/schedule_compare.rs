@@ -2,21 +2,31 @@
 //! *schedule*, as opposed to WSP or the partitioner?
 //!
 //! Sweeps all four pipeline schedules (HetPipe wave, GPipe fill-drain,
-//! PipeDream 1F1B, interleaved 1F1B) over {paper testbed, homogeneous
-//! TITAN V cluster} × {VGG-19, ResNet-152}, holding the allocation
-//! policy, partitioner, and WSP parameters fixed, and reports
-//! throughput plus peak per-GPU training memory for each cell.
+//! PipeDream 1F1B, interleaved 1F1B) × activation recomputation
+//! {off, boundary-only} over {paper testbed, homogeneous TITAN V
+//! cluster} × {VGG-19, ResNet-152}, holding the allocation policy,
+//! partitioner, and WSP parameters fixed, and reports throughput plus
+//! peak per-GPU training memory for each cell — the compute-vs-memory
+//! frontier recomputation trades along.
+//!
+//! Every simulated cell is audited: trace-measured peak activation
+//! occupancy must not exceed the declared memory accounting
+//! (per stage and per GPU). Any violation fails the run with a
+//! non-zero exit code — this is the CI memory-soundness smoke test.
 //!
 //! Flags:
 //! - `--json <path>`: machine-readable dump.
 //! - `--trace-out <prefix>`: write one `chrome://tracing` JSON file
-//!   per (cluster, model, schedule) cell, named
-//!   `<prefix>-<cluster>-<model>-<schedule>.json`.
+//!   per (cluster, model, schedule, recompute) cell, named
+//!   `<prefix>-<cluster>-<model>-<schedule>[-ckpt].json`.
 //! - `--horizon <secs>`: simulated horizon (default 60).
 
 use hetpipe_bench::{maybe_write_json, print_table};
 use hetpipe_cluster::{Cluster, GpuKind};
-use hetpipe_core::{AllocationPolicy, HetPipeSystem, Placement, Schedule, SystemConfig};
+use hetpipe_core::{
+    AllocationPolicy, HetPipeSystem, OccupancyAudit, Placement, RecomputePolicy, Schedule,
+    SystemConfig,
+};
 use hetpipe_des::SimTime;
 use hetpipe_model::{resnet152, vgg19, ModelGraph};
 use serde_json::json;
@@ -50,77 +60,105 @@ fn main() {
         vec![("VGG-19", vgg19(32)), ("ResNet-152", resnet152(32))];
 
     let mut dump = Vec::new();
+    let mut violations: Vec<String> = Vec::new();
     for (cluster_name, cluster) in &clusters {
         for (model_name, graph) in &models {
             let mut rows = Vec::new();
             for schedule in Schedule::ALL {
-                let config = SystemConfig {
-                    policy: AllocationPolicy::EqualDistribution,
-                    placement: Placement::Local,
-                    staleness_bound: 0,
-                    order_search: false,
-                    schedule,
-                    ..SystemConfig::default()
-                };
-                match HetPipeSystem::build(cluster, graph, &config) {
-                    Ok(sys) => {
-                        let (report, stats) = sys.run_with_stats(horizon);
-                        let ips = report.throughput_images_per_sec();
-                        // Peak per-GPU memory across every VW, GiB.
-                        let peak_bytes = (0..sys.virtual_workers().len())
-                            .flat_map(|i| sys.per_gpu_peak_bytes(i))
-                            .max()
-                            .unwrap_or(0);
-                        let peak_gib = peak_bytes as f64 / (1u64 << 30) as f64;
-                        rows.push(vec![
-                            schedule.to_string(),
-                            sys.nm().to_string(),
-                            format!("{ips:.0}"),
-                            format!("{peak_gib:.2}"),
-                        ]);
-                        dump.push(json!({
-                            "cluster": *cluster_name,
-                            "model": *model_name,
-                            "schedule": schedule.to_string(),
-                            "nm": sys.nm(),
-                            "images_per_sec": ips,
-                            "peak_gpu_bytes": peak_bytes,
-                            "pull_wait_secs": report.total_pull_wait_secs(),
-                        }));
-                        if let Some(prefix) = &trace_prefix {
-                            // "interleaved-1f1b:2" → ':' is not a
-                            // valid filename character everywhere.
-                            let path = format!(
-                                "{prefix}-{cluster_name}-{}-{}.json",
-                                model_name.to_lowercase().replace('-', ""),
-                                schedule.to_string().replace(':', "-")
+                for recompute in RecomputePolicy::ALL {
+                    let config = SystemConfig {
+                        policy: AllocationPolicy::EqualDistribution,
+                        placement: Placement::Local,
+                        staleness_bound: 0,
+                        order_search: false,
+                        schedule,
+                        recompute,
+                        ..SystemConfig::default()
+                    };
+                    let ckpt = if recompute.is_on() { "on" } else { "off" };
+                    match HetPipeSystem::build(cluster, graph, &config) {
+                        Ok(sys) => {
+                            let (report, stats) = sys.run_with_stats(horizon);
+                            let ips = report.throughput_images_per_sec();
+                            // Peak per-GPU memory across every VW, GiB.
+                            let peak_bytes = (0..sys.virtual_workers().len())
+                                .flat_map(|i| sys.per_gpu_peak_bytes(i))
+                                .max()
+                                .unwrap_or(0);
+                            let peak_gib = peak_bytes as f64 / (1u64 << 30) as f64;
+                            // The memory-soundness smoke check: the
+                            // trace must stay within the declared
+                            // accounting for every stage and GPU.
+                            let audit = OccupancyAudit::measure(
+                                &stats,
+                                sys.virtual_workers(),
+                                &schedule,
+                                sys.nm(),
                             );
-                            let pool = &stats.pool;
-                            stats
-                                .trace
-                                .write_chrome_trace_file(
-                                    &path,
-                                    |rid| pool.get(rid).name.clone(),
-                                    |tag| tag.label(),
-                                    |tag| tag.category(),
-                                )
-                                .unwrap_or_else(|e| eprintln!("cannot write {path}: {e}"));
-                            println!("(trace written to {path})");
+                            let cell = format!(
+                                "{cluster_name}/{model_name}/{schedule}/recompute-{recompute}"
+                            );
+                            for v in audit.violations() {
+                                violations.push(format!("{cell}: {v}"));
+                            }
+                            rows.push(vec![
+                                schedule.to_string(),
+                                ckpt.into(),
+                                sys.nm().to_string(),
+                                format!("{ips:.0}"),
+                                format!("{peak_gib:.2}"),
+                                if audit.is_sound() { "ok" } else { "VIOLATED" }.into(),
+                            ]);
+                            dump.push(json!({
+                                "cluster": *cluster_name,
+                                "model": *model_name,
+                                "schedule": schedule.to_string(),
+                                "recompute": recompute.to_string(),
+                                "nm": sys.nm(),
+                                "images_per_sec": ips,
+                                "peak_gpu_bytes": peak_bytes,
+                                "pull_wait_secs": report.total_pull_wait_secs(),
+                                "memory_sound": audit.is_sound(),
+                            }));
+                            if let Some(prefix) = &trace_prefix {
+                                // "interleaved-1f1b:2" → ':' is not a
+                                // valid filename character everywhere.
+                                let path = format!(
+                                    "{prefix}-{cluster_name}-{}-{}{}.json",
+                                    model_name.to_lowercase().replace('-', ""),
+                                    schedule.to_string().replace(':', "-"),
+                                    if recompute.is_on() { "-ckpt" } else { "" },
+                                );
+                                let pool = &stats.pool;
+                                stats
+                                    .trace
+                                    .write_chrome_trace_file(
+                                        &path,
+                                        |rid| pool.get(rid).name.clone(),
+                                        |tag| tag.label(),
+                                        |tag| tag.category(),
+                                    )
+                                    .unwrap_or_else(|e| eprintln!("cannot write {path}: {e}"));
+                                println!("(trace written to {path})");
+                            }
                         }
-                    }
-                    Err(e) => {
-                        rows.push(vec![
-                            schedule.to_string(),
-                            "-".into(),
-                            e.to_string(),
-                            "-".into(),
-                        ]);
-                        dump.push(json!({
-                            "cluster": *cluster_name,
-                            "model": *model_name,
-                            "schedule": schedule.to_string(),
-                            "error": e.to_string(),
-                        }));
+                        Err(e) => {
+                            rows.push(vec![
+                                schedule.to_string(),
+                                ckpt.into(),
+                                "-".into(),
+                                e.to_string(),
+                                "-".into(),
+                                "-".into(),
+                            ]);
+                            dump.push(json!({
+                                "cluster": *cluster_name,
+                                "model": *model_name,
+                                "schedule": schedule.to_string(),
+                                "recompute": recompute.to_string(),
+                                "error": e.to_string(),
+                            }));
+                        }
                     }
                 }
             }
@@ -128,7 +166,7 @@ fn main() {
                 &format!(
                     "Schedule comparison ({cluster_name} cluster, {model_name}, ED-local, D=0)"
                 ),
-                &["schedule", "Nm", "img/s", "peak GPU GiB"],
+                &["schedule", "ckpt", "Nm", "img/s", "peak GPU GiB", "mem"],
                 &rows,
             );
         }
@@ -138,7 +176,18 @@ fn main() {
         "\nReading guide: the wave schedule trades memory (weight stashing, deep occupancy) \
          for arrival-driven overlap; fill-drain saves weight versions but pays pipeline \
          bubbles; 1F1B bounds memory by depth; interleaving shrinks bubbles at the cost of \
-         more boundary traffic."
+         more boundary traffic. Boundary-only recomputation pays one forward re-run per \
+         backward to shrink the activation stash — on memory-bound clusters that buys a \
+         deeper feasible Nm. The `mem` column is the trace-audited measured ≤ declared \
+         occupancy invariant."
     );
     maybe_write_json(&json!(dump));
+
+    if !violations.is_empty() {
+        eprintln!("\nMEMORY SOUNDNESS VIOLATIONS ({}):", violations.len());
+        for v in &violations {
+            eprintln!("  {v}");
+        }
+        std::process::exit(1);
+    }
 }

@@ -1,0 +1,207 @@
+//! The measured ≤ declared activation-occupancy audit.
+//!
+//! The memory model certifies partition plans against each schedule's
+//! declared per-stage activation window
+//! ([`PipelineSchedule::max_in_flight`]), and the executor enforces
+//! that window at dispatch time. This module closes the loop: it
+//! measures the *realized* peak occupancy from a run's span trace — a
+//! minibatch holds an activation set at a stage from its forward's
+//! completion until its backward's completion — and asserts
+//! measured ≤ declared as a first-class invariant, per stage and per
+//! physical GPU.
+//!
+//! Used by the tier-1 `schedule_conditions` tests and by the
+//! `schedule_compare` CI smoke run, which fails the build on any
+//! violation.
+
+use crate::exec::{RunStats, SpanTag};
+use crate::vw::VirtualWorker;
+use hetpipe_des::SimTime;
+use hetpipe_schedule::{PipelineSchedule, Schedule};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One stage's measured-vs-declared occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageOccupancy {
+    /// Virtual worker index.
+    pub vw: usize,
+    /// Executor (virtual) stage index.
+    pub stage: usize,
+    /// Trace-measured peak number of minibatches simultaneously
+    /// holding activations at the stage.
+    pub measured: i64,
+    /// The schedule's declared (and memory-charged) bound.
+    pub declared: i64,
+}
+
+impl StageOccupancy {
+    /// True when the run stayed within its certification.
+    pub fn sound(&self) -> bool {
+        self.measured <= self.declared
+    }
+}
+
+impl fmt::Display for StageOccupancy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "vw{} stage {}: measured {} / declared {}",
+            self.vw, self.stage, self.measured, self.declared
+        )
+    }
+}
+
+/// One physical GPU's measured-vs-declared occupancy (co-located
+/// interleaved chunks summed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GpuOccupancy {
+    /// Virtual worker index.
+    pub vw: usize,
+    /// Physical GPU position within the VW (0-based).
+    pub gpu: usize,
+    /// Peak activation sets held across all of the GPU's co-located
+    /// stages simultaneously.
+    pub measured: i64,
+    /// Sum of the co-located stages' declared bounds.
+    pub declared: i64,
+}
+
+impl GpuOccupancy {
+    /// True when the run stayed within its certification.
+    pub fn sound(&self) -> bool {
+        self.measured <= self.declared
+    }
+}
+
+impl fmt::Display for GpuOccupancy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "vw{} gpu {}: measured {} / declared {}",
+            self.vw, self.gpu, self.measured, self.declared
+        )
+    }
+}
+
+/// The full audit of one run.
+#[derive(Debug, Clone)]
+pub struct OccupancyAudit {
+    /// Per executor stage, every `(vw, stage)` that ran tasks.
+    pub stages: Vec<StageOccupancy>,
+    /// Per physical GPU of every VW.
+    pub gpus: Vec<GpuOccupancy>,
+}
+
+impl OccupancyAudit {
+    /// Measures peak activation occupancy from `stats`' span trace and
+    /// pairs it with `schedule`'s declared accounting.
+    ///
+    /// Occupancy events: +1 when a forward span ends (activations
+    /// materialized), −1 when the matching backward span ends
+    /// (released). The wave schedule's fused last-stage task carries
+    /// both, so it contributes a net-zero handoff; recompute spans are
+    /// stage-local re-runs and contribute nothing.
+    pub fn measure(
+        stats: &RunStats,
+        vws: &[VirtualWorker],
+        schedule: &Schedule,
+        nm: usize,
+    ) -> OccupancyAudit {
+        let fused = schedule.fused_last_stage();
+        let colocated = schedule.colocated_stages();
+        // Key stages by (vw, stage) and GPUs by (vw, physical gpu).
+        let stage_events = |tag: &SpanTag, end: SimTime| -> Vec<((usize, usize), SimTime, i64)> {
+            match *tag {
+                SpanTag::Forward { vw, stage, .. } => {
+                    vec![((vw as usize, stage as usize), end, 1)]
+                }
+                SpanTag::Backward { vw, stage, .. } => {
+                    let (vw, stage) = (vw as usize, stage as usize);
+                    let mut evs = vec![((vw, stage), end, -1)];
+                    if fused && stage + 1 == vws[vw].stages() {
+                        // The fused task is its own forward.
+                        evs.push(((vw, stage), end, 1));
+                    }
+                    evs
+                }
+                _ => Vec::new(),
+            }
+        };
+        let stage_peaks = stats
+            .trace
+            .peak_concurrent(|span| stage_events(&span.tag, span.end));
+        let gpu_peaks: BTreeMap<(usize, usize), i64> = stats.trace.peak_concurrent(|span| {
+            stage_events(&span.tag, span.end)
+                .into_iter()
+                .map(|((vw, stage), at, delta)| {
+                    let gpus = vws[vw].stages() / colocated;
+                    ((vw, stage % gpus), at, delta)
+                })
+                .collect()
+        });
+
+        let mut stages = Vec::new();
+        let mut gpus = Vec::new();
+        for (vwi, vw) in vws.iter().enumerate() {
+            let k = vw.stages();
+            let physical = k / colocated;
+            for stage in 0..k {
+                let measured = stage_peaks.get(&(vwi, stage)).copied().unwrap_or(0);
+                stages.push(StageOccupancy {
+                    vw: vwi,
+                    stage,
+                    measured,
+                    declared: schedule.max_in_flight(stage, k, nm) as i64,
+                });
+            }
+            for gpu in 0..physical {
+                let declared: i64 = (0..k)
+                    .filter(|s| s % physical == gpu)
+                    .map(|s| schedule.max_in_flight(s, k, nm) as i64)
+                    .sum();
+                gpus.push(GpuOccupancy {
+                    vw: vwi,
+                    gpu,
+                    measured: gpu_peaks.get(&(vwi, gpu)).copied().unwrap_or(0),
+                    declared,
+                });
+            }
+        }
+        OccupancyAudit { stages, gpus }
+    }
+
+    /// Every stage or GPU whose measured peak exceeds its declaration,
+    /// rendered for reporting. Empty iff the run was sound.
+    pub fn violations(&self) -> Vec<String> {
+        let mut v: Vec<String> = self
+            .stages
+            .iter()
+            .filter(|s| !s.sound())
+            .map(|s| format!("stage occupancy violation: {s}"))
+            .collect();
+        v.extend(
+            self.gpus
+                .iter()
+                .filter(|g| !g.sound())
+                .map(|g| format!("gpu occupancy violation: {g}")),
+        );
+        v
+    }
+
+    /// True when every measured peak is within its declaration.
+    pub fn is_sound(&self) -> bool {
+        self.stages.iter().all(StageOccupancy::sound) && self.gpus.iter().all(GpuOccupancy::sound)
+    }
+
+    /// Panics with the full violation list unless the audit is sound.
+    pub fn assert_sound(&self, label: &str) {
+        let violations = self.violations();
+        assert!(
+            violations.is_empty(),
+            "{label}: trace-measured activation occupancy exceeds the declared \
+             memory accounting:\n  {}",
+            violations.join("\n  ")
+        );
+    }
+}

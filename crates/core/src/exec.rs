@@ -23,7 +23,25 @@
 //!   already-admissible minibatches) until every VW has pushed that
 //!   wave. The injection gate is [`WspParams::required_wave`] for the
 //!   wave schedule and the explicit [`ScheduleOp::PullGate`] op for
-//!   stream-order schedules.
+//!   stream-order schedules. Consecutive waves' push transfers run
+//!   concurrently (per-wave chunk counters), contending on the NIC
+//!   timelines rather than being serialized behind one another.
+//! - **Enforced activation windows**: each stage's declared peak
+//!   activation occupancy ([`PipelineSchedule::max_in_flight`] — the
+//!   same number the memory model charges and the partitioner
+//!   certifies against) is enforced at dispatch time. Arrival-FIFO
+//!   stages gate forward dispatch on the window (deferring arrivals
+//!   until a backward releases a slot); stream-order stages respect it
+//!   structurally, and both paths keep occupancy books that are
+//!   asserted against the declaration. `crate::audit` measures the
+//!   realized peaks from the span trace as the first-class
+//!   measured ≤ declared invariant.
+//! - **Activation recomputation**: under
+//!   [`RecomputePolicy::BoundaryOnly`], every non-fused backward is
+//!   preceded by a stage-local forward re-run (an explicit
+//!   [`SpanTag::Recompute`] task) that rematerializes activations from
+//!   the stashed boundary input, matching the memory model's smaller
+//!   per-minibatch stash.
 //!
 //! Hardware modelling: GPUs and per-node NICs are FIFO timeline
 //! resources; an inter-node transfer occupies both endpoint NICs for its
@@ -44,8 +62,10 @@ use hetpipe_cluster::{Cluster, NodeId};
 use hetpipe_des::{Engine, Resource, ResourceId, ResourcePool, SimTime, Trace};
 use hetpipe_model::profile::{pass_time_secs, Pass, STAGE_TASK_OVERHEAD_SECS};
 use hetpipe_model::ModelGraph;
-use hetpipe_schedule::{Dispatch, PipelineSchedule, Schedule, ScheduleOp, ScheduleStream};
-use std::collections::VecDeque;
+use hetpipe_schedule::{
+    Dispatch, PipelineSchedule, RecomputePolicy, Schedule, ScheduleOp, ScheduleStream,
+};
+use std::collections::{BTreeMap, VecDeque};
 
 /// What a recorded span represents.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -55,6 +75,10 @@ pub enum SpanTag {
     /// A backward pass (or the fused forward+backward at the last
     /// stage).
     Backward { vw: u32, stage: u32, mb: u64 },
+    /// A stage-local re-run of `mb`'s forward to rematerialize its
+    /// activations directly before the backward
+    /// ([`RecomputePolicy::BoundaryOnly`]).
+    Recompute { vw: u32, stage: u32, mb: u64 },
     /// An activation (forward) or gradient (backward) transfer on a NIC.
     ActTransfer { vw: u32, stage: u32, backward: bool },
     /// A parameter push/pull chunk on a NIC.
@@ -67,6 +91,7 @@ impl SpanTag {
         match self {
             SpanTag::Forward { vw, mb, .. } => format!("fwd vw{vw} mb{mb}"),
             SpanTag::Backward { vw, mb, .. } => format!("bwd vw{vw} mb{mb}"),
+            SpanTag::Recompute { vw, mb, .. } => format!("recompute vw{vw} mb{mb}"),
             SpanTag::ActTransfer { vw, backward, .. } => {
                 format!(
                     "{} vw{vw}",
@@ -84,6 +109,7 @@ impl SpanTag {
         match self {
             SpanTag::Forward { .. } => "forward",
             SpanTag::Backward { .. } => "backward",
+            SpanTag::Recompute { .. } => "recompute",
             SpanTag::ActTransfer { .. } => "activation",
             SpanTag::SyncTransfer { .. } => "sync",
         }
@@ -111,6 +137,10 @@ pub struct ExecParams<'a> {
     pub sync_transfers: bool,
     /// The pipeline schedule every VW runs.
     pub schedule: Schedule,
+    /// Activation recomputation: with
+    /// [`RecomputePolicy::BoundaryOnly`] every non-fused backward is
+    /// preceded by a stage-local forward re-run on the same GPU.
+    pub recompute: RecomputePolicy,
 }
 
 /// One virtual worker's synchronization statistics.
@@ -177,20 +207,42 @@ struct VwState {
     /// Remaining chunks of an in-flight pull and the version it carries.
     pull_remaining: usize,
     pull_serving_version: i64,
-    push_remaining: usize,
-    /// Waves whose push is queued behind an in-flight push's
-    /// transfers (FIFO).
-    pending_pushes: VecDeque<u64>,
+    /// Remaining transfer chunks of each in-flight wave push, keyed by
+    /// wave. Pushes of consecutive waves proceed *concurrently* (their
+    /// transfers contend on the NIC timelines like any other traffic);
+    /// per-wave counters keep their completions independent, so a
+    /// sync-bound regime is not serialized artificially.
+    push_remaining: BTreeMap<u64, usize>,
     block_start: Option<SimTime>,
     stats: VwStats,
 }
 
-/// The three kinds of GPU task a stream op maps to.
+/// The kinds of GPU task a stream op maps to.
 #[derive(Debug, Clone, Copy)]
 enum StreamTask {
     Forward,
     Backward,
     Fused,
+    /// A stage-local forward re-run ahead of a backward (activation
+    /// recomputation). Nothing downstream depends on its completion —
+    /// its backward is reserved right behind it on the same FIFO GPU
+    /// timeline — so it schedules no event.
+    Recompute,
+}
+
+/// One stage's executor-enforced activation window (all dispatch
+/// disciplines).
+struct StageWindow {
+    /// The declared occupancy bound ([`PipelineSchedule::max_in_flight`]).
+    window: u64,
+    /// Minibatches holding (or about to hold) an activation set here:
+    /// forward *dispatched* (GPU slot reserved), backward not yet
+    /// completed. An upper bound on trace-measured occupancy, which
+    /// counts from forward *completion*.
+    outstanding: u64,
+    /// Forward arrivals deferred by the gate, in arrival (= minibatch)
+    /// order, released one per backward completion.
+    deferred: VecDeque<u64>,
 }
 
 /// One stage's position in its schedule stream (stream-order dispatch
@@ -223,6 +275,9 @@ struct Exec<'a> {
     chunks: Vec<Vec<SyncChunk>>,
     /// Per-VW per-stage stream cursors (stream-order dispatch only).
     cursors: Vec<Vec<StageCursor>>,
+    /// Per-VW per-stage activation windows (arrival-FIFO dispatch
+    /// gates on these; both paths debug-assert against them).
+    windows: Vec<Vec<StageWindow>>,
     dispatch: Dispatch,
     horizon: SimTime,
     sync_inter: u64,
@@ -278,8 +333,7 @@ impl<'a> Exec<'a> {
                 pull_request: None,
                 pull_remaining: 0,
                 pull_serving_version: -1,
-                push_remaining: 0,
-                pending_pushes: VecDeque::new(),
+                push_remaining: BTreeMap::new(),
                 block_start: None,
                 stats: VwStats::default(),
             })
@@ -295,7 +349,10 @@ impl<'a> Exec<'a> {
                     let k = vw.stages();
                     (0..k)
                         .map(|stage| StageCursor {
-                            stream: p.schedule.stream(stage, k, p.wsp),
+                            stream: p
+                                .schedule
+                                .stream(stage, k, p.wsp)
+                                .with_recompute(p.recompute),
                             next: None,
                             fwd_arrived: 0,
                             bwd_arrived: 0,
@@ -304,6 +361,25 @@ impl<'a> Exec<'a> {
                 })
                 .collect(),
         };
+
+        // The executor-enforced activation windows: exactly what the
+        // memory model charges per stage (PipelineSchedule is the
+        // contract between the partitioner's certification and the
+        // runtime).
+        let windows = p
+            .vws
+            .iter()
+            .map(|vw| {
+                let k = vw.stages();
+                (0..k)
+                    .map(|stage| StageWindow {
+                        window: p.schedule.max_in_flight(stage, k, p.wsp.nm) as u64,
+                        outstanding: 0,
+                        deferred: VecDeque::new(),
+                    })
+                    .collect()
+            })
+            .collect();
 
         Exec {
             p,
@@ -317,6 +393,7 @@ impl<'a> Exec<'a> {
             bwd,
             chunks,
             cursors,
+            windows,
             dispatch,
             horizon,
             sync_inter: 0,
@@ -441,7 +518,33 @@ impl<'a> Exec<'a> {
         }
     }
 
+    /// Forward activations of `mb` arrive at `stage`. Dispatch is gated
+    /// on the stage's declared activation window: if the stage already
+    /// has `window` minibatches holding (or dispatched to hold)
+    /// activation sets, the arrival queues until a backward releases
+    /// one. This is what makes [`PipelineSchedule::max_in_flight`] an
+    /// enforced bound rather than documentation. (For the wave
+    /// schedule the declared window is the injection cap `Nm`, which
+    /// the `try_inject` gate already guarantees — so the gate never
+    /// fires there and the golden traces are bit-identical — but a
+    /// schedule declaring a tighter window is throttled to it.)
     fn fwd_arrive(&mut self, vw: usize, stage: usize, mb: u64) {
+        // Same tracking predicate as release_window, so acquire and
+        // release stay paired for any arrival-FIFO schedule.
+        if self.window_tracked(vw, stage) {
+            let w = &mut self.windows[vw][stage];
+            if w.outstanding >= w.window {
+                w.deferred.push_back(mb);
+                return;
+            }
+            w.outstanding += 1;
+        }
+        self.dispatch_forward(vw, stage, mb);
+    }
+
+    /// Reserves the GPU slot(s) for `mb`'s forward (or fused
+    /// forward+backward at the last stage) and schedules completion.
+    fn dispatch_forward(&mut self, vw: usize, stage: usize, mb: u64) {
         let now = self.engine.now();
         let k = self.p.vws[vw].stages();
         let gpu = self.gpu_of(vw, stage);
@@ -521,6 +624,23 @@ impl<'a> Exec<'a> {
     fn bwd_arrive(&mut self, vw: usize, stage: usize, mb: u64) {
         let now = self.engine.now();
         let gpu = self.gpu_of(vw, stage);
+        if self.p.recompute.is_on() {
+            // Rematerialize the stage's activations from the stashed
+            // boundary input: one forward re-run reserved directly
+            // ahead of the backward on the same FIFO timeline.
+            let dur = self.fwd[vw][stage];
+            let (s, e) = self.pool.get_mut(gpu).reserve(now, dur);
+            self.trace.record(
+                gpu,
+                s,
+                e,
+                SpanTag::Recompute {
+                    vw: vw as u32,
+                    stage: stage as u32,
+                    mb,
+                },
+            );
+        }
         let dur = self.bwd[vw][stage];
         let (s, e) = self.pool.get_mut(gpu).reserve(now, dur);
         self.trace.record(
@@ -543,7 +663,33 @@ impl<'a> Exec<'a> {
         );
     }
 
+    /// Whether `stage` participates in activation-window tracking: a
+    /// fused last stage never holds more than the activation set of
+    /// the task being executed, so it is exempt.
+    fn window_tracked(&self, vw: usize, stage: usize) -> bool {
+        !(self.p.schedule.fused_last_stage() && stage + 1 == self.p.vws[vw].stages())
+    }
+
+    /// A backward completed at `stage`: release one slot of the
+    /// stage's activation window and dispatch the next deferred
+    /// forward, if the gate held one back.
+    fn release_window(&mut self, vw: usize, stage: usize) {
+        if !self.window_tracked(vw, stage) {
+            return;
+        }
+        let w = &mut self.windows[vw][stage];
+        debug_assert!(w.outstanding >= 1, "window release without a holder");
+        w.outstanding -= 1;
+        if w.outstanding < w.window {
+            if let Some(mb) = w.deferred.pop_front() {
+                w.outstanding += 1;
+                self.dispatch_forward(vw, stage, mb);
+            }
+        }
+    }
+
     fn bwd_done(&mut self, vw: usize, stage: usize, mb: u64) {
+        self.release_window(vw, stage);
         if stage > 0 {
             self.send_gradient_left(vw, stage, mb);
             return;
@@ -584,6 +730,23 @@ impl<'a> Exec<'a> {
             }
             Ev::FwdDone { vw, stage, mb } => {
                 let (vw, stage) = (vw as usize, stage as usize);
+                if self.window_tracked(vw, stage) {
+                    // Stream order keeps occupancy within the declared
+                    // window structurally (the stream interleaves
+                    // forwards with the backwards that release them);
+                    // keep completion-based books so the invariant is
+                    // checked, not assumed. An activation set exists
+                    // from forward completion to backward completion.
+                    let w = &mut self.windows[vw][stage];
+                    w.outstanding += 1;
+                    debug_assert!(
+                        w.outstanding <= w.window,
+                        "stream execution exceeded the declared activation window \
+                         ({} > {}) at vw{vw} stage {stage}",
+                        w.outstanding,
+                        w.window
+                    );
+                }
                 if stage + 1 < self.p.vws[vw].stages() {
                     // Identical transfer modelling to the arrival path.
                     self.fwd_done(vw, stage, mb);
@@ -598,6 +761,14 @@ impl<'a> Exec<'a> {
             }
             Ev::BwdDone { vw, stage, mb } => {
                 let (vw, stage) = (vw as usize, stage as usize);
+                if self.window_tracked(vw, stage) {
+                    // Stream order enforces the window structurally;
+                    // keep the occupancy books so the invariant is
+                    // checked, not assumed.
+                    let w = &mut self.windows[vw][stage];
+                    debug_assert!(w.outstanding >= 1, "window release without a holder");
+                    w.outstanding -= 1;
+                }
                 if stage > 0 {
                     self.send_gradient_left(vw, stage, mb);
                     return;
@@ -682,6 +853,17 @@ impl<'a> Exec<'a> {
                         return;
                     }
                 }
+                ScheduleOp::Recompute { mb } => {
+                    // Gated on the same dependency as the backward it
+                    // precedes, so the rematerialized activations do
+                    // not sit idle while the gradient is in flight.
+                    if stage + 1 < k && self.cursors[vw][stage].bwd_arrived < mb {
+                        return;
+                    }
+                    if !self.reserve_compute(vw, stage, mb, StreamTask::Recompute) {
+                        return;
+                    }
+                }
             }
         }
     }
@@ -696,7 +878,7 @@ impl<'a> Exec<'a> {
             return false;
         }
         let dur = match task {
-            StreamTask::Forward => self.fwd[vw][stage],
+            StreamTask::Forward | StreamTask::Recompute => self.fwd[vw][stage],
             StreamTask::Backward => self.bwd[vw][stage],
             StreamTask::Fused => self.fwd[vw][stage] + self.bwd[vw][stage],
         };
@@ -709,11 +891,21 @@ impl<'a> Exec<'a> {
                     stage: stage32,
                     mb,
                 },
-                Ev::FwdDone {
+                Some(Ev::FwdDone {
+                    vw: vw32,
+                    stage: stage32,
+                    mb,
+                }),
+            ),
+            // Nothing waits on a recompute: its backward is reserved
+            // right behind it on the same FIFO timeline.
+            StreamTask::Recompute => (
+                SpanTag::Recompute {
                     vw: vw32,
                     stage: stage32,
                     mb,
                 },
+                None,
             ),
             // Fused tasks are traced as Backward, matching the wave
             // path's fused last stage.
@@ -723,15 +915,17 @@ impl<'a> Exec<'a> {
                     stage: stage32,
                     mb,
                 },
-                Ev::BwdDone {
+                Some(Ev::BwdDone {
                     vw: vw32,
                     stage: stage32,
                     mb,
-                },
+                }),
             ),
         };
         self.trace.record(gpu, s, e, tag);
-        self.engine.schedule_at(e, done);
+        if let Some(done) = done {
+            self.engine.schedule_at(e, done);
+        }
         self.cursors[vw][stage].next = None;
         true
     }
@@ -769,17 +963,13 @@ impl<'a> Exec<'a> {
     // ------------------------------------------------------------------
 
     fn start_push(&mut self, vw: usize, wave: u64) {
-        // Serialize pushes: if the previous wave's transfers are still
-        // in flight (push time > wave compute time), queue this wave
-        // rather than clobbering the chunk counter. Mirrors the
-        // `pull_remaining > 0` guard on the pull side. (The frozen
-        // seed executor in `crate::golden` lacks this guard; none of
-        // the golden-tested configurations overlap pushes, so trace
-        // equality is unaffected.)
-        if self.states[vw].push_remaining > 0 {
-            self.states[vw].pending_pushes.push_back(wave);
-            return;
-        }
+        // Consecutive waves' pushes run *concurrently*: each wave
+        // tracks its own chunk counter, and its transfers contend on
+        // the NIC timelines like any other traffic instead of being
+        // serialized FIFO behind the previous wave's completion. (The
+        // frozen seed executor in `crate::golden` keeps a single
+        // unguarded counter; none of the golden-tested configurations
+        // overlap pushes, so trace equality is unaffected.)
         let chunk_list = if self.p.sync_transfers {
             self.chunks[vw].clone()
         } else {
@@ -789,7 +979,10 @@ impl<'a> Exec<'a> {
             self.push_completed(vw, wave);
             return;
         }
-        self.states[vw].push_remaining = chunk_list.len();
+        let prev = self.states[vw]
+            .push_remaining
+            .insert(wave, chunk_list.len());
+        debug_assert!(prev.is_none(), "wave {wave} pushed twice");
         for ch in chunk_list {
             self.account_sync(ch.gpu_node, ch.shard_node, ch.bytes);
             let arrive = self.transfer(
@@ -814,8 +1007,13 @@ impl<'a> Exec<'a> {
 
     fn push_chunk_done(&mut self, vw: usize, wave: u64) {
         let st = &mut self.states[vw];
-        st.push_remaining -= 1;
-        if st.push_remaining == 0 {
+        let remaining = st
+            .push_remaining
+            .get_mut(&wave)
+            .expect("chunk completion for a wave that is not in flight");
+        *remaining -= 1;
+        if *remaining == 0 {
+            st.push_remaining.remove(&wave);
             self.push_completed(vw, wave);
         }
     }
@@ -824,7 +1022,9 @@ impl<'a> Exec<'a> {
         let now = self.engine.now();
         {
             let st = &mut self.states[vw];
-            st.clock = wave + 1;
+            // Concurrent waves can complete out of order (their chunks
+            // take different NIC paths); the local clock is monotone.
+            st.clock = st.clock.max(wave + 1);
             st.stats.waves_pushed = st.clock;
         }
         // Request this VW's own pull (Section 5: at the end of clock c,
@@ -839,11 +1039,6 @@ impl<'a> Exec<'a> {
         // A new push may unblock any VW's pending pull.
         for v in 0..self.states.len() {
             self.try_serve_pull(v);
-        }
-        // Start the next queued wave push, if one piled up behind this
-        // one's transfers.
-        if let Some(next) = self.states[vw].pending_pushes.pop_front() {
-            self.start_push(vw, next);
         }
     }
 
@@ -990,6 +1185,7 @@ mod tests {
                 shards: &shards,
                 sync_transfers: true,
                 schedule,
+                recompute: RecomputePolicy::None,
             },
             SimTime::from_secs(secs),
         )
@@ -1111,6 +1307,7 @@ mod tests {
                 shards: &shards,
                 sync_transfers: true,
                 schedule: Schedule::HetPipeWave,
+                recompute: RecomputePolicy::None,
             },
             SimTime::from_secs(20.0),
         );
@@ -1138,6 +1335,7 @@ mod tests {
                 shards: &shards,
                 sync_transfers: true,
                 schedule: Schedule::HetPipeWave,
+                recompute: RecomputePolicy::None,
             },
             SimTime::from_secs(30.0),
         );
@@ -1221,6 +1419,7 @@ mod tests {
                     shards: &shards,
                     sync_transfers: true,
                     schedule,
+                    recompute: RecomputePolicy::None,
                 },
                 SimTime::from_secs(20.0),
             );

@@ -18,7 +18,12 @@
 //!   executing one pipeline.
 //! - [`exec`] — the discrete-event executor: the Figure-1 pipeline
 //!   schedule (FIFO conditions 1–3, fused forward/backward at the last
-//!   stage), wave-aggregated pushes, D-bounded pulls.
+//!   stage), wave-aggregated pushes, D-bounded pulls,
+//!   executor-enforced activation windows, and activation
+//!   recomputation.
+//! - [`audit`] — the measured ≤ declared activation-occupancy audit:
+//!   trace-measured per-stage/per-GPU peaks checked against the
+//!   schedule's declared memory accounting.
 //! - [`system`] — end-to-end assembly and simulation entry point.
 //! - [`metrics`] — throughput, per-GPU utilization, waiting vs true
 //!   idle time (Section 8.4), and traffic split.
@@ -27,6 +32,7 @@
 //!   (Figures 5 and 6).
 
 pub mod alloc;
+pub mod audit;
 pub mod convergence;
 pub mod exec;
 pub mod golden;
@@ -37,7 +43,8 @@ pub mod system;
 pub mod vw;
 
 pub use alloc::AllocationPolicy;
-pub use hetpipe_schedule::{PipelineSchedule, Schedule};
+pub use audit::OccupancyAudit;
+pub use hetpipe_schedule::{PipelineSchedule, RecomputePolicy, Schedule};
 pub use metrics::SystemReport;
 pub use pserver::Placement;
 pub use sync::{SyncModel, WspParams};

@@ -17,9 +17,9 @@ use hetpipe_des::SimTime;
 use hetpipe_model::memory::nm_saturation_limit;
 use hetpipe_model::ModelGraph;
 use hetpipe_partition::{
-    max_feasible_nm_for, order::search_orders, PartitionProblem, PartitionSolver,
+    max_feasible_nm_with, order::search_orders, PartitionProblem, PartitionSolver,
 };
-use hetpipe_schedule::{PipelineSchedule, Schedule};
+use hetpipe_schedule::{PipelineSchedule, RecomputePolicy, Schedule};
 use std::fmt;
 
 /// System-level configuration.
@@ -47,6 +47,10 @@ pub struct SystemConfig {
     /// wave schedule by default). Interleaved schedules repartition
     /// the model over `chunks × GPUs` virtual stages.
     pub schedule: Schedule,
+    /// Activation recomputation policy: `BoundaryOnly` stashes only
+    /// boundary inputs (smaller memory charge, typically a larger
+    /// feasible `Nm`) and pays one forward re-run per backward.
+    pub recompute: RecomputePolicy,
 }
 
 impl Default for SystemConfig {
@@ -60,6 +64,7 @@ impl Default for SystemConfig {
             warmup_fraction: 0.15,
             sync_transfers: true,
             schedule: Schedule::HetPipeWave,
+            recompute: RecomputePolicy::None,
         }
     }
 }
@@ -109,6 +114,66 @@ impl From<AllocError> for BuildError {
     }
 }
 
+/// How many proxy-ranked stage orders the order search refines with a
+/// short standalone simulation. Large enough to cover the proxy's
+/// resolution limit (near-equal scores can hide >15% simulated
+/// spread), small enough to keep `build` cheap.
+const ORDER_REFINE_CANDIDATES: usize = 6;
+
+/// Simulated steady-state rate (minibatches/sec past warm-up) of one
+/// candidate stage order running as a single virtual worker — with
+/// the configured shard placement and sync-transfer mode, so the
+/// score sees the NIC contention between activation transfers and
+/// parameter pushes/pulls that separates otherwise-equal orders — at
+/// the order's proxy-best `Nm`. `None` when no feasible plan exists
+/// at that `Nm`.
+fn simulate_standalone_rate(
+    cluster: &Cluster,
+    graph: &ModelGraph,
+    devices: &[DeviceId],
+    nm: usize,
+    config: &SystemConfig,
+) -> Option<f64> {
+    let gpus: Vec<_> = devices.iter().map(|&d| cluster.spec_of(d)).collect();
+    let links = VirtualWorker::links(cluster, devices);
+    let plan = PartitionSolver::solve(
+        &PartitionProblem::with_schedule(graph, gpus, links, nm, config.schedule)
+            .with_recompute(config.recompute),
+    )
+    .ok()?;
+    let latency: f64 = plan.stage_secs.iter().sum();
+    let vw = VirtualWorker {
+        index: 0,
+        devices: devices.to_vec(),
+        plan,
+        nm,
+    };
+    let shards = ShardMap::build(config.placement, graph, cluster, &vw);
+    let vws = [vw];
+    // Long enough to amortize the pipeline fill several times over.
+    let horizon = SimTime::from_secs((60.0 * latency).max(1.0));
+    let stats = exec::run(
+        ExecParams {
+            cluster,
+            graph,
+            vws: &vws,
+            wsp: WspParams::new(nm, config.staleness_bound),
+            shards: &shards,
+            sync_transfers: config.sync_transfers,
+            schedule: config.schedule,
+            recompute: config.recompute,
+        },
+        horizon,
+    );
+    let warmup = SimTime::from_secs(horizon.as_secs() * 0.25);
+    let completed = stats.vws[0]
+        .completions
+        .iter()
+        .filter(|&&t| t >= warmup)
+        .count();
+    Some(completed as f64 / (horizon.as_secs() * 0.75))
+}
+
 /// A fully-assembled HetPipe deployment, ready to simulate.
 #[derive(Debug, Clone)]
 pub struct HetPipeSystem<'a> {
@@ -145,24 +210,71 @@ impl<'a> HetPipeSystem<'a> {
         let mut maxms: Vec<usize> = Vec::with_capacity(groups.len());
         for (i, devices) in groups.iter().enumerate() {
             let ordered = if config.order_search && devices.len() > 1 {
-                // Score each distinct kind-order by an estimated
-                // steady-state throughput: a pipeline with `Nm` in
-                // flight sustains min(1/bottleneck, Nm/latency) — this
-                // accounts for orders whose memory layout caps Max_m.
+                // Two-pass order search. Pass 1 scores each distinct
+                // kind-order with an analytic proxy — the best
+                // min(1/bottleneck, Nm/latency) over the order's
+                // feasible Nm range. The proxy ranks coarsely (it
+                // cannot see arrival-FIFO bubble dynamics, which swing
+                // real throughput between near-equal-proxy orders), so
+                // pass 2 refines the leaders with a short standalone
+                // simulation (the paper's Figure-3 measurement mode)
+                // and keeps the simulated winner.
                 let gpus: Vec<_> = devices.iter().map(|&d| cluster.spec_of(d)).collect();
                 let limit = nm_saturation_limit(schedule.virtual_stages(devices.len()));
-                let result = search_orders(&gpus, |order| {
-                    let devs: Vec<DeviceId> =
-                        expand(&order.iter().map(|&j| devices[j]).collect::<Vec<_>>());
+                // (unexpanded stage devices, proxy score, proxy-best Nm)
+                let mut candidates: Vec<(Vec<DeviceId>, f64, usize)> = Vec::new();
+                search_orders(&gpus, |order| {
+                    let stage_devices: Vec<DeviceId> = order.iter().map(|&j| devices[j]).collect();
+                    let devs = expand(&stage_devices);
                     let ordered_gpus: Vec<_> = devs.iter().map(|&d| cluster.spec_of(d)).collect();
                     let links = VirtualWorker::links(cluster, &devs);
-                    let (maxm, plan) =
-                        max_feasible_nm_for(graph, &ordered_gpus, &links, limit, schedule)?;
-                    let latency: f64 = plan.stage_secs.iter().sum();
-                    Some((1.0 / plan.bottleneck_secs).min(maxm as f64 / latency))
+                    // One DP sweep serves both the feasibility probe
+                    // and the rate scoring (memory is monotone in Nm,
+                    // so the first infeasible Nm ends the sweep).
+                    let mut best: Option<(f64, usize)> = None;
+                    for nm in 1..=limit {
+                        let problem = PartitionProblem::with_schedule(
+                            graph,
+                            ordered_gpus.clone(),
+                            links.clone(),
+                            nm,
+                            schedule,
+                        )
+                        .with_recompute(config.recompute);
+                        let Ok(plan) = PartitionSolver::solve(&problem) else {
+                            break;
+                        };
+                        let latency: f64 = plan.stage_secs.iter().sum();
+                        let rate = (1.0 / plan.bottleneck_secs).min(nm as f64 / latency);
+                        if best.is_none_or(|(r, _)| rate > r) {
+                            best = Some((rate, nm));
+                        }
+                    }
+                    let (rate, nm) = best?;
+                    candidates.push((stage_devices, rate, nm));
+                    Some(rate)
                 })
                 .ok_or(BuildError::NoFeasiblePartition { vw: i })?;
-                result.0.iter().map(|&j| devices[j]).collect()
+                // Stable sort: proxy ties keep enumeration order, so
+                // the refinement set is deterministic.
+                candidates.sort_by(|a, b| b.1.total_cmp(&a.1));
+                let mut winner: Option<(Vec<DeviceId>, f64)> = None;
+                for (stage_devices, _proxy, nm) in
+                    candidates.into_iter().take(ORDER_REFINE_CANDIDATES)
+                {
+                    let rate = simulate_standalone_rate(
+                        cluster,
+                        graph,
+                        &expand(&stage_devices),
+                        nm,
+                        config,
+                    );
+                    let Some(rate) = rate else { continue };
+                    if winner.as_ref().is_none_or(|(_, r)| rate > *r) {
+                        winner = Some((stage_devices, rate));
+                    }
+                }
+                winner.ok_or(BuildError::NoFeasiblePartition { vw: i })?.0
             } else {
                 devices.clone()
             };
@@ -171,8 +283,9 @@ impl<'a> HetPipeSystem<'a> {
             let gpus: Vec<_> = ordered.iter().map(|&d| cluster.spec_of(d)).collect();
             let links = VirtualWorker::links(cluster, &ordered);
             let limit = nm_saturation_limit(ordered.len());
-            let (maxm, _plan) = max_feasible_nm_for(graph, &gpus, &links, limit, schedule)
-                .ok_or(BuildError::NoFeasiblePartition { vw: i })?;
+            let (maxm, _plan) =
+                max_feasible_nm_with(graph, &gpus, &links, limit, schedule, config.recompute)
+                    .ok_or(BuildError::NoFeasiblePartition { vw: i })?;
             maxms.push(maxm);
             ordered_groups.push(ordered);
         }
@@ -200,9 +313,10 @@ impl<'a> HetPipeSystem<'a> {
                     for devices in &ordered_groups {
                         let gpus: Vec<_> = devices.iter().map(|&d| cluster.spec_of(d)).collect();
                         let links = VirtualWorker::links(cluster, devices);
-                        match PartitionSolver::solve(&PartitionProblem::with_schedule(
-                            graph, gpus, links, nm, schedule,
-                        )) {
+                        match PartitionSolver::solve(
+                            &PartitionProblem::with_schedule(graph, gpus, links, nm, schedule)
+                                .with_recompute(config.recompute),
+                        ) {
                             Ok(plan) => {
                                 let latency: f64 = plan.stage_secs.iter().sum();
                                 let rate = (1.0 / plan.bottleneck_secs).min(nm as f64 / latency);
@@ -227,9 +341,10 @@ impl<'a> HetPipeSystem<'a> {
         for (i, devices) in ordered_groups.into_iter().enumerate() {
             let gpus: Vec<_> = devices.iter().map(|&d| cluster.spec_of(d)).collect();
             let links = VirtualWorker::links(cluster, &devices);
-            let plan = PartitionSolver::solve(&PartitionProblem::with_schedule(
-                graph, gpus, links, nm, schedule,
-            ))
+            let plan = PartitionSolver::solve(
+                &PartitionProblem::with_schedule(graph, gpus, links, nm, schedule)
+                    .with_recompute(config.recompute),
+            )
             .map_err(|_| BuildError::NmInfeasible { vw: i, nm })?;
             vws.push(VirtualWorker {
                 index: i,
@@ -276,12 +391,13 @@ impl<'a> HetPipeSystem<'a> {
     pub fn per_gpu_peak_bytes(&self, vw: usize) -> Vec<u64> {
         let v = &self.vws[vw];
         let gpus = v.stages() / self.config.schedule.colocated_stages();
-        hetpipe_model::memory::TrainingMemoryModel::per_gpu_peak_bytes(
+        hetpipe_model::memory::TrainingMemoryModel::per_gpu_peak_bytes_with(
             self.graph,
             &v.plan.ranges,
             gpus,
             self.nm,
             &self.config.schedule,
+            self.config.recompute,
         )
     }
 
@@ -304,6 +420,7 @@ impl<'a> HetPipeSystem<'a> {
                 shards: &self.shards,
                 sync_transfers: self.config.sync_transfers,
                 schedule: self.config.schedule,
+                recompute: self.config.recompute,
             },
             horizon,
         );

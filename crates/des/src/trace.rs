@@ -8,6 +8,7 @@
 
 use crate::resource::ResourceId;
 use crate::time::SimTime;
+use std::collections::BTreeMap;
 use std::io::{self, Write};
 use std::path::Path;
 
@@ -120,6 +121,43 @@ impl<T> Trace<T> {
     /// Counts spans whose tag satisfies `pred`.
     pub fn count_where(&self, mut pred: impl FnMut(&T) -> bool) -> usize {
         self.spans.iter().filter(|s| pred(&s.tag)).count()
+    }
+
+    /// Trace-measured peak concurrency: `events` maps each span to any
+    /// number of `(key, instant, delta)` occupancy events (e.g. +1
+    /// when a forward pass completes and its activations materialize,
+    /// −1 when the matching backward completes and releases them);
+    /// returns, per key, the maximum running sum ever reached.
+    ///
+    /// Events at the same instant are applied releases-first
+    /// (ascending `delta`), so a handoff at an instant does not count
+    /// as overlap. This is the measurement half of the
+    /// measured ≤ declared memory invariant: executors *declare* peak
+    /// activation occupancy through their schedule's accounting, and
+    /// this computes what a run actually did.
+    pub fn peak_concurrent<K: Ord>(
+        &self,
+        mut events: impl FnMut(&Span<T>) -> Vec<(K, SimTime, i64)>,
+    ) -> BTreeMap<K, i64> {
+        let mut per_key: BTreeMap<K, Vec<(SimTime, i64)>> = BTreeMap::new();
+        for span in &self.spans {
+            for (key, at, delta) in events(span) {
+                per_key.entry(key).or_default().push((at, delta));
+            }
+        }
+        per_key
+            .into_iter()
+            .map(|(key, mut evs)| {
+                evs.sort();
+                let mut live = 0i64;
+                let mut peak = 0i64;
+                for (_, delta) in evs {
+                    live += delta;
+                    peak = peak.max(live);
+                }
+                (key, peak)
+            })
+            .collect()
     }
 
     /// Writes the trace in the `chrome://tracing` / Perfetto JSON
@@ -281,6 +319,27 @@ mod tests {
         // One metadata event per distinct resource + one per span.
         assert_eq!(s.matches("\"ph\":\"M\"").count(), 2);
         assert_eq!(s.matches("\"ph\":\"X\"").count(), 2);
+    }
+
+    #[test]
+    fn peak_concurrent_counts_overlap_and_handoffs() {
+        let mut tr = Trace::new();
+        let r = ResourceId(0);
+        // Three "holders" keyed by resource: +1 at start, -1 at end.
+        tr.record(r, SimTime::from_nanos(0), SimTime::from_nanos(10), Tag::Fwd);
+        tr.record(r, SimTime::from_nanos(5), SimTime::from_nanos(15), Tag::Fwd);
+        // A handoff: starts exactly when the second ends.
+        tr.record(
+            r,
+            SimTime::from_nanos(15),
+            SimTime::from_nanos(20),
+            Tag::Fwd,
+        );
+        let peaks = tr.peak_concurrent(|s| vec![(s.resource, s.start, 1), (s.resource, s.end, -1)]);
+        // Spans 1 and 2 overlap (peak 2); the handoff does not add.
+        assert_eq!(peaks.get(&r), Some(&2));
+        // A key with no events is absent.
+        assert!(!peaks.contains_key(&ResourceId(9)));
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use crate::graph::ModelGraph;
 use hetpipe_cluster::gpu::GpuSpec;
-use hetpipe_schedule::{HetPipeWave, PipelineSchedule, Schedule};
+use hetpipe_schedule::{HetPipeWave, PipelineSchedule, RecomputePolicy, Schedule};
 use std::ops::Range;
 
 /// cuDNN scratch workspace reserved per GPU, bytes.
@@ -27,33 +27,38 @@ pub const FRAMEWORK_OVERHEAD_BYTES: u64 = 500 << 20;
 /// momentum.
 pub const PARAM_STATE_COPIES: u64 = 3;
 
-/// Number of minibatches simultaneously holding state at a stage.
+/// Number of minibatches simultaneously holding state at a stage of
+/// the paper's wave schedule.
 ///
-/// Derived from the Figure-1 schedule: at stage `q` (0-based) of `k`,
-/// a minibatch's activations live from its forward until its backward,
-/// a window spanning `2 * (k - 1 - q) + 1` task slots; the count is also
-/// capped by the pipeline's total concurrency `Nm`. The last stage
-/// always holds exactly one (forward and backward run fused), the first
-/// stage up to `min(Nm, 2k - 1)`.
+/// This is the *sound arrival-FIFO* bound the executor enforces: every
+/// non-last stage may transiently hold the full injection window `Nm`
+/// (under arrival-order dispatch with timing skew, forwards race ahead
+/// of backwards), while the last stage holds exactly one (forward and
+/// backward run fused). Figure 1's idealized window
+/// `min(Nm, 2(k − 1 − q) + 1)` only holds for perfectly balanced
+/// stages and is **not** what a certified plan can rely on at runtime.
 ///
 /// # Examples
 ///
 /// ```
 /// use hetpipe_model::memory::in_flight_at_stage;
-/// // Figure 1: k = 4, Nm = 4 — GPU1 holds 4, GPU4 holds 1.
+/// // k = 4, Nm = 4 — GPU1 holds up to 4, GPU4 (fused) holds 1.
 /// assert_eq!(in_flight_at_stage(0, 4, 4), 4);
+/// assert_eq!(in_flight_at_stage(2, 4, 4), 4);
 /// assert_eq!(in_flight_at_stage(3, 4, 4), 1);
 /// ```
 pub fn in_flight_at_stage(stage: usize, k: usize, nm: usize) -> usize {
     HetPipeWave.max_in_flight(stage, k, nm)
 }
 
-/// The `Nm` beyond which a `k`-stage pipeline gains nothing.
+/// The `Nm` beyond which a `k`-stage pipeline's *throughput* gains
+/// nothing.
 ///
-/// Stage 0's occupancy is capped at `2k - 1` (the forward/backward
-/// round trip of a minibatch spans `2(k-1)` task slots), so admitting
-/// more than `2k - 1` concurrent minibatches can neither increase
-/// throughput nor memory pressure.
+/// A minibatch's forward/backward round trip through the pipeline
+/// spans `2k - 1` task slots, so more than `2k - 1` concurrent
+/// minibatches cannot keep any additional stage busy — they only queue
+/// (and, under the sound occupancy accounting, cost memory). The `Nm`
+/// search is therefore capped here.
 pub fn nm_saturation_limit(k: usize) -> usize {
     2 * k - 1
 }
@@ -114,15 +119,38 @@ impl TrainingMemoryModel {
         nm: usize,
         schedule: &dyn PipelineSchedule,
     ) -> u64 {
+        Self::stage_bytes_with(graph, range, stage, k, nm, schedule, RecomputePolicy::None)
+    }
+
+    /// [`Self::stage_bytes_for`] under an activation-recomputation
+    /// policy. With [`RecomputePolicy::BoundaryOnly`] each in-flight
+    /// minibatch stashes only its boundary input; one full stored set
+    /// is additionally charged because the backward currently running
+    /// has its forward rematerialized in memory.
+    pub fn stage_bytes_with(
+        graph: &ModelGraph,
+        range: Range<usize>,
+        stage: usize,
+        k: usize,
+        nm: usize,
+        schedule: &dyn PipelineSchedule,
+        recompute: RecomputePolicy,
+    ) -> u64 {
         let layers = &graph.layers()[range.clone()];
         let params: u64 = layers.iter().map(|l| l.param_bytes).sum();
         let stored: u64 = layers.iter().map(|l| l.stored_bytes).sum();
         let in_flight = schedule.max_in_flight(stage, k, nm) as u64;
         let extra_versions = schedule.extra_weight_versions(stage, k, nm);
         let input_buf = graph.input_bytes_of(range.start);
+        let activations = match recompute {
+            RecomputePolicy::None => in_flight * (stored + input_buf),
+            // Stashed boundary inputs for every in-flight minibatch,
+            // plus the one rematerialized set live during a backward.
+            RecomputePolicy::BoundaryOnly => in_flight * input_buf + stored,
+        };
 
         params * (PARAM_STATE_COPIES + extra_versions)
-            + in_flight * (stored + input_buf)
+            + activations
             + CUDNN_WORKSPACE_BYTES
             + FRAMEWORK_OVERHEAD_BYTES
     }
@@ -139,14 +167,18 @@ impl TrainingMemoryModel {
         Self::stage_bytes(graph, range, stage, k, nm) <= gpu.memory_bytes
     }
 
-    /// Whether `gpu` can host the given stage under `schedule`.
+    /// Whether `gpu` can host the given stage under `schedule`,
+    /// splitting the budget of co-located interleaved chunks equally.
     ///
     /// Schedules that co-locate several virtual stages on one GPU
     /// (interleaved chunks) split the GPU's budget: each stage must
     /// fit an equal share of the memory left after the per-GPU fixed
     /// overheads (counted once). Equal split is conservative — the
     /// chunk sums it admits always fit — and keeps the constraint
-    /// per-stage, which is what the interval DP can check.
+    /// per-stage, which is what the interval DP can check; the solver
+    /// uses it as the *fallback* certification after the exact joint
+    /// per-GPU check ([`Self::plan_fits_per_gpu`]) over uneven chunk
+    /// shares.
     pub fn stage_fits_for(
         graph: &ModelGraph,
         range: Range<usize>,
@@ -156,6 +188,30 @@ impl TrainingMemoryModel {
         gpu: &GpuSpec,
         schedule: &dyn PipelineSchedule,
     ) -> bool {
+        Self::stage_fits_with(
+            graph,
+            range,
+            stage,
+            k,
+            nm,
+            gpu,
+            schedule,
+            RecomputePolicy::None,
+        )
+    }
+
+    /// [`Self::stage_fits_for`] under a recomputation policy.
+    #[allow(clippy::too_many_arguments)]
+    pub fn stage_fits_with(
+        graph: &ModelGraph,
+        range: Range<usize>,
+        stage: usize,
+        k: usize,
+        nm: usize,
+        gpu: &GpuSpec,
+        schedule: &dyn PipelineSchedule,
+        recompute: RecomputePolicy,
+    ) -> bool {
         let colocated = schedule.colocated_stages() as u64;
         let budget = if colocated > 1 {
             let fixed = CUDNN_WORKSPACE_BYTES + FRAMEWORK_OVERHEAD_BYTES;
@@ -163,7 +219,28 @@ impl TrainingMemoryModel {
         } else {
             gpu.memory_bytes
         };
-        Self::stage_bytes_for(graph, range, stage, k, nm, schedule) <= budget
+        Self::stage_bytes_with(graph, range, stage, k, nm, schedule, recompute) <= budget
+    }
+
+    /// Whether the stage fits `gpu` with the *whole* GPU budget to
+    /// itself (no co-located-chunk split). A necessary condition for
+    /// any placement; the solver's relaxed DP pass probes this and
+    /// certifies the reconstructed plan with the exact joint check
+    /// [`Self::plan_fits_per_gpu`], which admits uneven chunk shares
+    /// (a big chunk paired with a small one) that the equal split
+    /// rejects.
+    #[allow(clippy::too_many_arguments)]
+    pub fn stage_fits_alone(
+        graph: &ModelGraph,
+        range: Range<usize>,
+        stage: usize,
+        k: usize,
+        nm: usize,
+        gpu: &GpuSpec,
+        schedule: &dyn PipelineSchedule,
+        recompute: RecomputePolicy,
+    ) -> bool {
+        Self::stage_bytes_with(graph, range, stage, k, nm, schedule, recompute) <= gpu.memory_bytes
     }
 
     /// Peak memory per *physical GPU* for a full partition plan under
@@ -181,14 +258,48 @@ impl TrainingMemoryModel {
         nm: usize,
         schedule: &Schedule,
     ) -> Vec<u64> {
+        Self::per_gpu_peak_bytes_with(graph, ranges, gpus, nm, schedule, RecomputePolicy::None)
+    }
+
+    /// [`Self::per_gpu_peak_bytes`] under a recomputation policy.
+    pub fn per_gpu_peak_bytes_with(
+        graph: &ModelGraph,
+        ranges: &[Range<usize>],
+        gpus: usize,
+        nm: usize,
+        schedule: &Schedule,
+        recompute: RecomputePolicy,
+    ) -> Vec<u64> {
         let k = ranges.len();
         let fixed = CUDNN_WORKSPACE_BYTES + FRAMEWORK_OVERHEAD_BYTES;
         let mut per_gpu = vec![fixed; gpus];
         for (stage, range) in ranges.iter().enumerate() {
-            let stage_total = Self::stage_bytes_for(graph, range.clone(), stage, k, nm, schedule);
+            let stage_total =
+                Self::stage_bytes_with(graph, range.clone(), stage, k, nm, schedule, recompute);
             per_gpu[stage % gpus] += stage_total - fixed;
         }
         per_gpu
+    }
+
+    /// The exact joint per-GPU memory check: every physical GPU's
+    /// co-located chunk set — with whatever *uneven* shares the plan
+    /// gives them — fits that GPU's capacity. `gpus` holds the
+    /// physical GPU specs in stage order (stage `s` runs on GPU
+    /// `s % gpus.len()`).
+    pub fn plan_fits_per_gpu(
+        graph: &ModelGraph,
+        ranges: &[Range<usize>],
+        gpus: &[GpuSpec],
+        nm: usize,
+        schedule: &Schedule,
+        recompute: RecomputePolicy,
+    ) -> bool {
+        let peaks =
+            Self::per_gpu_peak_bytes_with(graph, ranges, gpus.len(), nm, schedule, recompute);
+        peaks
+            .iter()
+            .zip(gpus)
+            .all(|(&peak, gpu)| peak <= gpu.memory_bytes)
     }
 }
 
@@ -226,14 +337,16 @@ mod tests {
     }
 
     #[test]
-    fn in_flight_matches_figure1() {
-        // k = 4, Nm = 4 (the paper's running example).
+    fn in_flight_is_the_sound_fifo_bound() {
+        // k = 4, Nm = 4 (the paper's running example): the executor can
+        // let any non-fused stage transiently hold the full injection
+        // window, so the sound charge is Nm, not the idealized Figure-1
+        // window.
         assert_eq!(in_flight_at_stage(0, 4, 4), 4);
         assert_eq!(in_flight_at_stage(1, 4, 4), 4);
-        assert_eq!(in_flight_at_stage(2, 4, 4), 3);
+        assert_eq!(in_flight_at_stage(2, 4, 4), 4);
         assert_eq!(in_flight_at_stage(3, 4, 4), 1);
-        // Deep pipelines cap at 2(k-1-q)+1.
-        assert_eq!(in_flight_at_stage(0, 4, 100), 7);
+        assert_eq!(in_flight_at_stage(0, 4, 100), 100);
         // Nm = 1 degrades to naive model parallelism everywhere.
         for q in 0..4 {
             assert_eq!(in_flight_at_stage(q, 4, 1), 1);
@@ -276,12 +389,157 @@ mod tests {
             TrainingMemoryModel::stage_bytes_for(&g, r.clone(), 0, k, nm, &Schedule::FillDrain);
         let ofob =
             TrainingMemoryModel::stage_bytes_for(&g, r.clone(), 0, k, nm, &Schedule::OneFOneB);
-        // Stage 0, Nm = 8 > depth: fill-drain stores 8 activation sets,
-        // the wave schedule 7, 1F1B only 4 — 1F1B must be cheapest.
-        assert!(ofob < wave, "1F1B {ofob} vs wave {wave}");
-        assert!(wave < gpipe, "wave {wave} vs fill-drain {gpipe}");
+        // Stage 0, Nm = 8 > depth: fill-drain and the wave schedule
+        // both store the whole wave's 8 activation sets, but the wave
+        // schedule additionally stashes 7 weight versions (w_p), while
+        // 1F1B bounds activations by depth (4) — so 1F1B is cheapest
+        // and the wave schedule dearest.
+        assert!(ofob < gpipe, "1F1B {ofob} vs fill-drain {gpipe}");
+        assert!(gpipe < wave, "fill-drain {gpipe} vs wave {wave}");
         // The wave-schedule path and the legacy API agree exactly.
         assert_eq!(wave, TrainingMemoryModel::stage_bytes(&g, r, 0, k, nm));
+    }
+
+    #[test]
+    fn recompute_cuts_activation_memory() {
+        use hetpipe_schedule::Schedule;
+        let g = vgg19(32);
+        let r = 0..g.len() / 4;
+        let (k, nm) = (4, 8);
+        for schedule in Schedule::ALL {
+            let full = TrainingMemoryModel::stage_bytes_with(
+                &g,
+                r.clone(),
+                0,
+                k,
+                nm,
+                &schedule,
+                RecomputePolicy::None,
+            );
+            let ckpt = TrainingMemoryModel::stage_bytes_with(
+                &g,
+                r.clone(),
+                0,
+                k,
+                nm,
+                &schedule,
+                RecomputePolicy::BoundaryOnly,
+            );
+            assert!(
+                ckpt < full,
+                "{schedule}: boundary-only {ckpt} must undercut full stash {full}"
+            );
+        }
+        // The fused last stage holds one set either way: recompute
+        // changes nothing there (its activations are still live).
+        let fused_full = TrainingMemoryModel::stage_bytes_with(
+            &g,
+            r.clone(),
+            k - 1,
+            k,
+            nm,
+            &Schedule::HetPipeWave,
+            RecomputePolicy::None,
+        );
+        let fused_ckpt = TrainingMemoryModel::stage_bytes_with(
+            &g,
+            r,
+            k - 1,
+            k,
+            nm,
+            &Schedule::HetPipeWave,
+            RecomputePolicy::BoundaryOnly,
+        );
+        assert_eq!(fused_full, fused_ckpt);
+    }
+
+    #[test]
+    fn joint_per_gpu_check_admits_uneven_chunk_shares() {
+        use hetpipe_schedule::Schedule;
+        let g = vgg19(32);
+        let n = g.len();
+        let (k, nm) = (4, 2);
+        let sched = Schedule::Interleaved1F1B { chunks: 2 };
+        // A deliberately lopsided 2-GPU, 4-virtual-stage split: GPU 0
+        // hosts a big chunk (stage 0, half the model) and a tiny one
+        // (stage 2).
+        let ranges = vec![
+            0..n / 2,
+            n / 2..n / 2 + 1,
+            n / 2 + 1..n / 2 + 2,
+            n / 2 + 2..n,
+        ];
+        let bytes: Vec<u64> = ranges
+            .iter()
+            .enumerate()
+            .map(|(s, r)| {
+                TrainingMemoryModel::stage_bytes_with(
+                    &g,
+                    r.clone(),
+                    s,
+                    k,
+                    nm,
+                    &sched,
+                    RecomputePolicy::None,
+                )
+            })
+            .collect();
+        // The per-GPU aggregation is exactly "chunk sums, fixed
+        // overhead counted once": GPU g hosts stages g and g + 2.
+        let fixed = CUDNN_WORKSPACE_BYTES + FRAMEWORK_OVERHEAD_BYTES;
+        let peaks = TrainingMemoryModel::per_gpu_peak_bytes_with(
+            &g,
+            &ranges,
+            2,
+            nm,
+            &sched,
+            RecomputePolicy::None,
+        );
+        assert_eq!(
+            peaks,
+            vec![bytes[0] + bytes[2] - fixed, bytes[1] + bytes[3] - fixed]
+        );
+
+        // Size a GPU to exactly the bigger joint peak: the pair fits
+        // together, but the big chunk alone overflows its equal-split
+        // half-budget — the uneven pairing only the joint check
+        // admits.
+        let mut gpu = hetpipe_cluster::GpuKind::TitanV.spec();
+        gpu.memory_bytes = *peaks.iter().max().unwrap();
+        let gpus = vec![gpu.clone(), gpu.clone()];
+        assert!(TrainingMemoryModel::plan_fits_per_gpu(
+            &g,
+            &ranges,
+            &gpus,
+            nm,
+            &sched,
+            RecomputePolicy::None
+        ));
+        assert!(
+            !TrainingMemoryModel::stage_fits_with(
+                &g,
+                ranges[0].clone(),
+                0,
+                k,
+                nm,
+                &gpu,
+                &sched,
+                RecomputePolicy::None
+            ),
+            "the big chunk must overflow its equal split — otherwise \
+             the joint check adds nothing here"
+        );
+        // One byte less and the joint check refuses.
+        let mut small = gpu;
+        small.memory_bytes -= 1;
+        assert!(!TrainingMemoryModel::plan_fits_per_gpu(
+            &g,
+            &ranges,
+            &[small.clone(), small],
+            nm,
+            &sched,
+            RecomputePolicy::None
+        ));
     }
 
     #[test]

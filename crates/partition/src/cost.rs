@@ -9,9 +9,9 @@ use hetpipe_cluster::gpu::GpuSpec;
 use hetpipe_cluster::network::LinkKind;
 use hetpipe_model::memory::TrainingMemoryModel;
 use hetpipe_model::profile;
-use hetpipe_model::profile::STAGE_TASK_OVERHEAD_SECS;
+use hetpipe_model::profile::{Pass, STAGE_TASK_OVERHEAD_SECS};
 use hetpipe_model::ModelGraph;
-use hetpipe_schedule::Schedule;
+use hetpipe_schedule::{PipelineSchedule, RecomputePolicy, Schedule};
 use std::ops::Range;
 
 /// A partitioning problem instance: a model, an ordered list of stage
@@ -35,6 +35,10 @@ pub struct PartitionProblem<'a> {
     /// The pipeline schedule the stages will run; determines per-stage
     /// in-flight activation counts and pinned weight versions.
     pub schedule: Schedule,
+    /// Activation recomputation policy: shrinks the per-stage memory
+    /// term (boundary inputs only) and adds one forward pass of
+    /// compute per backward to every non-fused stage.
+    pub recompute: RecomputePolicy,
 }
 
 impl<'a> PartitionProblem<'a> {
@@ -71,7 +75,14 @@ impl<'a> PartitionProblem<'a> {
             links,
             nm,
             schedule,
+            recompute: RecomputePolicy::None,
         }
+    }
+
+    /// Sets the activation-recomputation policy (builder style).
+    pub fn with_recompute(mut self, recompute: RecomputePolicy) -> Self {
+        self.recompute = recompute;
+        self
     }
 
     /// Number of pipeline stages `k`.
@@ -86,36 +97,50 @@ pub struct StageCostModel<'a> {
     problem: &'a PartitionProblem<'a>,
     /// Prefix sums of per-layer fwd+bwd seconds, one row per stage GPU.
     prefix_secs: Vec<Vec<f64>>,
+    /// Prefix sums of per-layer forward-only seconds (the recompute
+    /// term re-runs exactly the forward), one row per stage GPU.
+    prefix_fwd_secs: Vec<Vec<f64>>,
 }
 
 impl<'a> StageCostModel<'a> {
     /// Precomputes prefix sums of layer times for every stage GPU.
     pub fn new(problem: &'a PartitionProblem<'a>) -> Self {
         let layers = problem.graph.layers();
-        let prefix_secs = problem
-            .gpus
-            .iter()
-            .map(|gpu| {
-                let mut acc = 0.0;
-                let mut row = Vec::with_capacity(layers.len() + 1);
-                row.push(0.0);
-                for l in layers {
-                    let p = profile::LayerProfile::of(l, gpu);
-                    acc += p.total_secs();
-                    row.push(acc);
-                }
-                row
-            })
-            .collect();
+        let mut prefix_secs = Vec::with_capacity(problem.gpus.len());
+        let mut prefix_fwd_secs = Vec::with_capacity(problem.gpus.len());
+        for gpu in &problem.gpus {
+            let mut acc = 0.0;
+            let mut acc_fwd = 0.0;
+            let mut row = Vec::with_capacity(layers.len() + 1);
+            let mut row_fwd = Vec::with_capacity(layers.len() + 1);
+            row.push(0.0);
+            row_fwd.push(0.0);
+            for l in layers {
+                let p = profile::LayerProfile::of(l, gpu);
+                acc += p.total_secs();
+                acc_fwd += profile::pass_time_secs(l, gpu, Pass::Forward);
+                row.push(acc);
+                row_fwd.push(acc_fwd);
+            }
+            prefix_secs.push(row);
+            prefix_fwd_secs.push(row_fwd);
+        }
         StageCostModel {
             problem,
             prefix_secs,
+            prefix_fwd_secs,
         }
     }
 
     /// Pure compute time of layers `range` on stage `stage`'s GPU.
     pub fn compute_secs(&self, stage: usize, range: Range<usize>) -> f64 {
         self.prefix_secs[stage][range.end] - self.prefix_secs[stage][range.start]
+    }
+
+    /// Forward-only compute time of layers `range` on stage `stage`'s
+    /// GPU — what one activation recomputation costs.
+    pub fn forward_secs(&self, stage: usize, range: Range<usize>) -> f64 {
+        self.prefix_fwd_secs[stage][range.end] - self.prefix_fwd_secs[stage][range.start]
     }
 
     /// Communication time charged to stage `stage` for the layer range:
@@ -145,17 +170,27 @@ impl<'a> StageCostModel<'a> {
     /// Full execution time of a stage: compute, plus incoming
     /// communication, plus the fixed dispatch overhead of one forward
     /// and one backward task (so plans match what the executor
-    /// simulates).
+    /// simulates). Under [`RecomputePolicy::BoundaryOnly`] every
+    /// non-fused stage additionally pays one forward pass (and one
+    /// task dispatch) per minibatch to rematerialize activations.
     pub fn stage_secs(&self, stage: usize, range: Range<usize>) -> f64 {
-        self.compute_secs(stage, range.clone())
-            + self.comm_secs(stage, range)
-            + 2.0 * STAGE_TASK_OVERHEAD_SECS
+        let mut secs = self.compute_secs(stage, range.clone())
+            + self.comm_secs(stage, range.clone())
+            + 2.0 * STAGE_TASK_OVERHEAD_SECS;
+        let fused_last =
+            self.problem.schedule.fused_last_stage() && stage == self.problem.stages() - 1;
+        if self.problem.recompute.is_on() && !fused_last {
+            secs += self.forward_secs(stage, range) + STAGE_TASK_OVERHEAD_SECS;
+        }
+        secs
     }
 
     /// Whether the layer range fits stage `stage`'s GPU memory at the
-    /// problem's `Nm` under the problem's schedule.
+    /// problem's `Nm` under the problem's schedule (equal-split budget
+    /// for co-located interleaved chunks — the conservative per-stage
+    /// certification).
     pub fn fits(&self, stage: usize, range: Range<usize>) -> bool {
-        TrainingMemoryModel::stage_fits_for(
+        TrainingMemoryModel::stage_fits_with(
             self.problem.graph,
             range,
             stage,
@@ -163,6 +198,39 @@ impl<'a> StageCostModel<'a> {
             self.problem.nm,
             &self.problem.gpus[stage],
             &self.problem.schedule,
+            self.problem.recompute,
+        )
+    }
+
+    /// The relaxed per-stage check: the range fits the stage's GPU
+    /// with the whole budget to itself. Necessary for any plan; the
+    /// solver pairs it with the exact joint per-GPU check
+    /// ([`TrainingMemoryModel::plan_fits_per_gpu`]) so uneven chunk
+    /// shares that fit *together* are admitted.
+    pub fn fits_alone(&self, stage: usize, range: Range<usize>) -> bool {
+        TrainingMemoryModel::stage_fits_alone(
+            self.problem.graph,
+            range,
+            stage,
+            self.problem.stages(),
+            self.problem.nm,
+            &self.problem.gpus[stage],
+            &self.problem.schedule,
+            self.problem.recompute,
+        )
+    }
+
+    /// The exact joint per-GPU check over a complete plan's ranges.
+    pub fn plan_fits_per_gpu(&self, ranges: &[Range<usize>]) -> bool {
+        let colocated = self.problem.schedule.colocated_stages();
+        let physical = self.problem.stages() / colocated;
+        TrainingMemoryModel::plan_fits_per_gpu(
+            self.problem.graph,
+            ranges,
+            &self.problem.gpus[..physical],
+            self.problem.nm,
+            &self.problem.schedule,
+            self.problem.recompute,
         )
     }
 
@@ -222,6 +290,28 @@ mod tests {
             + m.comm_secs(1, r.clone())
             + 2.0 * STAGE_TASK_OVERHEAD_SECS;
         assert!((m.stage_secs(1, r) - expected).abs() < 1e-15);
+    }
+
+    #[test]
+    fn recompute_charges_one_forward_per_minibatch() {
+        let g = vgg19(32);
+        let plain = problem(&g);
+        let ckpt = problem(&g).with_recompute(RecomputePolicy::BoundaryOnly);
+        let m_plain = StageCostModel::new(&plain);
+        let m_ckpt = StageCostModel::new(&ckpt);
+        let r = 5..12;
+        // A non-fused stage pays the forward re-run plus one task
+        // dispatch on top of the plain stage time.
+        let expected = m_plain.stage_secs(1, r.clone())
+            + m_plain.forward_secs(1, r.clone())
+            + STAGE_TASK_OVERHEAD_SECS;
+        assert!((m_ckpt.stage_secs(1, r.clone()) - expected).abs() < 1e-15);
+        // The wave schedule's fused last stage never recomputes.
+        let last = 3;
+        let tail = g.len() - 5..g.len();
+        assert!(
+            (m_ckpt.stage_secs(last, tail.clone()) - m_plain.stage_secs(last, tail)).abs() < 1e-15
+        );
     }
 
     #[test]

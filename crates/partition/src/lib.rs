@@ -28,5 +28,6 @@ pub mod solver;
 pub use cost::{PartitionProblem, StageCostModel};
 pub use order::{best_order, OrderSearchResult};
 pub use solver::{
-    max_feasible_nm, max_feasible_nm_for, PartitionError, PartitionPlan, PartitionSolver,
+    max_feasible_nm, max_feasible_nm_for, max_feasible_nm_with, PartitionError, PartitionPlan,
+    PartitionSolver,
 };

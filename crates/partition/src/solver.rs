@@ -89,6 +89,16 @@ impl PartitionPlan {
     }
 }
 
+/// Which memory certification the DP's per-interval probe uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MemMode {
+    /// The per-stage check (equal-split budget for co-located chunks).
+    PerStage,
+    /// The relaxed whole-GPU check; the reconstructed plan must then
+    /// pass the exact joint per-GPU check.
+    Alone,
+}
+
 /// The exact interval-DP solver.
 #[derive(Debug, Clone, Copy)]
 pub struct PartitionSolver;
@@ -117,6 +127,30 @@ impl PartitionSolver {
     /// assert_eq!(plan.ranges.len(), 4);
     /// ```
     pub fn solve(problem: &PartitionProblem<'_>) -> Result<PartitionPlan, PartitionError> {
+        use hetpipe_schedule::PipelineSchedule;
+        if problem.schedule.colocated_stages() > 1 {
+            // Interleaved chunks share a physical GPU. The per-stage DP
+            // cannot see a GPU's whole chunk set, so run it with the
+            // relaxed fits-alone probe and certify the reconstructed
+            // plan with the exact joint per-GPU check — this admits
+            // uneven chunk shares (a big chunk paired with a small one)
+            // that the equal-split budget rejects. When the relaxed
+            // optimum happens not to fit jointly, fall back to the
+            // conservative equal-split certification.
+            if let Ok(plan) = Self::solve_with_mode(problem, MemMode::Alone) {
+                let model = StageCostModel::new(problem);
+                if model.plan_fits_per_gpu(&plan.ranges) {
+                    return Ok(plan);
+                }
+            }
+        }
+        Self::solve_with_mode(problem, MemMode::PerStage)
+    }
+
+    fn solve_with_mode(
+        problem: &PartitionProblem<'_>,
+        mode: MemMode,
+    ) -> Result<PartitionPlan, PartitionError> {
         let k = problem.stages();
         let n = problem.graph.len();
         if k > n {
@@ -126,6 +160,10 @@ impl PartitionSolver {
             });
         }
         let model = StageCostModel::new(problem);
+        let fits = |stage: usize, range: std::ops::Range<usize>| match mode {
+            MemMode::PerStage => model.fits(stage, range),
+            MemMode::Alone => model.fits_alone(stage, range),
+        };
 
         const INF: f64 = f64::INFINITY;
         // best[j][i]: minimal bottleneck splitting layers 0..i into the
@@ -136,7 +174,7 @@ impl PartitionSolver {
 
         for i in 1..=n {
             // Stage 0 covers 0..i.
-            if model.fits(0, 0..i) {
+            if fits(0, 0..i) {
                 best[0][i] = model.stage_secs(0, 0..i);
                 choice[0][i] = 0;
             }
@@ -148,7 +186,7 @@ impl PartitionSolver {
                     if best[j - 1][s].is_infinite() {
                         continue;
                     }
-                    if !model.fits(j, s..i) {
+                    if !fits(j, s..i) {
                         continue;
                     }
                     let b = best[j - 1][s].max(model.stage_secs(j, s..i));
@@ -274,9 +312,32 @@ pub fn max_feasible_nm_for(
     limit: usize,
     schedule: hetpipe_schedule::Schedule,
 ) -> Option<(usize, PartitionPlan)> {
+    max_feasible_nm_with(
+        graph,
+        gpus,
+        links,
+        limit,
+        schedule,
+        hetpipe_schedule::RecomputePolicy::None,
+    )
+}
+
+/// [`max_feasible_nm_for`] under an activation-recomputation policy:
+/// `BoundaryOnly` shrinks the per-stage memory term, so it typically
+/// admits a larger `Max_m` on memory-bound clusters (at the cost of
+/// one extra forward per backward in the plan's stage times).
+pub fn max_feasible_nm_with(
+    graph: &hetpipe_model::ModelGraph,
+    gpus: &[hetpipe_cluster::gpu::GpuSpec],
+    links: &[hetpipe_cluster::network::LinkKind],
+    limit: usize,
+    schedule: hetpipe_schedule::Schedule,
+    recompute: hetpipe_schedule::RecomputePolicy,
+) -> Option<(usize, PartitionPlan)> {
     let mut best = None;
     for nm in 1..=limit {
-        let p = PartitionProblem::with_schedule(graph, gpus.to_vec(), links.to_vec(), nm, schedule);
+        let p = PartitionProblem::with_schedule(graph, gpus.to_vec(), links.to_vec(), nm, schedule)
+            .with_recompute(recompute);
         match PartitionSolver::solve(&p) {
             Ok(plan) => best = Some((nm, plan)),
             // Memory is monotone in Nm: once infeasible, larger Nm stays
@@ -369,6 +430,81 @@ mod tests {
             1,
         );
         assert_eq!(PartitionSolver::solve(&p), Err(PartitionError::OutOfMemory));
+    }
+
+    #[test]
+    fn recompute_extends_feasible_nm() {
+        use hetpipe_schedule::{RecomputePolicy, Schedule};
+        // ResNet-152 @64 on 6 GB RTX 2060s: stashing full activations
+        // caps the pipeline at a shallow Nm; boundary-only recompute
+        // drops the per-minibatch stash to the boundary tensor and
+        // admits much deeper concurrency.
+        let g = resnet152(64);
+        let gpus = vec![GpuKind::Rtx2060.spec(); 4];
+        let links = vec![LinkKind::Pcie; 3];
+        let limit = hetpipe_model::memory::nm_saturation_limit(4);
+        let (plain, _) = max_feasible_nm_with(
+            &g,
+            &gpus,
+            &links,
+            limit,
+            Schedule::HetPipeWave,
+            RecomputePolicy::None,
+        )
+        .expect("feasible without recompute");
+        let (ckpt, plan) = max_feasible_nm_with(
+            &g,
+            &gpus,
+            &links,
+            limit,
+            Schedule::HetPipeWave,
+            RecomputePolicy::BoundaryOnly,
+        )
+        .expect("feasible with recompute");
+        assert!(
+            ckpt > plain,
+            "boundary-only recompute must admit deeper pipelines: {ckpt} vs {plain}"
+        );
+        assert!(plan.is_valid_cover(g.len()));
+    }
+
+    #[test]
+    fn joint_check_admits_uneven_interleaved_chunks() {
+        use hetpipe_schedule::Schedule;
+        // 4 physical RTX 2060s × 2 interleaved chunks, VGG-19 at
+        // Nm = 3: no cut satisfies the conservative equal-split
+        // per-stage budget, but pairing a big chunk with a small one
+        // fits each GPU jointly — the exact per-GPU check admits it.
+        let g = vgg19(32);
+        let sched = Schedule::Interleaved1F1B { chunks: 2 };
+        let p = PartitionProblem::with_schedule(
+            &g,
+            vec![GpuKind::Rtx2060.spec(); 8],
+            vec![LinkKind::Pcie; 7],
+            3,
+            sched,
+        );
+        assert_eq!(
+            PartitionSolver::solve_with_mode(&p, MemMode::PerStage),
+            Err(PartitionError::OutOfMemory),
+            "the equal-split certification must reject this instance"
+        );
+        let plan = PartitionSolver::solve(&p).expect("the joint per-GPU check admits it");
+        assert!(plan.is_valid_cover(g.len()));
+        let model = StageCostModel::new(&p);
+        assert!(
+            model.plan_fits_per_gpu(&plan.ranges),
+            "admitted plans must pass the exact joint check"
+        );
+        // The shares are genuinely uneven: at least one chunk exceeds
+        // its equal split (which is why the old check rejected it).
+        assert!(
+            plan.ranges
+                .iter()
+                .enumerate()
+                .any(|(s, r)| !model.fits(s, r.clone())),
+            "expected an uneven big+small chunk pairing"
+        );
     }
 
     #[test]

@@ -22,6 +22,42 @@
 //! - [`WspParams`] — the Wave Synchronous Parallel clock / staleness
 //!   algebra (Sections 4–5 of the paper), which every schedule's wave
 //!   bookkeeping is expressed in.
+//! - [`RecomputePolicy`] — activation recomputation
+//!   (GPipe/PipeDream-2BW-style checkpointing): stash only boundary
+//!   inputs and re-run each stage forward right before its backward,
+//!   trading compute for memory.
+//!
+//! # The enforced memory model
+//!
+//! [`PipelineSchedule::max_in_flight`] is a **contract with the
+//! runtime**, not documentation: it is the peak number of minibatches
+//! that may simultaneously hold activations at a stage, and every
+//! layer of the system treats it as such.
+//!
+//! - The **partitioner** charges `max_in_flight × per-minibatch
+//!   activation bytes` (plus [`PipelineSchedule::extra_weight_versions`]
+//!   stashed parameter copies) when certifying that a stage fits its
+//!   GPU.
+//! - The **executor** enforces the same window at dispatch time:
+//!   stream-order schedules execute their declared op streams in
+//!   order, and arrival-FIFO schedules gate forward dispatch at each
+//!   stage on the declared window, so a stage can never accumulate
+//!   more activation sets than were certified — even if a schedule's
+//!   stream over-promises.
+//! - The **trace audit** (`hetpipe-core`'s `OccupancyAudit`) measures
+//!   per-stage and per-GPU peak occupancy from the simulated span
+//!   trace and asserts measured ≤ declared as a first-class invariant
+//!   (exercised by the tier-1 tests and the CI schedule sweep).
+//!
+//! Declared bounds must therefore be *sound* rather than idealized:
+//! the wave schedule declares the arrival-FIFO-achievable `Nm` per
+//! non-fused stage (see [`HetPipeWave`]'s `max_in_flight` docs for why
+//! Figure 1's `min(Nm, 2(k−1−q)+1)` window is unsound under timing
+//! skew). Where the honest charge makes a plan memory-infeasible,
+//! [`RecomputePolicy::BoundaryOnly`] drops the per-minibatch stash to
+//! the boundary input — [`ScheduleStream::with_recompute`] inserts a
+//! [`ScheduleOp::Recompute`] before every standalone backward, and the
+//! cost model pays one extra forward per minibatch for it.
 //!
 //! # Example
 //!
@@ -43,11 +79,13 @@
 //! ```
 
 pub mod ops;
+pub mod recompute;
 pub mod schedules;
 pub mod stream;
 pub mod wsp;
 
 pub use ops::{Dispatch, ScheduleOp};
+pub use recompute::RecomputePolicy;
 pub use schedules::{
     FillDrain, HetPipeWave, Interleaved1F1B, OneFOneB, PipelineSchedule, Schedule,
 };

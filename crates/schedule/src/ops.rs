@@ -22,6 +22,16 @@ pub enum ScheduleOp {
         /// The minibatch (1-indexed).
         mb: u64,
     },
+    /// Re-run the stage's forward of `mb` from its stashed boundary
+    /// input to rematerialize the intermediate activations, directly
+    /// before `mb`'s backward (activation recomputation,
+    /// [`crate::RecomputePolicy::BoundaryOnly`]). This is stage-local
+    /// compute: it is *not* a pipeline forward and produces no boundary
+    /// output for the next stage.
+    Recompute {
+        /// The minibatch (1-indexed) whose backward follows.
+        mb: u64,
+    },
     /// Push the aggregated update of `wave` to the parameter servers
     /// (emitted on stage 0 only, after the wave's last backward).
     Push {
@@ -44,7 +54,8 @@ impl ScheduleOp {
         match self {
             ScheduleOp::Forward { mb }
             | ScheduleOp::Backward { mb }
-            | ScheduleOp::FusedFwdBwd { mb } => Some(*mb),
+            | ScheduleOp::FusedFwdBwd { mb }
+            | ScheduleOp::Recompute { mb } => Some(*mb),
             ScheduleOp::Push { .. } | ScheduleOp::PullGate { .. } => None,
         }
     }
@@ -54,7 +65,10 @@ impl ScheduleOp {
         self.minibatch().is_some()
     }
 
-    /// True if the op performs (or includes) a forward pass.
+    /// True if the op performs (or includes) a *pipeline* forward pass
+    /// (one that produces boundary activations for the next stage).
+    /// [`ScheduleOp::Recompute`] re-runs forward kernels but is
+    /// stage-local, so it does not count.
     pub fn has_forward(&self) -> bool {
         matches!(
             self,

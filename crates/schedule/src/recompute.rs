@@ -1,0 +1,90 @@
+//! Activation recomputation policy.
+//!
+//! GPipe's headline memory saving (Huang et al., 2019; also central to
+//! PipeDream-2BW's memory-efficient schedules) is *activation
+//! recomputation*: a stage stashes only the boundary input of each
+//! in-flight minibatch and re-runs its forward pass right before the
+//! backward to rematerialize the intermediate activations. This trades
+//! one extra forward of compute per backward for dropping the
+//! per-minibatch stored-activation footprint to the boundary tensor —
+//! the knob that turns "activation occupancy × stored bytes" from the
+//! dominant memory term into a small one.
+//!
+//! The policy is threaded end-to-end:
+//!
+//! - [`crate::ScheduleStream::with_recompute`] inserts a
+//!   [`crate::ScheduleOp::Recompute`] immediately before every
+//!   standalone backward (fused forward+backward tasks never need one —
+//!   their activations are still live).
+//! - `hetpipe-model`'s memory accounting charges `in_flight ×
+//!   boundary_input + 1 × stored` instead of `in_flight × (stored +
+//!   boundary_input)` (one stored set is live while a backward's
+//!   recomputed forward is in scope).
+//! - `hetpipe-partition`'s cost model adds one forward-pass time (plus
+//!   task dispatch overhead) per minibatch to every non-fused stage.
+//! - The executor reserves the recompute task on the stage GPU directly
+//!   ahead of its backward.
+
+use std::fmt;
+
+/// Whether pipeline stages stash full activations or recompute them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RecomputePolicy {
+    /// Stash every intermediate activation from forward until backward
+    /// (the paper's implicit baseline). No extra compute.
+    #[default]
+    None,
+    /// Stash only each in-flight minibatch's boundary input; re-run the
+    /// stage forward immediately before its backward to rematerialize
+    /// the intermediates (GPipe-style checkpointing).
+    BoundaryOnly,
+}
+
+impl RecomputePolicy {
+    /// Both policies, for sweeps.
+    pub const ALL: [RecomputePolicy; 2] = [RecomputePolicy::None, RecomputePolicy::BoundaryOnly];
+
+    /// True when recomputation is enabled.
+    pub fn is_on(self) -> bool {
+        matches!(self, RecomputePolicy::BoundaryOnly)
+    }
+
+    /// Parses a CLI name: `none` | `boundary` | `boundary-only`.
+    pub fn parse(s: &str) -> Option<RecomputePolicy> {
+        match s {
+            "none" | "off" => Some(RecomputePolicy::None),
+            "boundary" | "boundary-only" | "on" => Some(RecomputePolicy::BoundaryOnly),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for RecomputePolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            RecomputePolicy::None => "none",
+            RecomputePolicy::BoundaryOnly => "boundary-only",
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        for p in RecomputePolicy::ALL {
+            assert_eq!(RecomputePolicy::parse(&p.to_string()), Some(p));
+        }
+        assert_eq!(RecomputePolicy::parse("off"), Some(RecomputePolicy::None));
+        assert_eq!(
+            RecomputePolicy::parse("boundary"),
+            Some(RecomputePolicy::BoundaryOnly)
+        );
+        assert_eq!(RecomputePolicy::parse("sometimes"), None);
+        assert_eq!(RecomputePolicy::default(), RecomputePolicy::None);
+        assert!(!RecomputePolicy::None.is_on());
+        assert!(RecomputePolicy::BoundaryOnly.is_on());
+    }
+}

@@ -9,6 +9,7 @@
 //! demand and tests `take(n)` a prefix.
 
 use crate::ops::ScheduleOp;
+use crate::recompute::RecomputePolicy;
 use crate::wsp::WspParams;
 use std::collections::VecDeque;
 
@@ -36,6 +37,10 @@ pub struct ScheduleStream {
     /// Wave bookkeeping (`Push` / `PullGate`) is emitted on stage 0
     /// only — pushes and pulls are per-virtual-worker, not per-stage.
     decorate: bool,
+    /// When [`RecomputePolicy::BoundaryOnly`], every standalone
+    /// backward is preceded by a [`ScheduleOp::Recompute`] of the same
+    /// minibatch (fused tasks never need one).
+    recompute: RecomputePolicy,
     wsp: WspParams,
     /// Forwards emitted so far (the next forward is `fwd_emitted + 1`).
     fwd_emitted: u64,
@@ -51,12 +56,26 @@ impl ScheduleStream {
         ScheduleStream {
             pattern,
             decorate: stage == 0,
+            recompute: RecomputePolicy::None,
             wsp,
             fwd_emitted: 0,
             bwd_emitted: 0,
             gated: -1,
             pending: VecDeque::new(),
         }
+    }
+
+    /// Returns this stream with the given recomputation policy: under
+    /// [`RecomputePolicy::BoundaryOnly`] a [`ScheduleOp::Recompute`] is
+    /// emitted immediately before every standalone backward. Must be
+    /// applied before the first op is pulled.
+    pub fn with_recompute(mut self, policy: RecomputePolicy) -> Self {
+        debug_assert!(
+            self.fwd_emitted == 0 && self.bwd_emitted == 0,
+            "recompute policy must be set before the stream starts"
+        );
+        self.recompute = policy;
+        self
     }
 
     /// Emits the gate for `p`'s required wave (once per wave) ahead of
@@ -85,6 +104,17 @@ impl ScheduleStream {
         }
     }
 
+    /// Emits the backward of `p` (with its recompute prefix when the
+    /// policy calls for one) and the wave push that may follow it.
+    fn emit_backward(&mut self, p: u64) {
+        if self.recompute.is_on() {
+            self.pending.push_back(ScheduleOp::Recompute { mb: p });
+        }
+        self.pending.push_back(ScheduleOp::Backward { mb: p });
+        self.bwd_emitted = p;
+        self.push_after_backward(p);
+    }
+
     /// Generates the next base op (plus decorations) into `pending`.
     fn refill(&mut self) {
         let nm = self.wsp.nm as u64;
@@ -108,10 +138,7 @@ impl ScheduleStream {
                     self.pending.push_back(ScheduleOp::Forward { mb: p });
                     self.fwd_emitted = p;
                 } else {
-                    let p = self.bwd_emitted + 1;
-                    self.pending.push_back(ScheduleOp::Backward { mb: p });
-                    self.bwd_emitted = p;
-                    self.push_after_backward(p);
+                    self.emit_backward(self.bwd_emitted + 1);
                 }
             }
             BasePattern::FillDrain => {
@@ -124,10 +151,7 @@ impl ScheduleStream {
                     self.pending.push_back(ScheduleOp::Forward { mb: p });
                     self.fwd_emitted = p;
                 } else {
-                    let p = self.bwd_emitted + 1;
-                    self.pending.push_back(ScheduleOp::Backward { mb: p });
-                    self.bwd_emitted = p;
-                    self.push_after_backward(p);
+                    self.emit_backward(self.bwd_emitted + 1);
                 }
             }
         }
@@ -251,6 +275,42 @@ mod tests {
         for (i, op) in got.iter().enumerate() {
             assert_eq!(*op, ScheduleOp::FusedFwdBwd { mb: i as u64 + 1 });
         }
+    }
+
+    #[test]
+    fn recompute_precedes_every_standalone_backward() {
+        use ScheduleOp::*;
+        for pattern in [
+            BasePattern::FillDrain,
+            BasePattern::Interleave { warmup: 2 },
+        ] {
+            let got: Vec<ScheduleOp> = ScheduleStream::new(pattern, 1, WspParams::new(3, 0))
+                .with_recompute(RecomputePolicy::BoundaryOnly)
+                .take(60)
+                .collect();
+            let mut backwards = 0;
+            for (i, op) in got.iter().enumerate() {
+                if let Backward { mb } = op {
+                    backwards += 1;
+                    assert_eq!(
+                        got[i - 1],
+                        Recompute { mb: *mb },
+                        "{pattern:?}: backward {mb} missing its recompute"
+                    );
+                }
+            }
+            assert!(backwards > 5, "{pattern:?} ran backwards");
+            // Exactly one recompute per backward, no strays.
+            let recomputes = got.iter().filter(|o| matches!(o, Recompute { .. })).count();
+            // The tail may end on a Recompute whose Backward is cut off.
+            assert!(recomputes == backwards || recomputes == backwards + 1);
+        }
+        // Fused tasks never recompute.
+        let got: Vec<ScheduleOp> = ScheduleStream::new(BasePattern::Fused, 3, WspParams::new(3, 0))
+            .with_recompute(RecomputePolicy::BoundaryOnly)
+            .take(20)
+            .collect();
+        assert!(got.iter().all(|o| !matches!(o, Recompute { .. })));
     }
 
     #[test]

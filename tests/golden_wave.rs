@@ -12,7 +12,7 @@ use hetpipe::cluster::{Cluster, DeviceId};
 use hetpipe::core::exec::{self, ExecParams, RunStats};
 use hetpipe::core::golden;
 use hetpipe::core::pserver::{Placement, ShardMap};
-use hetpipe::core::{Schedule, VirtualWorker, WspParams};
+use hetpipe::core::{RecomputePolicy, Schedule, VirtualWorker, WspParams};
 use hetpipe::des::SimTime;
 use hetpipe::model::ModelGraph;
 use hetpipe::partition::{PartitionProblem, PartitionSolver};
@@ -98,6 +98,7 @@ fn compare(
         shards: &shards,
         sync_transfers,
         schedule: Schedule::HetPipeWave,
+        recompute: RecomputePolicy::None,
     };
     let horizon = SimTime::from_secs(secs);
     let new = exec::run(params.clone(), horizon);
