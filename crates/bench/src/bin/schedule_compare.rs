@@ -1,13 +1,19 @@
 //! Schedule ablation: how much of HetPipe's profile comes from the
 //! *schedule*, as opposed to WSP or the partitioner?
 //!
-//! Sweeps all four pipeline schedules (HetPipe wave, GPipe fill-drain,
-//! PipeDream 1F1B, interleaved 1F1B) × activation recomputation
-//! {off, boundary-only} over {paper testbed, homogeneous TITAN V
-//! cluster} × {VGG-19, ResNet-152}, holding the allocation policy,
-//! partitioner, and WSP parameters fixed, and reports throughput plus
-//! peak per-GPU training memory for each cell — the compute-vs-memory
-//! frontier recomputation trades along.
+//! Sweeps all five pipeline schedules (HetPipe wave, GPipe
+//! fill-drain, PipeDream 1F1B, and interleaved 1F1B in both its
+//! depth-expanded and composite per-GPU forms) × activation
+//! recomputation {off, boundary-only} over {paper testbed,
+//! homogeneous TITAN V cluster, whimpy 4×4 RTX 2060 cluster} ×
+//! {VGG-19, ResNet-152}, holding the allocation policy, partitioner,
+//! and WSP parameters fixed, and reports throughput plus peak per-GPU
+//! training memory for each cell — the compute-vs-memory frontier
+//! recomputation trades along, and the depth-expanded vs composite
+//! interleaved rows measure the fidelity delta of per-GPU composite
+//! streams (on the whimpy cluster, ResNet-152 with chunks = 2 is the
+//! paper configuration where the composite stream's warmup handover
+//! pays off most).
 //!
 //! Every simulated cell is audited: trace-measured peak activation
 //! occupancy must not exceed the declared memory accounting
@@ -44,6 +50,13 @@ fn homogeneous_testbed() -> Cluster {
     Cluster::testbed_subset(&[GpuKind::TitanV; 4])
 }
 
+fn whimpy_testbed() -> Cluster {
+    // Four 4-GPU RTX 2060 nodes: the all-whimpy end of the paper's
+    // spectrum (ResNet-152 does not even fit one of these GPUs), where
+    // pipeline-schedule quality matters most.
+    Cluster::testbed_subset(&[GpuKind::Rtx2060; 4])
+}
+
 fn main() {
     let horizon = SimTime::from_secs(
         arg_value("--horizon")
@@ -55,6 +68,7 @@ fn main() {
     let clusters: Vec<(&str, Cluster)> = vec![
         ("paper", Cluster::paper_testbed()),
         ("homogeneous", homogeneous_testbed()),
+        ("whimpy", whimpy_testbed()),
     ];
     let models: Vec<(&str, ModelGraph)> =
         vec![("VGG-19", vgg19(32)), ("ResNet-152", resnet152(32))];
@@ -175,11 +189,16 @@ fn main() {
     println!(
         "\nReading guide: the wave schedule trades memory (weight stashing, deep occupancy) \
          for arrival-driven overlap; fill-drain saves weight versions but pays pipeline \
-         bubbles; 1F1B bounds memory by depth; interleaving shrinks bubbles at the cost of \
-         more boundary traffic. Boundary-only recomputation pays one forward re-run per \
+         bubbles; 1F1B bounds memory by depth and double-buffers weights (PipeDream-2BW: one \
+         shadow copy instead of one per in-flight minibatch); interleaving shrinks bubbles \
+         at the cost of more boundary traffic. The two interleaved rows measure stream \
+         fidelity: `interleaved-1f1b` executes one composite per-GPU stream (Megatron's \
+         actual chunk-group order — warmup hands the GPU over after one chunk group), while \
+         `interleaved-1f1b-depth` is the depth-expanded variant whose co-located chunks \
+         merge by arrival order. Boundary-only recomputation pays one forward re-run per \
          backward to shrink the activation stash — on memory-bound clusters that buys a \
-         deeper feasible Nm. The `mem` column is the trace-audited measured ≤ declared \
-         occupancy invariant."
+         deeper feasible Nm — and is skipped at window-1 stages where it reclaims nothing. \
+         The `mem` column is the trace-audited measured ≤ declared occupancy invariant."
     );
     maybe_write_json(&json!(dump));
 

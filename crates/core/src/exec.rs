@@ -9,9 +9,14 @@
 //!   tasks are served FIFO per GPU. How forwards and backwards
 //!   interleave on a GPU is the schedule's decision: the paper's wave
 //!   schedule ([`Schedule::HetPipeWave`]) dispatches ready tasks in
-//!   dependency-arrival order with the last stage fused, while
-//!   fill-drain / 1F1B / interleaved execute their per-stage
-//!   [`ScheduleOp`] streams in strict stream order.
+//!   dependency-arrival order with the last stage fused; fill-drain /
+//!   1F1B / depth-expanded interleaved execute their per-stage
+//!   [`ScheduleOp`] streams in strict stream order; and the composite
+//!   interleaved schedule executes one merged per-GPU [`GpuStream`]
+//!   per physical GPU (`GpuStreamOrder`), so the *schedule* — not
+//!   arrival order — decides how co-located chunks share the GPU
+//!   timeline, exactly as Megatron-LM orders its interleaved chunk
+//!   groups.
 //! - **Wave pushes (Section 5)**: when the last minibatch of wave `c`
 //!   completes, the VW pushes one *aggregated* update (its full
 //!   parameter footprint, once — not per minibatch) to the shards. In
@@ -63,7 +68,8 @@ use hetpipe_des::{Engine, Resource, ResourceId, ResourcePool, SimTime, Trace};
 use hetpipe_model::profile::{pass_time_secs, Pass, STAGE_TASK_OVERHEAD_SECS};
 use hetpipe_model::ModelGraph;
 use hetpipe_schedule::{
-    Dispatch, PipelineSchedule, RecomputePolicy, Schedule, ScheduleOp, ScheduleStream,
+    Dispatch, GpuOp, GpuStream, PipelineSchedule, RecomputePolicy, Schedule, ScheduleOp,
+    ScheduleStream,
 };
 use std::collections::{BTreeMap, VecDeque};
 
@@ -260,6 +266,24 @@ struct StageCursor {
     bwd_arrived: u64,
 }
 
+/// One physical GPU's position in its *composite* stream
+/// (`GpuStreamOrder` dispatch only): the GPU executes one merged
+/// timeline over all of its co-located virtual-stage chunks, so the
+/// cursor and the arrival high-water marks are keyed by GPU and
+/// chunk rather than by virtual stage.
+struct GpuCursor {
+    stream: GpuStream,
+    /// The op the GPU is waiting to execute (peeked, not consumed).
+    next: Option<GpuOp>,
+    /// Newest minibatch whose forward activations have arrived at
+    /// each local chunk (chunk `c` is virtual stage
+    /// `c × gpus + gpu`).
+    fwd_arrived: Vec<u64>,
+    /// Newest minibatch whose output gradients have arrived at each
+    /// local chunk.
+    bwd_arrived: Vec<u64>,
+}
+
 struct Exec<'a> {
     p: ExecParams<'a>,
     engine: Engine<Ev>,
@@ -275,6 +299,9 @@ struct Exec<'a> {
     chunks: Vec<Vec<SyncChunk>>,
     /// Per-VW per-stage stream cursors (stream-order dispatch only).
     cursors: Vec<Vec<StageCursor>>,
+    /// Per-VW per-physical-GPU composite stream cursors
+    /// (`GpuStreamOrder` dispatch only).
+    gpu_cursors: Vec<Vec<GpuCursor>>,
     /// Per-VW per-stage activation windows (arrival-FIFO dispatch
     /// gates on these; both paths debug-assert against them).
     windows: Vec<Vec<StageWindow>>,
@@ -340,8 +367,19 @@ impl<'a> Exec<'a> {
             .collect();
 
         let dispatch = p.schedule.dispatch();
+        // Per-stage effective recompute: stages whose window is 1 (and
+        // fused last stages) skip checkpointing — the streams, the
+        // cost model, and the memory accounting all key on the same
+        // `recomputes_at` decision.
+        let effective = |stage: usize, k: usize| -> RecomputePolicy {
+            if p.schedule.recomputes_at(stage, k, p.wsp.nm, p.recompute) {
+                p.recompute
+            } else {
+                RecomputePolicy::None
+            }
+        };
         let cursors = match dispatch {
-            Dispatch::ArrivalFifo => Vec::new(),
+            Dispatch::ArrivalFifo | Dispatch::GpuStreamOrder => Vec::new(),
             Dispatch::StreamOrder => p
                 .vws
                 .iter()
@@ -352,10 +390,32 @@ impl<'a> Exec<'a> {
                             stream: p
                                 .schedule
                                 .stream(stage, k, p.wsp)
-                                .with_recompute(p.recompute),
+                                .with_recompute(effective(stage, k)),
                             next: None,
                             fwd_arrived: 0,
                             bwd_arrived: 0,
+                        })
+                        .collect()
+                })
+                .collect(),
+        };
+        let gpu_cursors = match dispatch {
+            Dispatch::ArrivalFifo | Dispatch::StreamOrder => Vec::new(),
+            Dispatch::GpuStreamOrder => p
+                .vws
+                .iter()
+                .map(|vw| {
+                    let chunks = p.schedule.colocated_stages();
+                    let gpus = vw.stages() / chunks;
+                    (0..gpus)
+                        .map(|gpu| GpuCursor {
+                            stream: p
+                                .schedule
+                                .gpu_stream_with(gpu, gpus, p.wsp, p.recompute)
+                                .expect("GpuStreamOrder schedules declare composite streams"),
+                            next: None,
+                            fwd_arrived: vec![0; chunks],
+                            bwd_arrived: vec![0; chunks],
                         })
                         .collect()
                 })
@@ -393,6 +453,7 @@ impl<'a> Exec<'a> {
             bwd,
             chunks,
             cursors,
+            gpu_cursors,
             windows,
             dispatch,
             horizon,
@@ -463,6 +524,7 @@ impl<'a> Exec<'a> {
         match self.dispatch {
             Dispatch::ArrivalFifo => self.handle_arrival_fifo(ev),
             Dispatch::StreamOrder => self.handle_stream_order(ev),
+            Dispatch::GpuStreamOrder => self.handle_gpu_stream_order(ev),
         }
     }
 
@@ -624,7 +686,12 @@ impl<'a> Exec<'a> {
     fn bwd_arrive(&mut self, vw: usize, stage: usize, mb: u64) {
         let now = self.engine.now();
         let gpu = self.gpu_of(vw, stage);
-        if self.p.recompute.is_on() {
+        let k = self.p.vws[vw].stages();
+        if self
+            .p
+            .schedule
+            .recomputes_at(stage, k, self.p.wsp.nm, self.p.recompute)
+        {
             // Rematerialize the stage's activations from the stashed
             // boundary input: one forward re-run reserved directly
             // ahead of the backward on the same FIFO timeline.
@@ -787,6 +854,32 @@ impl<'a> Exec<'a> {
         }
     }
 
+    /// The WSP pull gate, shared by every stream-order dispatch path:
+    /// true (with blocked-time bookkeeping closed out) when the local
+    /// weights reflect `wave`, false (with the blocked window opened)
+    /// when the cursor must stay parked on the gate.
+    fn pull_gate_open(&mut self, vw: usize, wave: u64, now: SimTime) -> bool {
+        let st = &mut self.states[vw];
+        if st.pulled >= wave as i64 {
+            if let Some(b) = st.block_start.take() {
+                st.stats.inject_blocked += now - b;
+            }
+            true
+        } else {
+            if st.block_start.is_none() {
+                st.block_start = Some(now);
+            }
+            false
+        }
+    }
+
+    /// Whether `wave`'s last backward has completed, so its explicit
+    /// [`ScheduleOp::Push`] may fire (shared by every stream-order
+    /// dispatch path).
+    fn wave_push_ready(&self, vw: usize, wave: u64) -> bool {
+        self.states[vw].completed >= self.p.wsp.last_of_wave(wave)
+    }
+
     /// Executes stage ops in stream order for as long as their
     /// dependencies are satisfied, reserving GPU time slots eagerly
     /// (the FIFO timeline serializes them in stream order).
@@ -803,22 +896,14 @@ impl<'a> Exec<'a> {
             };
             match op {
                 ScheduleOp::PullGate { wave } => {
-                    if self.states[vw].pulled >= wave as i64 {
-                        let st = &mut self.states[vw];
-                        if let Some(b) = st.block_start.take() {
-                            st.stats.inject_blocked += now - b;
-                        }
+                    if self.pull_gate_open(vw, wave, now) {
                         self.cursors[vw][stage].next = None;
                     } else {
-                        let st = &mut self.states[vw];
-                        if st.block_start.is_none() {
-                            st.block_start = Some(now);
-                        }
                         return;
                     }
                 }
                 ScheduleOp::Push { wave } => {
-                    if self.states[vw].completed >= self.p.wsp.last_of_wave(wave) {
+                    if self.wave_push_ready(vw, wave) {
                         self.cursors[vw][stage].next = None;
                         self.start_push(vw, wave);
                     } else {
@@ -832,6 +917,7 @@ impl<'a> Exec<'a> {
                     if !self.reserve_compute(vw, stage, mb, StreamTask::Forward) {
                         return;
                     }
+                    self.cursors[vw][stage].next = None;
                 }
                 ScheduleOp::FusedFwdBwd { mb } => {
                     if stage > 0 && self.cursors[vw][stage].fwd_arrived < mb {
@@ -840,6 +926,7 @@ impl<'a> Exec<'a> {
                     if !self.reserve_compute(vw, stage, mb, StreamTask::Fused) {
                         return;
                     }
+                    self.cursors[vw][stage].next = None;
                 }
                 ScheduleOp::Backward { mb } => {
                     // At the last stage the backward's input is its own
@@ -852,6 +939,7 @@ impl<'a> Exec<'a> {
                     if !self.reserve_compute(vw, stage, mb, StreamTask::Backward) {
                         return;
                     }
+                    self.cursors[vw][stage].next = None;
                 }
                 ScheduleOp::Recompute { mb } => {
                     // Gated on the same dependency as the backward it
@@ -863,6 +951,151 @@ impl<'a> Exec<'a> {
                     if !self.reserve_compute(vw, stage, mb, StreamTask::Recompute) {
                         return;
                     }
+                    self.cursors[vw][stage].next = None;
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Per-GPU composite stream dispatch: the Megatron-style interleaved
+    // schedule. Each physical GPU executes ONE merged op timeline over
+    // all of its co-located virtual-stage chunks, in strict stream
+    // order — the schedule (not dependency-arrival order) decides how
+    // the chunks interleave on the GPU.
+    // ------------------------------------------------------------------
+
+    fn handle_gpu_stream_order(&mut self, ev: Ev) {
+        match ev {
+            Ev::TryInject { vw } => self.advance_gpu(vw as usize, 0),
+            Ev::FwdArrive { vw, stage, mb } => {
+                let (vw, stage) = (vw as usize, stage as usize);
+                let gpus = self.gpu_cursors[vw].len();
+                let (gpu, chunk) = (stage % gpus, stage / gpus);
+                let cur = &mut self.gpu_cursors[vw][gpu];
+                debug_assert!(mb > cur.fwd_arrived[chunk], "activations arrive in order");
+                cur.fwd_arrived[chunk] = mb;
+                self.advance_gpu(vw, gpu);
+            }
+            Ev::FwdDone { vw, stage, mb } => {
+                let (vw, stage) = (vw as usize, stage as usize);
+                // Completion-based occupancy books, identical to the
+                // stream-order path: the composite stream keeps every
+                // chunk within its declared window structurally; the
+                // books check the invariant rather than assume it.
+                let w = &mut self.windows[vw][stage];
+                w.outstanding += 1;
+                debug_assert!(
+                    w.outstanding <= w.window,
+                    "composite stream exceeded the declared activation window \
+                     ({} > {}) at vw{vw} stage {stage}",
+                    w.outstanding,
+                    w.window
+                );
+                if stage + 1 < self.p.vws[vw].stages() {
+                    self.fwd_done(vw, stage, mb);
+                }
+            }
+            Ev::BwdArrive { vw, stage, mb } => {
+                let (vw, stage) = (vw as usize, stage as usize);
+                let gpus = self.gpu_cursors[vw].len();
+                let (gpu, chunk) = (stage % gpus, stage / gpus);
+                let cur = &mut self.gpu_cursors[vw][gpu];
+                debug_assert!(mb > cur.bwd_arrived[chunk], "gradients arrive in order");
+                cur.bwd_arrived[chunk] = mb;
+                self.advance_gpu(vw, gpu);
+            }
+            Ev::BwdDone { vw, stage, mb } => {
+                let (vw, stage) = (vw as usize, stage as usize);
+                let w = &mut self.windows[vw][stage];
+                debug_assert!(w.outstanding >= 1, "window release without a holder");
+                w.outstanding -= 1;
+                if stage > 0 {
+                    self.send_gradient_left(vw, stage, mb);
+                    return;
+                }
+                // Minibatch complete: GPU 0's cursor may be parked on a
+                // Push op waiting for this completion.
+                let now = self.engine.now();
+                let st = &mut self.states[vw];
+                st.completed += 1;
+                st.stats.completions.push(now);
+                debug_assert_eq!(st.completed, mb, "backwards complete in minibatch order");
+                self.advance_gpu(vw, 0);
+            }
+            Ev::PushChunkDone { vw, wave } => self.push_chunk_done(vw as usize, wave),
+            Ev::PullChunkDone { vw } => self.pull_chunk_done(vw as usize),
+        }
+    }
+
+    /// Executes `gpu`'s composite stream in order for as long as op
+    /// dependencies are satisfied, reserving GPU time slots eagerly
+    /// (the FIFO timeline serializes them in stream order) — the
+    /// per-GPU analogue of [`Exec::advance`].
+    fn advance_gpu(&mut self, vw: usize, gpu: usize) {
+        let now = self.engine.now();
+        let k = self.p.vws[vw].stages();
+        let gpus = self.gpu_cursors[vw].len();
+        loop {
+            let gop = {
+                let cur = &mut self.gpu_cursors[vw][gpu];
+                if cur.next.is_none() {
+                    cur.next = cur.stream.next();
+                }
+                cur.next.expect("gpu streams are infinite")
+            };
+            let stage = gop.stage;
+            debug_assert_eq!(stage % gpus, gpu, "op on a foreign GPU");
+            let chunk = stage / gpus;
+            match gop.op {
+                ScheduleOp::PullGate { wave } => {
+                    if self.pull_gate_open(vw, wave, now) {
+                        self.gpu_cursors[vw][gpu].next = None;
+                    } else {
+                        return;
+                    }
+                }
+                ScheduleOp::Push { wave } => {
+                    if self.wave_push_ready(vw, wave) {
+                        self.gpu_cursors[vw][gpu].next = None;
+                        self.start_push(vw, wave);
+                    } else {
+                        return;
+                    }
+                }
+                ScheduleOp::Forward { mb } => {
+                    if stage > 0 && self.gpu_cursors[vw][gpu].fwd_arrived[chunk] < mb {
+                        return;
+                    }
+                    if !self.reserve_compute(vw, stage, mb, StreamTask::Forward) {
+                        return;
+                    }
+                    self.gpu_cursors[vw][gpu].next = None;
+                }
+                ScheduleOp::Backward { mb } => {
+                    // At the pipeline's last virtual stage the
+                    // backward's input is its own forward, which
+                    // precedes it on this GPU's timeline; elsewhere it
+                    // waits for the gradient from the right.
+                    if stage + 1 < k && self.gpu_cursors[vw][gpu].bwd_arrived[chunk] < mb {
+                        return;
+                    }
+                    if !self.reserve_compute(vw, stage, mb, StreamTask::Backward) {
+                        return;
+                    }
+                    self.gpu_cursors[vw][gpu].next = None;
+                }
+                ScheduleOp::Recompute { mb } => {
+                    if stage + 1 < k && self.gpu_cursors[vw][gpu].bwd_arrived[chunk] < mb {
+                        return;
+                    }
+                    if !self.reserve_compute(vw, stage, mb, StreamTask::Recompute) {
+                        return;
+                    }
+                    self.gpu_cursors[vw][gpu].next = None;
+                }
+                ScheduleOp::FusedFwdBwd { .. } => {
+                    unreachable!("composite streams never fuse")
                 }
             }
         }
@@ -870,7 +1103,8 @@ impl<'a> Exec<'a> {
 
     /// Reserves a compute task on the stage's GPU, records its span,
     /// and schedules its completion event; returns false when past the
-    /// horizon (stops eager reservation without consuming the op).
+    /// horizon (stops eager reservation — the caller must then leave
+    /// its cursor parked on the op, and clear the cursor on success).
     fn reserve_compute(&mut self, vw: usize, stage: usize, mb: u64, task: StreamTask) -> bool {
         let now = self.engine.now();
         let gpu = self.gpu_of(vw, stage);
@@ -926,7 +1160,6 @@ impl<'a> Exec<'a> {
         if let Some(done) = done {
             self.engine.schedule_at(e, done);
         }
-        self.cursors[vw][stage].next = None;
         true
     }
 

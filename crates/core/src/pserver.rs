@@ -17,7 +17,7 @@ use hetpipe_cluster::{Cluster, NodeId};
 use hetpipe_model::ModelGraph;
 
 /// Parameter placement policy (Section 8.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Placement {
     /// Round-robin layers over all nodes' parameter servers.
     #[default]

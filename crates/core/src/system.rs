@@ -120,6 +120,155 @@ impl From<AllocError> for BuildError {
 /// spread), small enough to keep `build` cheap.
 const ORDER_REFINE_CANDIDATES: usize = 6;
 
+/// Everything that determines a refine candidate's simulated
+/// standalone rate: the kind-order (GPU kinds of the expanded stage
+/// list), the node co-location pattern (canonicalized to
+/// first-occurrence ranks — it decides PCIe-vs-InfiniBand links and
+/// shard-transfer locality), the candidate `Nm`, the placement /
+/// schedule / recompute / staleness / sync-transfer configuration,
+/// and a model fingerprint. Two candidates with equal keys simulate
+/// identically, so the refine pass memoizes on this key — on big
+/// clusters most virtual workers are kind-identical (e.g. every ED
+/// group), and repeated `build` calls re-rank the same leaders, so
+/// the second pass was re-simulating the same handful of candidates
+/// over and over.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct RefineKey {
+    kinds: Vec<&'static str>,
+    node_pattern: Vec<usize>,
+    /// Cluster shape: the round-robin default shard placement spreads
+    /// over `node_count()` nodes, so the same candidate on a
+    /// different-shaped cluster is a different simulation.
+    cluster_shape: (usize, usize),
+    nm: usize,
+    placement: Placement,
+    schedule: Schedule,
+    recompute: RecomputePolicy,
+    staleness_bound: usize,
+    sync_transfers: bool,
+    /// Per-layer model fingerprint (FNV over every layer's bytes,
+    /// flops, and kernel counts) plus the batch size — totals alone
+    /// would let two models with equal sums collide.
+    graph: (usize, u64),
+}
+
+/// FNV-1a over every layer's cost-relevant fields: two models that
+/// hash equal simulate equal (up to astronomically unlikely
+/// collisions), two models differing in any per-layer profile hash
+/// apart.
+fn graph_fingerprint(graph: &ModelGraph) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    mix(graph.batch_size as u64);
+    for l in graph.layers() {
+        mix(l.param_bytes);
+        mix(l.stored_bytes);
+        mix(l.activation_bytes);
+        mix(l.membound_bytes);
+        mix(l.kernels as u64);
+        mix(l.fwd_flops.to_bits());
+        mix(l.bwd_flops.to_bits());
+    }
+    h
+}
+
+impl RefineKey {
+    fn new(
+        cluster: &Cluster,
+        graph: &ModelGraph,
+        devices: &[DeviceId],
+        nm: usize,
+        config: &SystemConfig,
+    ) -> RefineKey {
+        // Node layout. Under ED-style *local* shard placement, only
+        // the co-location pattern matters (it decides the links and
+        // every shard sits on its stage's own node), so nodes are
+        // canonicalized to first-appearance ranks and kind-identical
+        // VWs on different nodes share a memo entry. Under the
+        // round-robin *default* placement the absolute nodes decide
+        // which shard transfers stay on-node, so they key verbatim.
+        let node_pattern = match config.placement {
+            Placement::Local => {
+                let mut seen: Vec<hetpipe_cluster::NodeId> = Vec::new();
+                devices
+                    .iter()
+                    .map(|&d| {
+                        let node = cluster.node_of(d);
+                        match seen.iter().position(|&n| n == node) {
+                            Some(rank) => rank,
+                            None => {
+                                seen.push(node);
+                                seen.len() - 1
+                            }
+                        }
+                    })
+                    .collect()
+            }
+            Placement::Default => devices.iter().map(|&d| cluster.node_of(d).0).collect(),
+        };
+        RefineKey {
+            kinds: devices.iter().map(|&d| cluster.spec_of(d).name).collect(),
+            node_pattern,
+            cluster_shape: (cluster.node_count(), cluster.device_count()),
+            nm,
+            placement: config.placement,
+            schedule: config.schedule,
+            recompute: config.recompute,
+            staleness_bound: config.staleness_bound,
+            sync_transfers: config.sync_transfers,
+            graph: (graph.len(), graph_fingerprint(graph)),
+        }
+    }
+}
+
+thread_local! {
+    /// Refine-pass memo, persistent across `build` calls on this
+    /// thread (bounded: cleared wholesale if it ever grows past a few
+    /// thousand entries — sweeps over many models stay well under).
+    static REFINE_CACHE: std::cell::RefCell<std::collections::HashMap<RefineKey, Option<f64>>> =
+        std::cell::RefCell::new(std::collections::HashMap::new());
+}
+
+/// Maximum entries retained in the refine memo.
+const REFINE_CACHE_CAP: usize = 4096;
+
+/// [`simulate_standalone_rate`], memoized by [`RefineKey`].
+fn memoized_standalone_rate(
+    cluster: &Cluster,
+    graph: &ModelGraph,
+    devices: &[DeviceId],
+    nm: usize,
+    config: &SystemConfig,
+) -> Option<f64> {
+    let key = RefineKey::new(cluster, graph, devices, nm, config);
+    if let Some(hit) = REFINE_CACHE.with(|c| c.borrow().get(&key).copied()) {
+        return hit;
+    }
+    let rate = simulate_standalone_rate(cluster, graph, devices, nm, config);
+    REFINE_CACHE.with(|c| {
+        let mut cache = c.borrow_mut();
+        if cache.len() >= REFINE_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(key, rate);
+    });
+    rate
+}
+
+/// Number of memoized refine candidates on this thread (test hook).
+#[cfg(test)]
+fn refine_cache_len() -> usize {
+    REFINE_CACHE.with(|c| c.borrow().len())
+}
+
+#[cfg(test)]
+fn refine_cache_clear() {
+    REFINE_CACHE.with(|c| c.borrow_mut().clear());
+}
+
 /// Simulated steady-state rate (minibatches/sec past warm-up) of one
 /// candidate stage order running as a single virtual worker — with
 /// the configured shard placement and sync-transfer mode, so the
@@ -262,7 +411,11 @@ impl<'a> HetPipeSystem<'a> {
                 for (stage_devices, _proxy, nm) in
                     candidates.into_iter().take(ORDER_REFINE_CANDIDATES)
                 {
-                    let rate = simulate_standalone_rate(
+                    // Memoized by (kind-order, node pattern, placement,
+                    // …): kind-identical VWs — every group under ED,
+                    // most groups on big clusters — share one
+                    // simulation, as do repeated `build` calls.
+                    let rate = memoized_standalone_rate(
                         cluster,
                         graph,
                         &expand(&stage_devices),
@@ -545,7 +698,10 @@ mod tests {
         let cluster = Cluster::paper_testbed();
         let graph = hetpipe_model::vgg19(32);
         let config = SystemConfig {
-            schedule: Schedule::Interleaved1F1B { chunks: 2 },
+            schedule: Schedule::Interleaved1F1B {
+                chunks: 2,
+                composite: true,
+            },
             order_search: false,
             ..cfg(AllocationPolicy::EqualDistribution, Placement::Local, 0)
         };
@@ -566,7 +722,10 @@ mod tests {
         let cluster = Cluster::paper_testbed();
         let graph = hetpipe_model::vgg19(32);
         let config = SystemConfig {
-            schedule: Schedule::Interleaved1F1B { chunks: 2 },
+            schedule: Schedule::Interleaved1F1B {
+                chunks: 2,
+                composite: true,
+            },
             order_search: false,
             ..cfg(AllocationPolicy::EqualDistribution, Placement::Local, 0)
         };
@@ -607,6 +766,40 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn order_refine_pass_is_memoized() {
+        // ED groups are kind-identical (one GPU of each node's kind,
+        // same co-location pattern), so the simulation-refined second
+        // pass must run its handful of candidate simulations ONCE and
+        // share them across all four VWs — and a repeated build must
+        // add no new entries at all.
+        let cluster = Cluster::paper_testbed();
+        let graph = hetpipe_model::resnet152(32);
+        let config = SystemConfig {
+            order_search: true,
+            ..cfg(AllocationPolicy::EqualDistribution, Placement::Local, 0)
+        };
+        refine_cache_clear();
+        let first = HetPipeSystem::build(&cluster, &graph, &config).unwrap();
+        let after_first = refine_cache_len();
+        assert!(
+            after_first > 0 && after_first <= ORDER_REFINE_CANDIDATES,
+            "4 kind-identical VWs must share one refine set, got {after_first} entries"
+        );
+        let second = HetPipeSystem::build(&cluster, &graph, &config).unwrap();
+        assert_eq!(
+            refine_cache_len(),
+            after_first,
+            "a repeated build must be fully memoized"
+        );
+        // Memoization must not change the outcome.
+        for (a, b) in first.virtual_workers().iter().zip(second.virtual_workers()) {
+            assert_eq!(a.devices, b.devices);
+            assert_eq!(a.plan.ranges, b.plan.ranges);
+        }
+        assert_eq!(first.nm(), second.nm());
     }
 
     #[test]

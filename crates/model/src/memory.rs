@@ -123,10 +123,15 @@ impl TrainingMemoryModel {
     }
 
     /// [`Self::stage_bytes_for`] under an activation-recomputation
-    /// policy. With [`RecomputePolicy::BoundaryOnly`] each in-flight
-    /// minibatch stashes only its boundary input; one full stored set
-    /// is additionally charged because the backward currently running
-    /// has its forward rematerialized in memory.
+    /// policy. At stages that checkpoint
+    /// ([`PipelineSchedule::recomputes_at`]: the policy is on and the
+    /// stage's window exceeds 1) each in-flight minibatch stashes only
+    /// its boundary input; one full stored set is additionally charged
+    /// because the backward currently running has its forward
+    /// rematerialized in memory ([`Self::stage_rematerialized_bytes`]).
+    /// Non-checkpointing stages (window 1, fused last stages) charge
+    /// the plain full stash — for a window of 1 the two are equal, so
+    /// skipping the recompute there costs no memory.
     pub fn stage_bytes_with(
         graph: &ModelGraph,
         range: Range<usize>,
@@ -142,17 +147,47 @@ impl TrainingMemoryModel {
         let in_flight = schedule.max_in_flight(stage, k, nm) as u64;
         let extra_versions = schedule.extra_weight_versions(stage, k, nm);
         let input_buf = graph.input_bytes_of(range.start);
-        let activations = match recompute {
-            RecomputePolicy::None => in_flight * (stored + input_buf),
+        let activations = if schedule.recomputes_at(stage, k, nm, recompute) {
             // Stashed boundary inputs for every in-flight minibatch,
             // plus the one rematerialized set live during a backward.
-            RecomputePolicy::BoundaryOnly => in_flight * input_buf + stored,
+            in_flight * input_buf + stored
+        } else {
+            in_flight * (stored + input_buf)
         };
 
         params * (PARAM_STATE_COPIES + extra_versions)
             + activations
             + CUDNN_WORKSPACE_BYTES
             + FRAMEWORK_OVERHEAD_BYTES
+    }
+
+    /// The *rematerialized-set* component of
+    /// [`Self::stage_bytes_with`]: the one full stored-activation set
+    /// that is live while a checkpointing stage runs a backward (its
+    /// forward was just re-run). Zero at stages that do not checkpoint.
+    ///
+    /// Split out because the charge is tied to a *running backward*,
+    /// and co-located interleaved chunks share one serial GPU — at
+    /// most one of a GPU's chunks can be executing a backward at any
+    /// instant, so the per-GPU aggregation
+    /// ([`Self::per_gpu_peak_bytes_with`]) charges the **max** across
+    /// the GPU's chunks rather than the sum. Summing (the old
+    /// behaviour) over-charged every multi-chunk GPU by
+    /// `(chunks − 1) × stored` and rejected plans that fit.
+    pub fn stage_rematerialized_bytes(
+        graph: &ModelGraph,
+        range: Range<usize>,
+        stage: usize,
+        k: usize,
+        nm: usize,
+        schedule: &dyn PipelineSchedule,
+        recompute: RecomputePolicy,
+    ) -> u64 {
+        if schedule.recomputes_at(stage, k, nm, recompute) {
+            graph.layers()[range].iter().map(|l| l.stored_bytes).sum()
+        } else {
+            0
+        }
     }
 
     /// Whether `gpu` can host the given stage under the wave schedule.
@@ -262,6 +297,14 @@ impl TrainingMemoryModel {
     }
 
     /// [`Self::per_gpu_peak_bytes`] under a recomputation policy.
+    ///
+    /// The rematerialized activation set of checkpointing stages is
+    /// charged as the **max** across a GPU's co-located chunks, not
+    /// the sum: the chunks share one serial GPU, so at most one
+    /// backward (and hence one rematerialized forward) is live per
+    /// GPU at any instant. Everything else a stage pins — stashed
+    /// boundary inputs, weight versions — persists across the GPU's
+    /// whole chunk set and is summed as before.
     pub fn per_gpu_peak_bytes_with(
         graph: &ModelGraph,
         ranges: &[Range<usize>],
@@ -273,10 +316,24 @@ impl TrainingMemoryModel {
         let k = ranges.len();
         let fixed = CUDNN_WORKSPACE_BYTES + FRAMEWORK_OVERHEAD_BYTES;
         let mut per_gpu = vec![fixed; gpus];
+        let mut remat_max = vec![0u64; gpus];
         for (stage, range) in ranges.iter().enumerate() {
             let stage_total =
                 Self::stage_bytes_with(graph, range.clone(), stage, k, nm, schedule, recompute);
-            per_gpu[stage % gpus] += stage_total - fixed;
+            let remat = Self::stage_rematerialized_bytes(
+                graph,
+                range.clone(),
+                stage,
+                k,
+                nm,
+                schedule,
+                recompute,
+            );
+            per_gpu[stage % gpus] += stage_total - fixed - remat;
+            remat_max[stage % gpus] = remat_max[stage % gpus].max(remat);
+        }
+        for (peak, remat) in per_gpu.iter_mut().zip(remat_max) {
+            *peak += remat;
         }
         per_gpu
     }
@@ -459,7 +516,10 @@ mod tests {
         let g = vgg19(32);
         let n = g.len();
         let (k, nm) = (4, 2);
-        let sched = Schedule::Interleaved1F1B { chunks: 2 };
+        let sched = Schedule::Interleaved1F1B {
+            chunks: 2,
+            composite: true,
+        };
         // A deliberately lopsided 2-GPU, 4-virtual-stage split: GPU 0
         // hosts a big chunk (stage 0, half the model) and a tiny one
         // (stage 2).
@@ -552,7 +612,10 @@ mod tests {
         let ranges: Vec<_> = (0..8)
             .map(|i| i * per..if i == 7 { n } else { (i + 1) * per })
             .collect();
-        let sched = Schedule::Interleaved1F1B { chunks: 2 };
+        let sched = Schedule::Interleaved1F1B {
+            chunks: 2,
+            composite: true,
+        };
         let peaks = TrainingMemoryModel::per_gpu_peak_bytes(&g, &ranges, 4, 4, &sched);
         assert_eq!(peaks.len(), 4);
         // Each GPU hosts 2 chunks: its peak exceeds either chunk alone
@@ -566,6 +629,88 @@ mod tests {
             peaks[0] < double_fixed,
             "fixed overhead must not be double-counted"
         );
+    }
+
+    #[test]
+    fn rematerialized_set_charged_max_across_colocated_chunks() {
+        use hetpipe_schedule::Schedule;
+        let g = vgg19(32);
+        let n = g.len();
+        let per = n / 8;
+        let ranges: Vec<_> = (0..8)
+            .map(|i| i * per..if i == 7 { n } else { (i + 1) * per })
+            .collect();
+        let sched = Schedule::Interleaved1F1B {
+            chunks: 2,
+            composite: true,
+        };
+        let (gpus, nm, k) = (4usize, 4usize, 8usize);
+        let rc = RecomputePolicy::BoundaryOnly;
+        let fixed = CUDNN_WORKSPACE_BYTES + FRAMEWORK_OVERHEAD_BYTES;
+        let peaks = TrainingMemoryModel::per_gpu_peak_bytes_with(&g, &ranges, gpus, nm, &sched, rc);
+        for (gpu, &peak) in peaks.iter().enumerate() {
+            let stages = [gpu, gpu + gpus];
+            let totals: Vec<u64> = stages
+                .iter()
+                .map(|&s| {
+                    TrainingMemoryModel::stage_bytes_with(
+                        &g,
+                        ranges[s].clone(),
+                        s,
+                        k,
+                        nm,
+                        &sched,
+                        rc,
+                    )
+                })
+                .collect();
+            let remats: Vec<u64> = stages
+                .iter()
+                .map(|&s| {
+                    TrainingMemoryModel::stage_rematerialized_bytes(
+                        &g,
+                        ranges[s].clone(),
+                        s,
+                        k,
+                        nm,
+                        &sched,
+                        rc,
+                    )
+                })
+                .collect();
+            // The old behaviour summed both rematerialized sets; the
+            // chunks share one serial GPU, so only the largest can be
+            // live — the per-GPU peak charges exactly that.
+            let sum_charged = totals.iter().sum::<u64>() - fixed;
+            let expected = sum_charged - remats.iter().sum::<u64>() + remats.iter().max().unwrap();
+            assert_eq!(peak, expected, "gpu {gpu}");
+            if remats.iter().filter(|&&r| r > 0).count() == 2 {
+                assert!(
+                    peak < sum_charged,
+                    "gpu {gpu}: max-charging must be strictly tighter when \
+                     both chunks checkpoint"
+                );
+            }
+        }
+        // The bugfix consequence: a GPU sized exactly to the
+        // max-charged peak admits the plan — the old sum-charging
+        // rejected this same hardware.
+        let mut gpu = hetpipe_cluster::GpuKind::TitanV.spec();
+        gpu.memory_bytes = *peaks.iter().max().unwrap();
+        let specs = vec![gpu.clone(); gpus];
+        assert!(TrainingMemoryModel::plan_fits_per_gpu(
+            &g, &ranges, &specs, nm, &sched, rc
+        ));
+        let mut small = gpu;
+        small.memory_bytes -= 1;
+        assert!(!TrainingMemoryModel::plan_fits_per_gpu(
+            &g,
+            &ranges,
+            &vec![small; gpus],
+            nm,
+            &sched,
+            rc
+        ));
     }
 
     #[test]

@@ -170,16 +170,23 @@ impl<'a> StageCostModel<'a> {
     /// Full execution time of a stage: compute, plus incoming
     /// communication, plus the fixed dispatch overhead of one forward
     /// and one backward task (so plans match what the executor
-    /// simulates). Under [`RecomputePolicy::BoundaryOnly`] every
-    /// non-fused stage additionally pays one forward pass (and one
-    /// task dispatch) per minibatch to rematerialize activations.
+    /// simulates). Stages that checkpoint
+    /// ([`PipelineSchedule::recomputes_at`]) additionally pay one
+    /// forward pass (and one task dispatch) per minibatch to
+    /// rematerialize activations; stages whose in-flight window is 1
+    /// (e.g. the last stage of the 1F1B-family schedules) skip the
+    /// re-run — there is no stash to reclaim, so the executor never
+    /// schedules one and the plan must not charge for it.
     pub fn stage_secs(&self, stage: usize, range: Range<usize>) -> f64 {
         let mut secs = self.compute_secs(stage, range.clone())
             + self.comm_secs(stage, range.clone())
             + 2.0 * STAGE_TASK_OVERHEAD_SECS;
-        let fused_last =
-            self.problem.schedule.fused_last_stage() && stage == self.problem.stages() - 1;
-        if self.problem.recompute.is_on() && !fused_last {
+        if self.problem.schedule.recomputes_at(
+            stage,
+            self.problem.stages(),
+            self.problem.nm,
+            self.problem.recompute,
+        ) {
             secs += self.forward_secs(stage, range) + STAGE_TASK_OVERHEAD_SECS;
         }
         secs
@@ -295,12 +302,20 @@ mod tests {
     #[test]
     fn recompute_charges_one_forward_per_minibatch() {
         let g = vgg19(32);
-        let plain = problem(&g);
-        let ckpt = problem(&g).with_recompute(RecomputePolicy::BoundaryOnly);
+        let deep = |graph| {
+            PartitionProblem::new(
+                graph,
+                vec![GpuKind::TitanV.spec(); 4],
+                vec![LinkKind::Pcie; 3],
+                4,
+            )
+        };
+        let plain = deep(&g);
+        let ckpt = deep(&g).with_recompute(RecomputePolicy::BoundaryOnly);
         let m_plain = StageCostModel::new(&plain);
         let m_ckpt = StageCostModel::new(&ckpt);
         let r = 5..12;
-        // A non-fused stage pays the forward re-run plus one task
+        // A checkpointing stage pays the forward re-run plus one task
         // dispatch on top of the plain stage time.
         let expected = m_plain.stage_secs(1, r.clone())
             + m_plain.forward_secs(1, r.clone())
@@ -310,8 +325,40 @@ mod tests {
         let last = 3;
         let tail = g.len() - 5..g.len();
         assert!(
-            (m_ckpt.stage_secs(last, tail.clone()) - m_plain.stage_secs(last, tail)).abs() < 1e-15
+            (m_ckpt.stage_secs(last, tail.clone()) - m_plain.stage_secs(last, tail.clone())).abs()
+                < 1e-15
         );
+        // Nm = 1: every window is 1, so no stage checkpoints and the
+        // recompute policy must not change any stage time (the skip
+        // that recovers Megatron's free throughput).
+        let plain1 = problem(&g);
+        let ckpt1 = problem(&g).with_recompute(RecomputePolicy::BoundaryOnly);
+        let m_plain1 = StageCostModel::new(&plain1);
+        let m_ckpt1 = StageCostModel::new(&ckpt1);
+        for stage in 0..4 {
+            assert!(
+                (m_ckpt1.stage_secs(stage, r.clone()) - m_plain1.stage_secs(stage, r.clone()))
+                    .abs()
+                    < 1e-15,
+                "window-1 stage {stage} must skip the recompute charge"
+            );
+        }
+        // 1F1B's last stage has window 1 even at Nm = 4: skipped too.
+        let ofob = PartitionProblem::with_schedule(
+            &g,
+            vec![GpuKind::TitanV.spec(); 4],
+            vec![LinkKind::Pcie; 3],
+            4,
+            Schedule::OneFOneB,
+        );
+        let ofob_ckpt = ofob.clone().with_recompute(RecomputePolicy::BoundaryOnly);
+        let m_ofob = StageCostModel::new(&ofob);
+        let m_ofob_ckpt = StageCostModel::new(&ofob_ckpt);
+        assert!(
+            (m_ofob_ckpt.stage_secs(3, tail.clone()) - m_ofob.stage_secs(3, tail)).abs() < 1e-15,
+            "1F1B's window-1 last stage must skip the recompute charge"
+        );
+        assert!(m_ofob_ckpt.stage_secs(0, r.clone()) > m_ofob.stage_secs(0, r));
     }
 
     #[test]

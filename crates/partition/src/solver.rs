@@ -476,7 +476,10 @@ mod tests {
         // per-stage budget, but pairing a big chunk with a small one
         // fits each GPU jointly — the exact per-GPU check admits it.
         let g = vgg19(32);
-        let sched = Schedule::Interleaved1F1B { chunks: 2 };
+        let sched = Schedule::Interleaved1F1B {
+            chunks: 2,
+            composite: true,
+        };
         let p = PartitionProblem::with_schedule(
             &g,
             vec![GpuKind::Rtx2060.spec(); 8],

@@ -12,11 +12,20 @@
 //!   plus the WSP wave bookkeeping ops (`Push`, `PullGate`).
 //! - [`ScheduleStream`] — a deterministic, infinite, per-stage op
 //!   stream (the schedule *as data*).
-//! - [`PipelineSchedule`] — the trait: op streams, the dispatch
-//!   discipline, and per-stage peak-memory accounting (in-flight
-//!   activations and pinned weight versions).
+//! - [`GpuStream`] / [`GpuOp`] — the *composite per-GPU* stream form:
+//!   one ordered timeline per physical GPU, merging the co-located
+//!   virtual-stage chunks in Megatron-style chunk groups, each op
+//!   tagged with its stage. Schedules whose
+//!   [`PipelineSchedule::dispatch`] is `GpuStreamOrder` are executed
+//!   from these streams; the per-stage streams remain as projections
+//!   for stage-local analyses.
+//! - [`PipelineSchedule`] — the trait: op streams (per stage and,
+//!   for composite schedules, per GPU), the dispatch discipline, and
+//!   per-stage peak-memory accounting (in-flight activations and
+//!   pinned weight versions).
 //! - [`HetPipeWave`], [`FillDrain`], [`OneFOneB`],
-//!   [`Interleaved1F1B`] — the four concrete schedules.
+//!   [`Interleaved1F1B`] — the concrete schedules ([`Interleaved1F1B`]
+//!   in both its composite per-GPU and depth-expanded forms).
 //! - [`Schedule`] — the config-level knob (a `Copy` enum) that
 //!   dispatches to the concrete implementations.
 //! - [`WspParams`] — the Wave Synchronous Parallel clock / staleness
@@ -84,10 +93,11 @@ pub mod schedules;
 pub mod stream;
 pub mod wsp;
 
-pub use ops::{Dispatch, ScheduleOp};
+pub use ops::{Dispatch, GpuOp, ScheduleOp};
 pub use recompute::RecomputePolicy;
 pub use schedules::{
-    FillDrain, HetPipeWave, Interleaved1F1B, OneFOneB, PipelineSchedule, Schedule,
+    validate_gpu_stream, validate_stream, validate_stream_with, FillDrain, HetPipeWave,
+    Interleaved1F1B, OneFOneB, PipelineSchedule, Schedule,
 };
-pub use stream::ScheduleStream;
+pub use stream::{GpuStream, ScheduleStream};
 pub use wsp::WspParams;

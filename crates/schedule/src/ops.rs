@@ -85,6 +85,24 @@ impl ScheduleOp {
     }
 }
 
+/// One step of a *per-GPU composite* schedule: a [`ScheduleOp`] tagged
+/// with the executor (virtual) stage it belongs to.
+///
+/// Flat schedules key their streams by stage, so the stage is implied;
+/// a composite per-GPU stream (Megatron-style interleaved chunk
+/// groups) merges the ops of every virtual stage co-located on one
+/// GPU into a single ordered timeline, so each op carries its stage —
+/// the `gpu`/chunk-group dimension of the stream contract.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct GpuOp {
+    /// The executor (virtual) stage the op runs as. For a composite
+    /// stream of GPU `g` in a `chunks × GPUs` pipeline this is
+    /// `chunk × GPUs + g`.
+    pub stage: usize,
+    /// The op itself.
+    pub op: ScheduleOp,
+}
+
 /// How a stage's GPU orders ops whose dependencies are satisfied.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Dispatch {
@@ -97,4 +115,10 @@ pub enum Dispatch {
     /// stream predecessor *and* its data dependency. This is how
     /// fill-drain and 1F1B are defined in the literature.
     StreamOrder,
+    /// Execute each GPU's *composite* stream
+    /// ([`crate::PipelineSchedule::gpu_stream`]) in strict order: the
+    /// schedule decides how co-located virtual-stage chunks interleave
+    /// on the GPU timeline (Megatron-style ordered chunk groups),
+    /// instead of leaving the merge to dependency-arrival order.
+    GpuStreamOrder,
 }

@@ -1,4 +1,4 @@
-//! The [`PipelineSchedule`] trait and the four concrete schedules.
+//! The [`PipelineSchedule`] trait and the concrete schedules.
 //!
 //! A schedule answers four questions about a `k`-stage pipeline
 //! processing waves of `Nm` minibatches:
@@ -18,9 +18,9 @@
 //!    [`PipelineSchedule::extra_weight_versions`] (weight copies pinned
 //!    by in-flight minibatches, the paper's `w_p` stashing).
 
-use crate::ops::{Dispatch, ScheduleOp};
+use crate::ops::{Dispatch, GpuOp, ScheduleOp};
 use crate::recompute::RecomputePolicy;
-use crate::stream::{BasePattern, ScheduleStream};
+use crate::stream::{BasePattern, GpuStream, ScheduleStream};
 use crate::wsp::WspParams;
 use std::fmt;
 
@@ -48,7 +48,45 @@ pub trait PipelineSchedule {
     }
 
     /// The infinite op stream of `stage` (0-based of `k`).
+    ///
+    /// For schedules that dispatch per-GPU composite streams
+    /// ([`Dispatch::GpuStreamOrder`]) this is the per-stage
+    /// *projection* used by stage-local analyses; the executor
+    /// consumes [`PipelineSchedule::gpu_stream`] instead.
     fn stream(&self, stage: usize, k: usize, wsp: WspParams) -> ScheduleStream;
+
+    /// The composite per-GPU op stream of physical GPU `gpu` (0-based
+    /// of `k_gpus`): one ordered timeline merging every co-located
+    /// virtual-stage chunk, each op tagged with its stage
+    /// ([`GpuOp`]). `Some` exactly for schedules whose
+    /// [`PipelineSchedule::dispatch`] is
+    /// [`Dispatch::GpuStreamOrder`]; flat and depth-expanded
+    /// schedules return `None` and are executed from their per-stage
+    /// streams.
+    fn gpu_stream(&self, gpu: usize, k_gpus: usize, wsp: WspParams) -> Option<GpuStream> {
+        let _ = (gpu, k_gpus, wsp);
+        None
+    }
+
+    /// [`PipelineSchedule::gpu_stream`] with the schedule's per-stage
+    /// checkpoint decisions ([`PipelineSchedule::recomputes_at`])
+    /// applied under `policy` — the constructor executors and
+    /// validators use, so the stream's recompute placement is always
+    /// the same decision the memory and cost models charge for.
+    fn gpu_stream_with(
+        &self,
+        gpu: usize,
+        k_gpus: usize,
+        wsp: WspParams,
+        policy: RecomputePolicy,
+    ) -> Option<GpuStream> {
+        let stream = self.gpu_stream(gpu, k_gpus, wsp)?;
+        let k = self.virtual_stages(k_gpus);
+        let remat = (0..k)
+            .map(|s| self.recomputes_at(s, k, wsp.nm, policy))
+            .collect();
+        Some(stream.with_remat(remat))
+    }
 
     /// Peak number of minibatches simultaneously holding activations at
     /// `stage` — the quantity the per-stage memory constraint charges.
@@ -77,6 +115,22 @@ pub trait PipelineSchedule {
     /// a GPU.
     fn colocated_stages(&self) -> usize {
         1
+    }
+
+    /// Whether `stage` actually checkpoints under `policy`: activation
+    /// recomputation is skipped where the in-flight window is 1 — a
+    /// single stashed activation set is live during its own backward
+    /// either way, so recomputing there spends a forward re-run and
+    /// reclaims nothing (e.g. the last stage of stream-order
+    /// schedules, which Megatron leaves un-checkpointed for free
+    /// throughput) — and at fused last stages, whose activations are
+    /// still live when the backward runs. Streams, the memory model,
+    /// the cost model, and the executor all key their recompute terms
+    /// on this per-stage decision rather than on the raw policy.
+    fn recomputes_at(&self, stage: usize, k: usize, nm: usize, policy: RecomputePolicy) -> bool {
+        policy.is_on()
+            && self.max_in_flight(stage, k, nm) > 1
+            && !(self.fused_last_stage() && stage == k - 1)
     }
 }
 
@@ -209,42 +263,87 @@ impl PipelineSchedule for OneFOneB {
         debug_assert!(stage < k, "stage index out of range");
         nm.min(k - stage)
     }
+
+    /// PipeDream-2BW double-buffered weight versioning: instead of
+    /// stashing the injection-time version `w_p` of every in-flight
+    /// minibatch (`in_flight − 1` extra copies, HetPipe's Section-4
+    /// accounting), the stage keeps exactly **two** buffers — the
+    /// freshest version and the previous one — and every in-flight
+    /// minibatch reads the previous buffer. That caps the extra pinned
+    /// copies at 1 whenever the stage pipelines at all (0 when the
+    /// window is 1 and the resident weights suffice), at the price of
+    /// a *fixed* one-wave staleness: a minibatch of wave `c` computes
+    /// on the version closed by wave `c − 1`
+    /// ([`WspParams::two_bw_version`]), which is never older than the
+    /// WSP start gate requires (`tests/staleness_props.rs` checks this
+    /// against [`WspParams::required_wave`] exhaustively).
+    fn extra_weight_versions(&self, stage: usize, k: usize, nm: usize) -> u64 {
+        (self.max_in_flight(stage, k, nm) > 1) as u64
+    }
 }
 
-/// Interleaved 1F1B over virtual stage chunks (in the spirit of
-/// Megatron-LM's interleaved schedule): the model is cut into
-/// `chunks × GPUs` consecutive pieces assigned round-robin, so each
-/// GPU hosts `chunks` non-adjacent virtual stages.
+/// Interleaved 1F1B over virtual stage chunks (Megatron-LM's
+/// interleaved schedule): the model is cut into `chunks × GPUs`
+/// consecutive pieces assigned round-robin, so each GPU hosts
+/// `chunks` non-adjacent virtual stages.
 ///
-/// This implementation is *depth-expanded 1F1B*: each virtual stage
-/// runs a plain 1F1B stream and co-located chunks share their GPU's
-/// FIFO timeline in dependency-arrival order (during warmup the first
-/// chunk's window is reserved ahead of the later chunks' first
-/// arrivals, so chunk interleaving only emerges in steady state).
-/// Chunking multiplies the boundary activation/gradient transfers by
-/// the chunk count, which on network-bound clusters outweighs the
-/// smaller per-chunk bubbles — the `schedule_compare` sweep makes
-/// this trade-off visible. A faithful Megatron composite per-GPU
-/// stream is a ROADMAP open item.
+/// Two fidelity levels, selected by `composite`:
+///
+/// - **Composite per-GPU streams** (`composite: true`, the default,
+///   and how Megatron-LM actually schedules): each physical GPU
+///   executes one ordered [`GpuStream`] that merges its co-located
+///   chunks in warmup/steady/drain chunk groups, so chunk 1's first
+///   microbatches run *between* chunk 0's warmup forwards instead of
+///   queueing behind them. The executor's `GpuStreamOrder` dispatch
+///   path consumes these streams directly.
+/// - **Depth-expanded 1F1B** (`composite: false`, kept behind this
+///   flag so the fidelity delta stays measurable in
+///   `schedule_compare`): each virtual stage runs a plain 1F1B
+///   stream and co-located chunks share their GPU's FIFO timeline in
+///   dependency-arrival order — during warmup the first chunk's
+///   window is reserved ahead of the later chunks' first arrivals,
+///   which is exactly the under-utilization the composite form fixes.
+///
+/// Either way, chunking multiplies the boundary activation/gradient
+/// transfers by the chunk count, which on network-bound clusters can
+/// outweigh the smaller per-chunk bubbles — the `schedule_compare`
+/// sweep makes the trade-off visible. The per-stage memory bounds are
+/// identical across the two forms (the composite stream's chunk
+/// windows are capped at the same `min(Nm, K − stage)`), so plans
+/// certify identically; only the GPU timeline order differs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Interleaved1F1B {
     /// Virtual stage chunks per GPU (≥ 1; 1 degenerates to plain 1F1B).
     pub chunks: usize,
+    /// Composite per-GPU streams (true) or depth-expanded per-stage
+    /// streams merged by arrival order (false).
+    pub composite: bool,
 }
 
 impl Default for Interleaved1F1B {
     fn default() -> Self {
-        Interleaved1F1B { chunks: 2 }
+        Interleaved1F1B {
+            chunks: 2,
+            composite: true,
+        }
     }
 }
 
 impl PipelineSchedule for Interleaved1F1B {
     fn name(&self) -> &'static str {
-        "interleaved-1f1b"
+        if self.composite {
+            "interleaved-1f1b"
+        } else {
+            "interleaved-1f1b-depth"
+        }
     }
 
     fn dispatch(&self) -> Dispatch {
-        Dispatch::StreamOrder
+        if self.composite {
+            Dispatch::GpuStreamOrder
+        } else {
+            Dispatch::StreamOrder
+        }
     }
 
     fn fused_last_stage(&self) -> bool {
@@ -256,8 +355,10 @@ impl PipelineSchedule for Interleaved1F1B {
     }
 
     fn stream(&self, stage: usize, k: usize, wsp: WspParams) -> ScheduleStream {
-        // Over virtual stages the per-stage pattern is 1F1B; the
-        // interleaving emerges from virtual stages sharing GPUs.
+        // Over virtual stages the per-stage pattern is 1F1B. In the
+        // depth-expanded form this is the executed stream; in the
+        // composite form it is the per-stage projection (the executor
+        // consumes `gpu_stream`), kept for stage-local analyses.
         ScheduleStream::new(
             BasePattern::Interleave {
                 warmup: self.max_in_flight(stage, k, wsp.nm) as u64,
@@ -267,9 +368,25 @@ impl PipelineSchedule for Interleaved1F1B {
         )
     }
 
+    fn gpu_stream(&self, gpu: usize, k_gpus: usize, wsp: WspParams) -> Option<GpuStream> {
+        if !self.composite {
+            return None;
+        }
+        let chunks = self.chunks.max(1);
+        let k = chunks * k_gpus;
+        // The stream's structural windows ARE the declared bounds —
+        // passed in so they cannot drift apart.
+        let caps = (0..k)
+            .map(|s| self.max_in_flight(s, k, wsp.nm) as u64)
+            .collect();
+        Some(GpuStream::new(gpu, k_gpus, chunks, wsp, caps))
+    }
+
     /// The 1F1B bound over *virtual* depth — deep in-flight windows
     /// are what let the expanded pipeline stay full across its
-    /// (chunk-multiplied) boundary transfers.
+    /// (chunk-multiplied) boundary transfers. The composite stream's
+    /// per-chunk windows are capped at exactly this bound, so the
+    /// declared charge is sound for both forms.
     fn max_in_flight(&self, stage: usize, k: usize, nm: usize) -> usize {
         debug_assert!(stage < k, "stage index out of range");
         nm.min(k - stage)
@@ -285,7 +402,7 @@ impl PipelineSchedule for Interleaved1F1B {
 /// A `Copy` enum so `SystemConfig` stays `Clone` and CLI sweeps are
 /// cheap; delegates every [`PipelineSchedule`] method to the concrete
 /// implementation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum Schedule {
     /// The paper's wave schedule ([`HetPipeWave`]). The default.
     #[default]
@@ -299,33 +416,65 @@ pub enum Schedule {
     Interleaved1F1B {
         /// Virtual stage chunks per GPU.
         chunks: usize,
+        /// Composite per-GPU streams (Megatron's actual dispatch
+        /// order) vs the depth-expanded arrival-merged variant.
+        composite: bool,
     },
 }
 
 impl Schedule {
     /// Every schedule in its default configuration (interleaved with
-    /// 2 chunks), for sweeps.
-    pub const ALL: [Schedule; 4] = [
+    /// 2 chunks, in both its depth-expanded and composite forms), for
+    /// sweeps.
+    pub const ALL: [Schedule; 5] = [
         Schedule::HetPipeWave,
         Schedule::FillDrain,
         Schedule::OneFOneB,
-        Schedule::Interleaved1F1B { chunks: 2 },
+        Schedule::Interleaved1F1B {
+            chunks: 2,
+            composite: false,
+        },
+        Schedule::Interleaved1F1B {
+            chunks: 2,
+            composite: true,
+        },
     ];
 
     /// Parses a CLI name: `hetpipe-wave` | `fill-drain` | `1f1b` |
-    /// `interleaved-1f1b[:chunks]`.
+    /// `interleaved-1f1b[:chunks]` (composite) |
+    /// `interleaved-1f1b-depth[:chunks]` (depth-expanded).
     pub fn parse(s: &str) -> Option<Schedule> {
         match s {
             "hetpipe-wave" | "wave" | "hetpipe" => Some(Schedule::HetPipeWave),
             "fill-drain" | "gpipe" => Some(Schedule::FillDrain),
             "1f1b" | "pipedream" => Some(Schedule::OneFOneB),
-            "interleaved-1f1b" | "interleaved" => Some(Schedule::Interleaved1F1B { chunks: 2 }),
+            "interleaved-1f1b" | "interleaved" => Some(Schedule::Interleaved1F1B {
+                chunks: 2,
+                composite: true,
+            }),
+            "interleaved-1f1b-depth" | "interleaved-depth" => Some(Schedule::Interleaved1F1B {
+                chunks: 2,
+                composite: false,
+            }),
             _ => {
+                if let Some(rest) = s
+                    .strip_prefix("interleaved-1f1b-depth:")
+                    .or_else(|| s.strip_prefix("interleaved-depth:"))
+                {
+                    let chunks: usize = rest.parse().ok().filter(|&c| c >= 1)?;
+                    return Some(Schedule::Interleaved1F1B {
+                        chunks,
+                        composite: false,
+                    });
+                }
                 let rest = s
                     .strip_prefix("interleaved-1f1b:")
                     .or_else(|| s.strip_prefix("interleaved:"))?;
                 let chunks: usize = rest.parse().ok().filter(|&c| c >= 1)?;
-                Some(Schedule::Interleaved1F1B { chunks })
+                Some(Schedule::Interleaved1F1B {
+                    chunks,
+                    composite: true,
+                })
             }
         }
     }
@@ -338,7 +487,9 @@ impl Schedule {
             Schedule::HetPipeWave => f(&HetPipeWave),
             Schedule::FillDrain => f(&FillDrain),
             Schedule::OneFOneB => f(&OneFOneB),
-            Schedule::Interleaved1F1B { chunks } => f(&Interleaved1F1B { chunks }),
+            Schedule::Interleaved1F1B { chunks, composite } => {
+                f(&Interleaved1F1B { chunks, composite })
+            }
         }
     }
 }
@@ -346,7 +497,13 @@ impl Schedule {
 impl fmt::Display for Schedule {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Schedule::Interleaved1F1B { chunks } => write!(f, "interleaved-1f1b:{chunks}"),
+            Schedule::Interleaved1F1B { chunks, composite } => {
+                if *composite {
+                    write!(f, "interleaved-1f1b:{chunks}")
+                } else {
+                    write!(f, "interleaved-1f1b-depth:{chunks}")
+                }
+            }
             other => f.write_str(other.name()),
         }
     }
@@ -354,12 +511,7 @@ impl fmt::Display for Schedule {
 
 impl PipelineSchedule for Schedule {
     fn name(&self) -> &'static str {
-        match self {
-            Schedule::HetPipeWave => HetPipeWave.name(),
-            Schedule::FillDrain => FillDrain.name(),
-            Schedule::OneFOneB => OneFOneB.name(),
-            Schedule::Interleaved1F1B { .. } => "interleaved-1f1b",
-        }
+        self.with_concrete(|s| s.name())
     }
 
     fn dispatch(&self) -> Dispatch {
@@ -378,6 +530,10 @@ impl PipelineSchedule for Schedule {
         self.with_concrete(|s| s.stream(stage, k, wsp))
     }
 
+    fn gpu_stream(&self, gpu: usize, k_gpus: usize, wsp: WspParams) -> Option<GpuStream> {
+        self.with_concrete(|s| s.gpu_stream(gpu, k_gpus, wsp))
+    }
+
     fn max_in_flight(&self, stage: usize, k: usize, nm: usize) -> usize {
         self.with_concrete(|s| s.max_in_flight(stage, k, nm))
     }
@@ -388,6 +544,10 @@ impl PipelineSchedule for Schedule {
 
     fn colocated_stages(&self) -> usize {
         self.with_concrete(|s| s.colocated_stages())
+    }
+
+    fn recomputes_at(&self, stage: usize, k: usize, nm: usize, policy: RecomputePolicy) -> bool {
+        self.with_concrete(|s| s.recomputes_at(stage, k, nm, policy))
     }
 }
 
@@ -416,11 +576,13 @@ pub fn validate_stream(
 }
 
 /// [`validate_stream`] for a stream decorated with a
-/// [`RecomputePolicy`], adding the recompute invariants: under
-/// `BoundaryOnly` every standalone backward is *immediately* preceded
-/// by a [`ScheduleOp::Recompute`] of the same minibatch (its forward
-/// already ran, its backward is next), fused tasks are never
-/// recomputed, and under `None` no recompute op may appear at all.
+/// [`RecomputePolicy`], adding the recompute invariants: at stages
+/// that checkpoint ([`PipelineSchedule::recomputes_at`] — the policy
+/// is on and the stage's window exceeds 1) every standalone backward
+/// is *immediately* preceded by a [`ScheduleOp::Recompute`] of the
+/// same minibatch (its forward already ran, its backward is next);
+/// at all other stages — fused last stages, window-1 stages, or any
+/// stage under `None` — no recompute op may appear at all.
 pub fn validate_stream_with(
     sched: &dyn PipelineSchedule,
     stage: usize,
@@ -429,6 +591,14 @@ pub fn validate_stream_with(
     recompute: RecomputePolicy,
     prefix_len: usize,
 ) -> Result<(), String> {
+    // The per-stage effective policy: window-1 stages skip
+    // checkpointing (nothing to reclaim), so their streams carry no
+    // recompute ops even when the run-wide policy is on.
+    let recompute = if sched.recomputes_at(stage, k, wsp.nm, recompute) {
+        recompute
+    } else {
+        RecomputePolicy::None
+    };
     let ops: Vec<ScheduleOp> = sched
         .stream(stage, k, wsp)
         .with_recompute(recompute)
@@ -570,6 +740,182 @@ pub fn validate_stream_with(
     Ok(())
 }
 
+/// Checks the structural invariants of a *composite per-GPU* stream
+/// prefix — the per-GPU form of the Section-4 conditions plus the
+/// chunk-group contract:
+///
+/// 1. every op's stage belongs to this GPU (`stage % GPUs == gpu`,
+///    `stage < chunks × GPUs`);
+/// 2. per stage: forwards in minibatch order with no gaps, backwards
+///    likewise, no backward before its forward;
+/// 3. per stage: structural occupancy (forwards emitted − backwards
+///    emitted) never exceeds the declared
+///    [`PipelineSchedule::max_in_flight`] — the charge the memory
+///    model certifies;
+/// 4. recompute ops appear exactly where
+///    [`PipelineSchedule::recomputes_at`] says, immediately before
+///    their backward;
+/// 5. wave bookkeeping decorates virtual stage 0 only (so only GPU
+///    0's stream), pushes strictly after the wave's last backward,
+///    gates before the gated forward.
+///
+/// Returns `Err` with a description of the first violation, or if the
+/// schedule declares no composite stream for this GPU.
+pub fn validate_gpu_stream(
+    sched: &dyn PipelineSchedule,
+    gpu: usize,
+    k_gpus: usize,
+    wsp: WspParams,
+    recompute: RecomputePolicy,
+    prefix_len: usize,
+) -> Result<(), String> {
+    let Some(stream) = sched.gpu_stream_with(gpu, k_gpus, wsp, recompute) else {
+        return Err(format!(
+            "{} declares no composite stream for gpu {gpu}",
+            sched.name()
+        ));
+    };
+    let k = sched.virtual_stages(k_gpus);
+    let ops: Vec<GpuOp> = stream.take(prefix_len).collect();
+    let mut next_fwd = vec![1u64; k];
+    let mut next_bwd = vec![1u64; k];
+    let mut pending_recompute: Option<(usize, u64)> = None;
+    let mut visible = -1i64;
+    for (i, gop) in ops.iter().enumerate() {
+        let stage = gop.stage;
+        if stage >= k || stage % k_gpus != gpu {
+            return Err(format!(
+                "{} gpu {gpu}: op {i} {gop:?} carries a foreign stage",
+                sched.name()
+            ));
+        }
+        if let Some((ps, pm)) = pending_recompute {
+            if gop.op != (ScheduleOp::Backward { mb: pm }) || stage != ps {
+                return Err(format!(
+                    "{} gpu {gpu}: op {i} {gop:?} intervenes between a recompute \
+                     and its backward (stage {ps} mb {pm})",
+                    sched.name()
+                ));
+            }
+        }
+        match gop.op {
+            ScheduleOp::Forward { mb } => {
+                if mb != next_fwd[stage] {
+                    return Err(format!(
+                        "{} gpu {gpu} stage {stage}: forward mb {mb}, expected {}",
+                        sched.name(),
+                        next_fwd[stage]
+                    ));
+                }
+                if stage == 0 {
+                    if let Some(req) = wsp.required_wave(mb) {
+                        if req as i64 > visible {
+                            return Err(format!(
+                                "{}: forward {mb} ungated (needs wave {req}, gated {visible})",
+                                sched.name()
+                            ));
+                        }
+                    }
+                }
+                next_fwd[stage] += 1;
+                let outstanding = next_fwd[stage] - next_bwd[stage];
+                let declared = sched.max_in_flight(stage, k, wsp.nm) as u64;
+                if outstanding > declared {
+                    return Err(format!(
+                        "{} gpu {gpu} stage {stage}: structural occupancy {outstanding} \
+                         exceeds declared {declared}",
+                        sched.name()
+                    ));
+                }
+            }
+            ScheduleOp::Backward { mb } => {
+                if mb != next_bwd[stage] {
+                    return Err(format!(
+                        "{} gpu {gpu} stage {stage}: backward mb {mb}, expected {}",
+                        sched.name(),
+                        next_bwd[stage]
+                    ));
+                }
+                if mb >= next_fwd[stage] {
+                    return Err(format!(
+                        "{} gpu {gpu} stage {stage}: backward of {mb} before its forward",
+                        sched.name()
+                    ));
+                }
+                if sched.recomputes_at(stage, k, wsp.nm, recompute)
+                    && pending_recompute != Some((stage, mb))
+                {
+                    return Err(format!(
+                        "{} gpu {gpu} stage {stage}: backward of {mb} without its recompute",
+                        sched.name()
+                    ));
+                }
+                pending_recompute = None;
+                next_bwd[stage] += 1;
+            }
+            ScheduleOp::Recompute { mb } => {
+                if !sched.recomputes_at(stage, k, wsp.nm, recompute) {
+                    return Err(format!(
+                        "{} gpu {gpu} stage {stage}: recompute of {mb} at a stage \
+                         that must not checkpoint",
+                        sched.name()
+                    ));
+                }
+                if mb != next_bwd[stage] || mb >= next_fwd[stage] {
+                    return Err(format!(
+                        "{} gpu {gpu} stage {stage}: recompute of {mb} out of place",
+                        sched.name()
+                    ));
+                }
+                pending_recompute = Some((stage, mb));
+            }
+            ScheduleOp::FusedFwdBwd { .. } => {
+                return Err(format!(
+                    "{} gpu {gpu}: composite streams never fuse (op {i})",
+                    sched.name()
+                ));
+            }
+            ScheduleOp::Push { wave } => {
+                if stage != 0 {
+                    return Err(format!("{}: push off stage 0", sched.name()));
+                }
+                if next_bwd[0] <= wsp.last_of_wave(wave) {
+                    return Err(format!(
+                        "{}: push of wave {wave} before its last backward",
+                        sched.name()
+                    ));
+                }
+            }
+            ScheduleOp::PullGate { wave } => {
+                if stage != 0 {
+                    return Err(format!("{}: gate off stage 0", sched.name()));
+                }
+                visible = visible.max(wave as i64);
+                if let Some(req) = wsp.required_wave(next_fwd[0]) {
+                    if req > wave {
+                        return Err(format!(
+                            "{}: gate {wave} too stale for forward {} (needs {req})",
+                            sched.name(),
+                            next_fwd[0]
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    // Every chunk of this GPU must actually appear in the prefix.
+    for c in 0..sched.colocated_stages() {
+        let stage = c * k_gpus + gpu;
+        if next_fwd[stage] == 1 {
+            return Err(format!(
+                "{} gpu {gpu}: chunk {c} (stage {stage}) emitted no work in {prefix_len} ops",
+                sched.name()
+            ));
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -579,7 +925,14 @@ mod tests {
             Box::new(HetPipeWave),
             Box::new(FillDrain),
             Box::new(OneFOneB),
-            Box::new(Interleaved1F1B { chunks: 2 }),
+            Box::new(Interleaved1F1B {
+                chunks: 2,
+                composite: false,
+            }),
+            Box::new(Interleaved1F1B {
+                chunks: 2,
+                composite: true,
+            }),
         ]
     }
 
@@ -632,19 +985,43 @@ mod tests {
         assert_eq!(OneFOneB.max_in_flight(0, k, nm), 4);
         assert_eq!(HetPipeWave.max_in_flight(0, k, nm), 8);
         // Weight versions: fill-drain pins none beyond the resident
-        // set; 1F1B and the wave schedule stash one per extra in-flight
-        // minibatch (the paper's w_p stashing).
+        // set; the wave schedule stashes one per extra in-flight
+        // minibatch (the paper's w_p stashing); 1F1B double-buffers
+        // (PipeDream-2BW) and pins exactly one shadow copy while
+        // pipelining, none when the window is 1.
         assert_eq!(FillDrain.extra_weight_versions(0, k, nm), 0);
-        assert_eq!(OneFOneB.extra_weight_versions(0, k, nm), 3);
+        assert_eq!(OneFOneB.extra_weight_versions(0, k, nm), 1);
+        assert_eq!(OneFOneB.extra_weight_versions(k - 1, k, nm), 0);
         assert_eq!(HetPipeWave.extra_weight_versions(0, k, nm), 7);
     }
 
     #[test]
+    fn two_bw_caps_1f1b_weight_versions_at_one() {
+        for k in [1usize, 2, 4, 8] {
+            for nm in [1usize, 2, 4, 16] {
+                for stage in 0..k {
+                    let extra = OneFOneB.extra_weight_versions(stage, k, nm);
+                    assert!(extra <= 1, "2BW pins at most one shadow copy, got {extra}");
+                    let pipelining = OneFOneB.max_in_flight(stage, k, nm) > 1;
+                    assert_eq!(extra == 1, pipelining, "k={k} nm={nm} stage={stage}");
+                }
+            }
+        }
+    }
+
+    #[test]
     fn interleaved_expands_virtual_stages() {
-        let s = Interleaved1F1B { chunks: 3 };
+        let s = Interleaved1F1B {
+            chunks: 3,
+            composite: true,
+        };
         assert_eq!(s.virtual_stages(4), 12);
         assert_eq!(
-            Schedule::Interleaved1F1B { chunks: 3 }.virtual_stages(4),
+            Schedule::Interleaved1F1B {
+                chunks: 3,
+                composite: true
+            }
+            .virtual_stages(4),
             12
         );
         assert_eq!(Schedule::HetPipeWave.virtual_stages(4), 4);
@@ -655,11 +1032,24 @@ mod tests {
         assert_eq!(HetPipeWave.colocated_stages(), 1);
         assert_eq!(FillDrain.colocated_stages(), 1);
         assert_eq!(OneFOneB.colocated_stages(), 1);
-        assert_eq!(Interleaved1F1B { chunks: 3 }.colocated_stages(), 3);
-        assert_eq!(
-            Schedule::Interleaved1F1B { chunks: 3 }.colocated_stages(),
-            3
-        );
+        for composite in [false, true] {
+            assert_eq!(
+                Interleaved1F1B {
+                    chunks: 3,
+                    composite
+                }
+                .colocated_stages(),
+                3
+            );
+            assert_eq!(
+                Schedule::Interleaved1F1B {
+                    chunks: 3,
+                    composite
+                }
+                .colocated_stages(),
+                3
+            );
+        }
     }
 
     #[test]
@@ -675,7 +1065,17 @@ mod tests {
         assert_eq!(Schedule::parse("gpipe"), Some(Schedule::FillDrain));
         assert_eq!(
             Schedule::parse("interleaved-1f1b:4"),
-            Some(Schedule::Interleaved1F1B { chunks: 4 })
+            Some(Schedule::Interleaved1F1B {
+                chunks: 4,
+                composite: true
+            })
+        );
+        assert_eq!(
+            Schedule::parse("interleaved-1f1b-depth:4"),
+            Some(Schedule::Interleaved1F1B {
+                chunks: 4,
+                composite: false
+            })
         );
         assert_eq!(Schedule::parse("nope"), None);
         assert_eq!(Schedule::default(), Schedule::HetPipeWave);
@@ -686,6 +1086,146 @@ mod tests {
         assert_eq!(HetPipeWave.dispatch(), Dispatch::ArrivalFifo);
         assert_eq!(FillDrain.dispatch(), Dispatch::StreamOrder);
         assert_eq!(OneFOneB.dispatch(), Dispatch::StreamOrder);
-        assert_eq!(Interleaved1F1B::default().dispatch(), Dispatch::StreamOrder);
+        assert_eq!(
+            Interleaved1F1B::default().dispatch(),
+            Dispatch::GpuStreamOrder
+        );
+        assert_eq!(
+            Interleaved1F1B {
+                chunks: 2,
+                composite: false
+            }
+            .dispatch(),
+            Dispatch::StreamOrder
+        );
+    }
+
+    #[test]
+    fn composite_streams_satisfy_invariants_across_grid() {
+        // The per-GPU stream contract, checked over a wider grid than
+        // any simulation covers: per-stage order, declared occupancy,
+        // recompute placement, and wave decorations on GPU 0 only.
+        for chunks in [1usize, 2, 3] {
+            for k_gpus in [1usize, 2, 4] {
+                let sched = Interleaved1F1B {
+                    chunks,
+                    composite: true,
+                };
+                for nm in [1usize, 2, 4, 7] {
+                    for d in [0usize, 2] {
+                        let wsp = WspParams::new(nm, d);
+                        for recompute in RecomputePolicy::ALL {
+                            for gpu in 0..k_gpus {
+                                validate_gpu_stream(&sched, gpu, k_gpus, wsp, recompute, 400)
+                                    .unwrap_or_else(|e| {
+                                        panic!(
+                                            "{e} (chunks={chunks} k_gpus={k_gpus} \
+                                             nm={nm} d={d} {recompute})"
+                                        )
+                                    });
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn composite_warmup_interleaves_chunk_groups() {
+        // The fidelity bug the composite stream exists to fix: with
+        // nm > GPUs, the depth-expanded warmup emits chunk 0's whole
+        // window before chunk 1's first microbatch, while the
+        // composite stream switches to chunk 1 after one group of
+        // min(GPUs, Nm) forwards.
+        let (gpus, chunks, nm) = (4usize, 2usize, 6usize);
+        let wsp = WspParams::new(nm, 0);
+        let sched = Interleaved1F1B {
+            chunks,
+            composite: true,
+        };
+        let ops: Vec<GpuOp> = sched
+            .gpu_stream(0, gpus, wsp)
+            .expect("composite stream")
+            .take(40)
+            .collect();
+        let first_chunk1 = ops
+            .iter()
+            .position(|g| g.stage == gpus && matches!(g.op, ScheduleOp::Forward { .. }))
+            .expect("chunk 1 appears");
+        let chunk0_before: usize = ops[..first_chunk1]
+            .iter()
+            .filter(|g| g.stage == 0 && matches!(g.op, ScheduleOp::Forward { .. }))
+            .count();
+        assert_eq!(
+            chunk0_before, gpus,
+            "warmup must hand over after one chunk group, not after \
+             chunk 0's whole window: {ops:?}"
+        );
+    }
+
+    #[test]
+    fn composite_chunk1_degenerates_to_1f1b() {
+        // One chunk per GPU: the composite stream must be plain 1F1B
+        // (warmup forwards then strict alternation), matching the
+        // per-stage stream's op sequence exactly.
+        let wsp = WspParams::new(4, 0);
+        let (gpus, gpu) = (4usize, 1usize);
+        let composite: Vec<ScheduleOp> = Interleaved1F1B {
+            chunks: 1,
+            composite: true,
+        }
+        .gpu_stream(gpu, gpus, wsp)
+        .expect("composite stream")
+        .take(60)
+        .map(|g| {
+            assert_eq!(g.stage, gpu);
+            g.op
+        })
+        .collect();
+        let flat: Vec<ScheduleOp> = OneFOneB.stream(gpu, gpus, wsp).take(60).collect();
+        assert_eq!(composite, flat);
+    }
+
+    #[test]
+    fn composite_streams_are_deterministic() {
+        let wsp = WspParams::new(4, 1);
+        let s = Interleaved1F1B {
+            chunks: 2,
+            composite: true,
+        };
+        let a: Vec<GpuOp> = s.gpu_stream(0, 4, wsp).unwrap().take(300).collect();
+        let b: Vec<GpuOp> = s.gpu_stream(0, 4, wsp).unwrap().take(300).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flat_schedules_have_no_gpu_streams() {
+        let wsp = WspParams::new(4, 0);
+        assert!(HetPipeWave.gpu_stream(0, 4, wsp).is_none());
+        assert!(FillDrain.gpu_stream(0, 4, wsp).is_none());
+        assert!(OneFOneB.gpu_stream(0, 4, wsp).is_none());
+        assert!(Interleaved1F1B {
+            chunks: 2,
+            composite: false
+        }
+        .gpu_stream(0, 4, wsp)
+        .is_none());
+    }
+
+    #[test]
+    fn recomputes_at_skips_window_one_stages() {
+        let on = RecomputePolicy::BoundaryOnly;
+        // Stream-order schedules: the last stage's 1F1B window is 1 —
+        // Megatron's free-throughput skip.
+        assert!(OneFOneB.recomputes_at(0, 4, 4, on));
+        assert!(!OneFOneB.recomputes_at(3, 4, 4, on));
+        // The wave schedule's fused last stage never checkpoints; its
+        // other stages do as long as Nm > 1.
+        assert!(HetPipeWave.recomputes_at(0, 4, 4, on));
+        assert!(!HetPipeWave.recomputes_at(3, 4, 4, on));
+        assert!(!HetPipeWave.recomputes_at(0, 4, 1, on));
+        // Policy off: never.
+        assert!(!OneFOneB.recomputes_at(0, 4, 4, RecomputePolicy::None));
     }
 }

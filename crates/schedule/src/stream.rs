@@ -1,4 +1,4 @@
-//! Deterministic, infinite per-stage op streams.
+//! Deterministic, infinite per-stage and per-GPU op streams.
 //!
 //! A [`ScheduleStream`] is the schedule *as data*: the exact sequence
 //! of [`ScheduleOp`]s one pipeline stage executes, decorated (on
@@ -7,8 +7,17 @@
 //! [`ScheduleOp::PullGate`] before the first forward that requires a
 //! global wave. Streams are infinite iterators; executors pull ops on
 //! demand and tests `take(n)` a prefix.
+//!
+//! A [`GpuStream`] is the *composite per-GPU* form of the same idea:
+//! one ordered timeline per physical GPU, merging the ops of every
+//! virtual-stage chunk the schedule co-locates there (each op tagged
+//! with its stage as a [`GpuOp`]). This is how Megatron-LM's
+//! interleaved schedule is actually specified — the GPU cycles
+//! through its chunks in groups rather than letting arrival order
+//! decide the merge — and it is the stream contract the executor's
+//! `GpuStreamOrder` dispatch path consumes.
 
-use crate::ops::ScheduleOp;
+use crate::ops::{GpuOp, ScheduleOp};
 use crate::recompute::RecomputePolicy;
 use crate::wsp::WspParams;
 use std::collections::VecDeque;
@@ -163,6 +172,312 @@ impl Iterator for ScheduleStream {
 
     /// Always `Some`: schedules are infinite.
     fn next(&mut self) -> Option<ScheduleOp> {
+        if self.pending.is_empty() {
+            self.refill();
+        }
+        self.pending.pop_front()
+    }
+}
+
+/// An infinite, deterministic *composite* op stream for one physical
+/// GPU hosting several co-located virtual-stage chunks.
+///
+/// The merge order is derived from an **idealized unit-slot
+/// timetable** of the whole virtual pipeline, the continuous analogue
+/// of how Megatron-LM lays out its interleaved chunk groups: every
+/// stage op takes one uniform time slot, each GPU runs at most one op
+/// per slot, and ops become ready when their pipeline dependency
+/// completed in an earlier slot. Per slot each GPU serves, in
+/// priority order, the ready *backward* with the oldest minibatch
+/// (draining completes minibatches and frees windows — classic 1F1B
+/// drain priority), else the ready *forward* with the oldest
+/// minibatch (ties to the deepest chunk, whose output the backward
+/// wave needs soonest). Forwards are gated on the per-stage 1F1B
+/// window `min(Nm, K − stage)` — the same bound
+/// [`crate::PipelineSchedule::max_in_flight`] declares and the memory
+/// model charges — so the stream's structural occupancy never
+/// exceeds its certification and the WSP injection cap stays intact.
+///
+/// Each [`GpuStream`] instance replays this (fully deterministic)
+/// timetable and emits the ops of its own GPU in slot order. Because
+/// every dependency edge crosses slot boundaries strictly forward,
+/// the union of stream-order edges and data dependencies is acyclic —
+/// executing the per-GPU streams in strict order can never deadlock,
+/// for any chunk count, GPU count, or `Nm`. (A naive per-GPU
+/// chunk-group cursor does not have this property: with equal chunk
+/// windows it can order a deep chunk's forward ahead of the shallow
+/// chunk op that transitively feeds it on another GPU, closing a
+/// cross-GPU wait cycle.)
+///
+/// The chunk-group interleaving the composite stream exists for
+/// emerges directly: chunk 1's first microbatch becomes ready after
+/// `GPUs` slots and immediately outranks chunk 0's next warmup
+/// forward, so warmup hands over after one group of `min(GPUs, Nm)`
+/// forwards instead of serializing chunk 0's whole window.
+///
+/// Wave bookkeeping (`PullGate` / `Push`) decorates virtual stage 0 —
+/// chunk 0 of GPU 0 — exactly as [`ScheduleStream`] decorates
+/// stage 0.
+#[derive(Debug, Clone)]
+pub struct GpuStream {
+    /// Physical GPUs in the pipeline (`p`).
+    gpus: usize,
+    /// This stream's GPU (0-based of `gpus`).
+    gpu: usize,
+    /// Co-located chunks (`v`); virtual stages are `chunks × gpus`.
+    chunks: usize,
+    wsp: WspParams,
+    /// Per virtual stage: the schedule's declared outstanding cap
+    /// ([`crate::PipelineSchedule::max_in_flight`], injected at
+    /// construction).
+    caps: Vec<u64>,
+    /// Per virtual stage: emit a [`ScheduleOp::Recompute`] before
+    /// each backward (the schedule's
+    /// [`crate::PipelineSchedule::recomputes_at`] decisions, set via
+    /// [`GpuStream::with_remat`]).
+    remat: Vec<bool>,
+    /// Simulated forward / backward completions per virtual stage
+    /// (the joint idealized timetable, shared logic across all of the
+    /// pipeline's `GpuStream` instances).
+    f: Vec<u64>,
+    b: Vec<u64>,
+    /// Per GPU: the timetable op in progress and its remaining slots
+    /// (ops are duration-weighted: a backward costs about twice a
+    /// forward, a recomputed backward three forwards).
+    running: Vec<Option<(SlotOp, u32)>>,
+    /// Newest wave already gated on (−1 = none).
+    gated: i64,
+    pending: VecDeque<GpuOp>,
+}
+
+/// One op of the idealized timetable (internal to [`GpuStream`]).
+#[derive(Debug, Clone, Copy)]
+enum SlotOp {
+    Fwd { stage: usize, mb: u64 },
+    Bwd { stage: usize, mb: u64 },
+}
+
+impl GpuStream {
+    /// Creates the composite stream of `gpu` in a pipeline of `gpus`
+    /// physical GPUs each hosting `chunks` virtual stages (stage
+    /// `c × gpus + gpu` for chunk `c`).
+    ///
+    /// `caps` is the per-virtual-stage outstanding window, one entry
+    /// per stage — the *schedule's own*
+    /// [`crate::PipelineSchedule::max_in_flight`] values, passed in
+    /// rather than re-derived here so the stream's structural
+    /// occupancy can never drift from the declared accounting the
+    /// memory model certifies and the occupancy audit enforces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpu >= gpus`, `chunks == 0`, `caps` has the wrong
+    /// length, or any cap is 0.
+    pub fn new(gpu: usize, gpus: usize, chunks: usize, wsp: WspParams, caps: Vec<u64>) -> Self {
+        assert!(gpu < gpus, "gpu index out of range");
+        assert!(chunks >= 1, "at least one chunk per GPU");
+        let k = chunks * gpus;
+        assert_eq!(caps.len(), k, "one window cap per virtual stage");
+        assert!(caps.iter().all(|&c| c >= 1), "windows hold at least one");
+        GpuStream {
+            gpus,
+            gpu,
+            chunks,
+            wsp,
+            caps,
+            remat: vec![false; k],
+            f: vec![0; k],
+            b: vec![0; k],
+            running: vec![None; gpus],
+            gated: -1,
+            pending: VecDeque::new(),
+        }
+    }
+
+    /// Sets the per-stage rematerialization flags, one per virtual
+    /// stage: before each backward of a flagged stage the stream
+    /// emits a [`ScheduleOp::Recompute`]. The flags are the
+    /// *schedule's own* per-stage checkpoint decisions
+    /// ([`crate::PipelineSchedule::recomputes_at`], applied by
+    /// [`crate::PipelineSchedule::gpu_stream_with`]) — passed in,
+    /// like the window caps, so the stream's recompute placement can
+    /// never drift from the memory/cost/executor accounting. Must be
+    /// applied before the first op is pulled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `remat` does not have one entry per virtual stage.
+    pub fn with_remat(mut self, remat: Vec<bool>) -> Self {
+        debug_assert!(
+            self.f.iter().all(|&n| n == 0) && self.b.iter().all(|&n| n == 0),
+            "recompute flags must be set before the stream starts"
+        );
+        assert_eq!(
+            remat.len(),
+            self.remat.len(),
+            "one recompute flag per virtual stage"
+        );
+        self.remat = remat;
+        self
+    }
+
+    /// The op GPU `g` serves in the current slot of the idealized
+    /// timetable, by drain-first / oldest-minibatch / deepest-stage
+    /// priority, or `None` when `g` idles this slot.
+    fn pick(&self, g: usize) -> Option<SlotOp> {
+        let k = self.chunks * self.gpus;
+        // Ready backward with the smallest minibatch, deepest stage on
+        // ties (the most recently enabled link of the drain wave).
+        let mut best: Option<(u64, usize)> = None;
+        for c in 0..self.chunks {
+            let s = c * self.gpus + g;
+            let mb = self.b[s] + 1;
+            let grad_ready = s + 1 == k || self.b[s + 1] >= mb;
+            if mb <= self.f[s] && grad_ready && best.is_none_or(|(m, _)| mb < m) {
+                best = Some((mb, s));
+            }
+        }
+        if let Some((mb, stage)) = best {
+            return Some(SlotOp::Bwd { stage, mb });
+        }
+        // Ready forward with the smallest minibatch (the deepest chunk
+        // holding it wins ties automatically: a minibatch is ready at
+        // exactly one stage), gated on the stage's 1F1B window.
+        let mut best: Option<(u64, usize)> = None;
+        for c in 0..self.chunks {
+            let s = c * self.gpus + g;
+            let mb = self.f[s] + 1;
+            let input_ready = s == 0 || self.f[s - 1] >= mb;
+            let window_open = self.f[s] - self.b[s] < self.caps[s];
+            if input_ready && window_open && best.is_none_or(|(m, _)| mb < m) {
+                best = Some((mb, s));
+            }
+        }
+        best.map(|(mb, stage)| SlotOp::Fwd { stage, mb })
+    }
+
+    /// Duration of a timetable op in slots, with a forward as the
+    /// unit: backwards stream twice the data and launch roughly twice
+    /// the kernels (see `hetpipe-model`'s profile), and a recomputed
+    /// backward additionally replays the stage forward. Matching the
+    /// relative weights keeps the emitted *order* close to what the
+    /// real durations produce, which is all the stream encodes.
+    fn duration(&self, op: SlotOp) -> u32 {
+        match op {
+            SlotOp::Fwd { .. } => 1,
+            SlotOp::Bwd { stage, .. } => {
+                if self.remat[stage] {
+                    3
+                } else {
+                    2
+                }
+            }
+        }
+    }
+
+    /// Advances the idealized timetable one slot, emitting this GPU's
+    /// newly started op (if any) with its decorations into `pending`.
+    fn step_slot(&mut self) {
+        // Idle GPUs pick against the slot-start state; completions
+        // apply at the end of an op's last slot, so dependencies
+        // always cross slot boundaries strictly forward (what makes
+        // strict stream-order execution of the emitted prefixes
+        // acyclic).
+        let starts: Vec<Option<SlotOp>> = (0..self.gpus)
+            .map(|g| {
+                if self.running[g].is_none() {
+                    self.pick(g)
+                } else {
+                    None
+                }
+            })
+            .collect();
+        for (g, op) in starts.into_iter().enumerate() {
+            if let Some(op) = op {
+                self.running[g] = Some((op, self.duration(op)));
+                if g == self.gpu {
+                    self.emit(op);
+                }
+            }
+        }
+        for g in 0..self.gpus {
+            if let Some((op, remaining)) = self.running[g] {
+                if remaining == 1 {
+                    match op {
+                        SlotOp::Fwd { stage, .. } => self.f[stage] += 1,
+                        SlotOp::Bwd { stage, .. } => self.b[stage] += 1,
+                    }
+                    self.running[g] = None;
+                } else {
+                    self.running[g] = Some((op, remaining - 1));
+                }
+            }
+        }
+    }
+
+    /// Emits `op` (with its WSP decorations and recompute prefix) into
+    /// `pending`.
+    fn emit(&mut self, op: SlotOp) {
+        match op {
+            SlotOp::Fwd { stage, mb } => {
+                if stage == 0 {
+                    if let Some(w) = self.wsp.required_wave(mb) {
+                        if w as i64 > self.gated {
+                            self.gated = w as i64;
+                            self.pending.push_back(GpuOp {
+                                stage,
+                                op: ScheduleOp::PullGate { wave: w },
+                            });
+                        }
+                    }
+                }
+                self.pending.push_back(GpuOp {
+                    stage,
+                    op: ScheduleOp::Forward { mb },
+                });
+            }
+            SlotOp::Bwd { stage, mb } => {
+                if self.remat[stage] {
+                    self.pending.push_back(GpuOp {
+                        stage,
+                        op: ScheduleOp::Recompute { mb },
+                    });
+                }
+                self.pending.push_back(GpuOp {
+                    stage,
+                    op: ScheduleOp::Backward { mb },
+                });
+                if stage == 0 && mb.is_multiple_of(self.wsp.nm as u64) {
+                    self.pending.push_back(GpuOp {
+                        stage,
+                        op: ScheduleOp::Push {
+                            wave: mb / self.wsp.nm as u64 - 1,
+                        },
+                    });
+                }
+            }
+        }
+    }
+
+    /// Generates ops into `pending` until this GPU has at least one.
+    fn refill(&mut self) {
+        while self.pending.is_empty() {
+            // The timetable always progresses: the oldest incomplete
+            // minibatch's frontier op is ready by construction (its
+            // dependency completed and, being the oldest, no window
+            // can be full of younger work below it), so some GPU runs
+            // every slot and this GPU's chunks recur within a bounded
+            // number of slots.
+            self.step_slot();
+        }
+    }
+}
+
+impl Iterator for GpuStream {
+    type Item = GpuOp;
+
+    /// Always `Some`: schedules are infinite.
+    fn next(&mut self) -> Option<GpuOp> {
         if self.pending.is_empty() {
             self.refill();
         }

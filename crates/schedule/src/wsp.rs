@@ -120,6 +120,23 @@ impl WspParams {
     pub fn within_distance(&self, mine: u64, slowest: u64) -> bool {
         mine <= slowest + self.d as u64
     }
+
+    /// The local weight version (as a wave index, −1 = the initial
+    /// weights `w0`) that minibatch `p` reads under PipeDream-2BW
+    /// double buffering: every minibatch of wave `c` computes on the
+    /// version closed by wave `c − 1` — the *previous* buffer — so a
+    /// stage pins at most one shadow copy beyond the freshest
+    /// weights, instead of HetPipe's one stashed `w_p` per in-flight
+    /// minibatch.
+    ///
+    /// `tests/staleness_props.rs` checks this version against
+    /// [`WspParams::required_wave`]: the previous buffer is never
+    /// older than the WSP start gate demands, so the 2BW cap cannot
+    /// violate the staleness bound.
+    pub fn two_bw_version(&self, p: u64) -> i64 {
+        debug_assert!(p >= 1, "minibatches are 1-indexed");
+        self.wave_of(p) as i64 - 1
+    }
 }
 
 #[cfg(test)]

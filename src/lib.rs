@@ -62,8 +62,12 @@
 //! let cluster = Cluster::paper_testbed();
 //! let model = vgg19(32);
 //! let config = SystemConfig {
-//!     schedule: Schedule::OneFOneB, // or FillDrain, HetPipeWave,
-//!                                   // Interleaved1F1B { chunks: 2 }
+//!     schedule: Schedule::OneFOneB, // or FillDrain, HetPipeWave, or
+//!                                   // Interleaved1F1B { chunks: 2,
+//!                                   //   composite: true } — Megatron's
+//!                                   // composite per-GPU chunk order
+//!                                   // (composite: false keeps the
+//!                                   // depth-expanded variant)
 //!     ..SystemConfig::default()
 //! };
 //! let sys = HetPipeSystem::build(&cluster, &model, &config).expect("feasible");
@@ -73,9 +77,12 @@
 //! assert!(sys.run(SimTime::from_secs(30.0)).throughput_images_per_sec() > 0.0);
 //! ```
 //!
-//! The `schedule_compare` binary in `hetpipe-bench` sweeps all four
-//! schedules across the paper testbed and a homogeneous cluster and
-//! can export per-GPU `chrome://tracing` timelines (`--trace-out`).
+//! The `schedule_compare` binary in `hetpipe-bench` sweeps all five
+//! schedule forms (including both interleaved variants, so the
+//! composite-vs-depth-expanded fidelity delta is a standing
+//! measurement) across the paper testbed, a homogeneous cluster, and
+//! an all-whimpy RTX 2060 cluster, and can export per-GPU
+//! `chrome://tracing` timelines (`--trace-out`).
 //!
 //! [`SystemConfig::schedule`]: hetpipe_core::SystemConfig
 

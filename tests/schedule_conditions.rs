@@ -24,8 +24,9 @@ use std::collections::HashMap;
 
 const NM: usize = 4;
 
-/// All four schedules with the stage count their single-VW pipeline
-/// runs (interleaved expands 4 GPUs into 8 virtual stages).
+/// Every schedule form (incl. both interleaved variants) with the
+/// stage count their single-VW pipeline runs (interleaved expands
+/// 4 GPUs into 8 virtual stages).
 fn all_schedules() -> Vec<Schedule> {
     Schedule::ALL.to_vec()
 }
@@ -243,9 +244,13 @@ fn recompute_rematerializes_before_every_backward() {
             0,
             "{schedule}: recompute spans with the policy off"
         );
-        // On: every standalone backward is preceded by a same-stage
-        // recompute of the same minibatch, back-to-back on the GPU
-        // timeline; fused tasks never recompute.
+        // On: every backward at a stage that checkpoints
+        // (`recomputes_at`: the policy is on and the stage's window
+        // exceeds 1) is preceded by a same-stage recompute of the same
+        // minibatch, back-to-back on the GPU timeline. Fused tasks and
+        // window-1 stages (e.g. the last stage of stream-order
+        // schedules) never recompute — there is no stash to reclaim,
+        // so the forward re-run is skipped for free throughput.
         let (stats, stages, _) = single_vw_run(schedule, RecomputePolicy::BoundaryOnly);
         let recomputes: HashMap<(u32, u64), (SimTime, SimTime)> = stats
             .trace
@@ -256,17 +261,24 @@ fn recompute_rematerializes_before_every_backward() {
                 _ => None,
             })
             .collect();
-        let mut standalone_backwards = 0;
+        let mut checkpointed_backwards = 0;
+        let mut skipped_stages = 0;
         for s in stats.trace.spans() {
             if let SpanTag::Backward { stage, mb, .. } = s.tag {
-                if schedule.fused_last_stage() && stage as usize == stages - 1 {
+                if !schedule.recomputes_at(
+                    stage as usize,
+                    stages,
+                    NM,
+                    RecomputePolicy::BoundaryOnly,
+                ) {
                     assert!(
                         !recomputes.contains_key(&(stage, mb)),
-                        "{schedule}: fused task mb {mb} must not recompute"
+                        "{schedule}: mb {mb} at non-checkpointing stage {stage} must not recompute"
                     );
+                    skipped_stages += 1;
                     continue;
                 }
-                standalone_backwards += 1;
+                checkpointed_backwards += 1;
                 let (_, re_end) = recomputes.get(&(stage, mb)).unwrap_or_else(|| {
                     panic!("{schedule}: backward mb {mb} stage {stage} missing its recompute")
                 });
@@ -277,8 +289,20 @@ fn recompute_rematerializes_before_every_backward() {
             }
         }
         assert!(
-            standalone_backwards > 10,
-            "{schedule}: ran only {standalone_backwards} standalone backwards"
+            checkpointed_backwards > 10,
+            "{schedule}: ran only {checkpointed_backwards} checkpointed backwards"
+        );
+        // Schedules with a non-checkpointing stage (the wave
+        // schedule's fused last stage; the window-1 last stage of the
+        // 1F1B-family schedules) must actually have exercised the
+        // skip. Fill-drain holds the whole wave at every stage, so it
+        // checkpoints everywhere.
+        let has_skip_stage = (0..stages)
+            .any(|s| !schedule.recomputes_at(s, stages, NM, RecomputePolicy::BoundaryOnly));
+        assert_eq!(
+            skipped_stages > 0,
+            has_skip_stage,
+            "{schedule}: recompute skip coverage mismatch"
         );
         // Recomputation trades compute for memory: the run must still
         // make progress.

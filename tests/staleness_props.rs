@@ -93,6 +93,49 @@ fn wave_indexing_roundtrip() {
     }
 }
 
+/// PipeDream-2BW double buffering against the WSP clock: under 2BW,
+/// every minibatch of wave `c` reads the version closed by wave
+/// `c − 1` (one shadow buffer — the `extra_weight_versions` cap of 1
+/// that replaces HetPipe's per-minibatch `w_p` stashing for 1F1B).
+/// That version must be (a) exactly one wave stale — the fixed 2BW
+/// staleness — and (b) never older than the WSP start gate
+/// ([`WspParams::required_wave`]) demands, for every `(Nm, D)`: the
+/// double buffer is a *tightening* of WSP's staleness envelope, so
+/// capping the stash cannot admit a run WSP would forbid.
+#[test]
+fn two_bw_versions_respect_the_wsp_staleness_bound() {
+    use hetpipe::schedule::{OneFOneB, PipelineSchedule};
+    for nm in 1usize..12 {
+        for d in 0usize..6 {
+            let w = WspParams::new(nm, d);
+            for p in 1u64..4000 {
+                let v = w.two_bw_version(p);
+                // (a) Fixed one-wave staleness: wave 0 runs on the
+                // initial weights (−1), later waves on the previous
+                // wave's version.
+                assert_eq!(v, w.wave_of(p) as i64 - 1);
+                // (b) At least as fresh as the WSP gate requires.
+                if let Some(req) = w.required_wave(p) {
+                    assert!(
+                        v >= req as i64,
+                        "Nm={nm} D={d} mb={p}: 2BW version {v} staler than \
+                         the WSP gate's wave {req}"
+                    );
+                }
+            }
+        }
+    }
+    // The memory side of the same scheme: 1F1B pins at most one shadow
+    // copy at any stage, depth, or concurrency.
+    for k in 1usize..10 {
+        for nm in 1usize..12 {
+            for stage in 0..k {
+                assert!(OneFOneB.extra_weight_versions(stage, k, nm) <= 1);
+            }
+        }
+    }
+}
+
 /// Clock-distance rule consistency.
 #[test]
 fn distance_rule() {
