@@ -44,6 +44,41 @@ fn arg_value(name: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+/// FNV-1a fingerprint of a run's span trace. Sweep cells whose traces
+/// are identical (e.g. recompute on vs off where no stage actually
+/// checkpoints) serialize once; later cells copy the already-written
+/// file instead of re-serializing the same spans.
+fn trace_fingerprint(stats: &hetpipe_core::exec::RunStats) -> u64 {
+    use hetpipe_core::exec::SpanTag;
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut mix = |v: u64| {
+        h ^= v;
+        h = h.wrapping_mul(0x100000001b3);
+    };
+    mix(stats.trace.len() as u64);
+    for span in stats.trace.spans() {
+        mix(span.resource.0 as u64);
+        mix(span.start.as_nanos());
+        mix(span.end.as_nanos());
+        let (kind, a, b, c) = match span.tag {
+            SpanTag::Forward { vw, stage, mb } => (1, vw as u64, stage as u64, mb),
+            SpanTag::Backward { vw, stage, mb } => (2, vw as u64, stage as u64, mb),
+            SpanTag::Recompute { vw, stage, mb } => (3, vw as u64, stage as u64, mb),
+            SpanTag::ActTransfer {
+                vw,
+                stage,
+                backward,
+            } => (4, vw as u64, stage as u64, backward as u64),
+            SpanTag::SyncTransfer { vw, wave, pull } => (5, vw as u64, wave, pull as u64),
+        };
+        mix(kind);
+        mix(a);
+        mix(b);
+        mix(c);
+    }
+    h
+}
+
 fn homogeneous_testbed() -> Cluster {
     // Four 4-GPU TITAN V nodes: the "rich" cluster HetPipe's whimpy
     // testbed is usually compared against.
@@ -75,6 +110,9 @@ fn main() {
 
     let mut dump = Vec::new();
     let mut violations: Vec<String> = Vec::new();
+    // trace fingerprint -> path already written (serialize-once dedupe).
+    let mut written_traces: std::collections::HashMap<u64, String> =
+        std::collections::HashMap::new();
     for (cluster_name, cluster) in &clusters {
         for (model_name, graph) in &models {
             let mut rows = Vec::new();
@@ -143,17 +181,44 @@ fn main() {
                                     schedule.to_string().replace(':', "-"),
                                     if recompute.is_on() { "-ckpt" } else { "" },
                                 );
-                                let pool = &stats.pool;
-                                stats
-                                    .trace
-                                    .write_chrome_trace_file(
-                                        &path,
-                                        |rid| pool.get(rid).name.clone(),
-                                        |tag| tag.label(),
-                                        |tag| tag.category(),
-                                    )
-                                    .unwrap_or_else(|e| eprintln!("cannot write {path}: {e}"));
-                                println!("(trace written to {path})");
+                                // Serialize each distinct trace once:
+                                // a cell whose trace is byte-identical
+                                // to an earlier cell's (recompute
+                                // on/off with no checkpointing stage,
+                                // for instance) copies the file
+                                // instead of re-serializing.
+                                match written_traces.entry(trace_fingerprint(&stats)) {
+                                    std::collections::hash_map::Entry::Occupied(prev) => {
+                                        std::fs::copy(prev.get(), &path)
+                                            .map(|_| ())
+                                            .unwrap_or_else(|e| {
+                                                eprintln!("cannot copy to {path}: {e}")
+                                            });
+                                        println!(
+                                            "(trace copied to {path}, identical to {})",
+                                            prev.get()
+                                        );
+                                    }
+                                    std::collections::hash_map::Entry::Vacant(slot) => {
+                                        let pool = &stats.pool;
+                                        match stats.trace.write_chrome_trace_file(
+                                            &path,
+                                            |rid| pool.get(rid).name.clone(),
+                                            |tag| tag.label(),
+                                            |tag| tag.category(),
+                                        ) {
+                                            Ok(()) => {
+                                                // Record the path only on a
+                                                // successful write — later
+                                                // identical cells copy this
+                                                // file, which must exist.
+                                                slot.insert(path.clone());
+                                                println!("(trace written to {path})");
+                                            }
+                                            Err(e) => eprintln!("cannot write {path}: {e}"),
+                                        }
+                                    }
+                                }
                             }
                         }
                         Err(e) => {

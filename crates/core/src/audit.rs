@@ -128,18 +128,29 @@ impl OccupancyAudit {
                 _ => Vec::new(),
             }
         };
-        let stage_peaks = stats
-            .trace
-            .peak_concurrent(|span| stage_events(&span.tag, span.end));
-        let gpu_peaks: BTreeMap<(usize, usize), i64> = stats.trace.peak_concurrent(|span| {
-            stage_events(&span.tag, span.end)
-                .into_iter()
-                .map(|((vw, stage), at, delta)| {
-                    let gpus = vws[vw].stages() / colocated;
-                    ((vw, stage % gpus), at, delta)
-                })
-                .collect()
-        });
+        // One pass over the trace builds both keyings (per stage and
+        // per physical GPU) — the trace is the run's largest artifact,
+        // so it is scanned once, not once per keying.
+        let mut stage_evs: BTreeMap<(usize, usize), Vec<(SimTime, i64)>> = BTreeMap::new();
+        let mut gpu_evs: BTreeMap<(usize, usize), Vec<(SimTime, i64)>> = BTreeMap::new();
+        for span in stats.trace.spans() {
+            for ((vw, stage), at, delta) in stage_events(&span.tag, span.end) {
+                let gpus = vws[vw].stages() / colocated;
+                stage_evs.entry((vw, stage)).or_default().push((at, delta));
+                gpu_evs
+                    .entry((vw, stage % gpus))
+                    .or_default()
+                    .push((at, delta));
+            }
+        }
+        let stage_peaks: BTreeMap<(usize, usize), i64> = stage_evs
+            .into_iter()
+            .map(|(key, evs)| (key, hetpipe_des::peak_of_events(evs)))
+            .collect();
+        let gpu_peaks: BTreeMap<(usize, usize), i64> = gpu_evs
+            .into_iter()
+            .map(|(key, evs)| (key, hetpipe_des::peak_of_events(evs)))
+            .collect();
 
         let mut stages = Vec::new();
         let mut gpus = Vec::new();

@@ -407,12 +407,16 @@ impl<'a> Exec<'a> {
                 .map(|vw| {
                     let chunks = p.schedule.colocated_stages();
                     let gpus = vw.stages() / chunks;
-                    (0..gpus)
-                        .map(|gpu| GpuCursor {
-                            stream: p
-                                .schedule
-                                .gpu_stream_with(gpu, gpus, p.wsp, p.recompute)
-                                .expect("GpuStreamOrder schedules declare composite streams"),
+                    // One *shared* joint timetable per VW, fanned into
+                    // the per-GPU handles — the slot simulation runs
+                    // once per VW instead of once per GPU, with
+                    // identical per-GPU op sequences.
+                    p.schedule
+                        .gpu_streams_with(gpus, p.wsp, p.recompute)
+                        .expect("GpuStreamOrder schedules declare composite streams")
+                        .into_iter()
+                        .map(|stream| GpuCursor {
+                            stream,
                             next: None,
                             fwd_arrived: vec![0; chunks],
                             bwd_arrived: vec![0; chunks],

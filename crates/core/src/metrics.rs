@@ -62,11 +62,15 @@ impl SystemReport {
             .collect();
         let waves_per_vw: Vec<u64> = stats.vws.iter().map(|v| v.waves_pushed).collect();
 
+        // One windowed query per device per wait window below: build
+        // the per-resource span index once instead of rescanning the
+        // full trace per query.
+        let index = stats.trace.index();
         let gpu_utilization: Vec<(DeviceId, f64)> = cluster
             .devices()
             .map(|d| {
                 let rid = stats.gpu_resources[d.0];
-                (d, stats.trace.utilization_within(rid, warmup, horizon))
+                (d, index.utilization_within(rid, warmup, horizon))
             })
             .collect();
 
@@ -95,8 +99,7 @@ impl SystemReport {
                     let busy_avg: f64 = devs
                         .iter()
                         .map(|d| {
-                            stats
-                                .trace
+                            index
                                 .busy_within(stats.gpu_resources[d.0], from, to)
                                 .as_secs()
                         })

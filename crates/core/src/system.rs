@@ -17,7 +17,7 @@ use hetpipe_des::SimTime;
 use hetpipe_model::memory::nm_saturation_limit;
 use hetpipe_model::ModelGraph;
 use hetpipe_partition::{
-    max_feasible_nm_with, order::search_orders, PartitionProblem, PartitionSolver,
+    evaluate_orders, max_feasible_nm_with, NmSweep, PartitionProblem, PartitionSolver,
 };
 use hetpipe_schedule::{PipelineSchedule, RecomputePolicy, Schedule};
 use std::fmt;
@@ -368,29 +368,31 @@ impl<'a> HetPipeSystem<'a> {
                 // pass 2 refines the leaders with a short standalone
                 // simulation (the paper's Figure-3 measurement mode)
                 // and keeps the simulated winner.
+                //
+                // The per-order Nm sweeps are independent full DP
+                // solves, so pass 1 fans them across scoped worker
+                // threads (`evaluate_orders`); results come back in
+                // enumeration order, keeping the candidate list — and
+                // therefore the refined winner — bit-identical to the
+                // serial search.
                 let gpus: Vec<_> = devices.iter().map(|&d| cluster.spec_of(d)).collect();
                 let limit = nm_saturation_limit(schedule.virtual_stages(devices.len()));
-                // (unexpanded stage devices, proxy score, proxy-best Nm)
-                let mut candidates: Vec<(Vec<DeviceId>, f64, usize)> = Vec::new();
-                search_orders(&gpus, |order| {
+                let scored = evaluate_orders(&gpus, |order| {
                     let stage_devices: Vec<DeviceId> = order.iter().map(|&j| devices[j]).collect();
                     let devs = expand(&stage_devices);
                     let ordered_gpus: Vec<_> = devs.iter().map(|&d| cluster.spec_of(d)).collect();
                     let links = VirtualWorker::links(cluster, &devs);
-                    // One DP sweep serves both the feasibility probe
-                    // and the rate scoring (memory is monotone in Nm,
-                    // so the first infeasible Nm ends the sweep).
+                    // One incremental DP sweep serves both the
+                    // feasibility probe and the rate scoring (memory
+                    // is monotone in Nm, so the first infeasible Nm
+                    // ends the sweep; NmSweep reuses the previous
+                    // Nm's optimum wherever that is provably still
+                    // optimal).
+                    let mut sweep =
+                        NmSweep::new(graph, &ordered_gpus, &links, schedule, config.recompute);
                     let mut best: Option<(f64, usize)> = None;
                     for nm in 1..=limit {
-                        let problem = PartitionProblem::with_schedule(
-                            graph,
-                            ordered_gpus.clone(),
-                            links.clone(),
-                            nm,
-                            schedule,
-                        )
-                        .with_recompute(config.recompute);
-                        let Ok(plan) = PartitionSolver::solve(&problem) else {
+                        let Ok(plan) = sweep.solve(nm) else {
                             break;
                         };
                         let latency: f64 = plan.stage_secs.iter().sum();
@@ -400,10 +402,14 @@ impl<'a> HetPipeSystem<'a> {
                         }
                     }
                     let (rate, nm) = best?;
-                    candidates.push((stage_devices, rate, nm));
-                    Some(rate)
-                })
-                .ok_or(BuildError::NoFeasiblePartition { vw: i })?;
+                    Some((stage_devices, rate, nm))
+                });
+                // (unexpanded stage devices, proxy score, proxy-best Nm)
+                let mut candidates: Vec<(Vec<DeviceId>, f64, usize)> =
+                    scored.into_iter().filter_map(|(_, r)| r).collect();
+                if candidates.is_empty() {
+                    return Err(BuildError::NoFeasiblePartition { vw: i });
+                }
                 // Stable sort: proxy ties keep enumeration order, so
                 // the refinement set is deterministic.
                 candidates.sort_by(|a, b| b.1.total_cmp(&a.1));
@@ -459,17 +465,23 @@ impl<'a> HetPipeSystem<'a> {
                 forced
             }
             None => {
+                // One incremental sweep per VW across the probed Nm
+                // range — the per-VW instance is fixed, so NmSweep's
+                // answer-preserving reuse applies.
+                let mut sweeps: Vec<NmSweep<'_>> = ordered_groups
+                    .iter()
+                    .map(|devices| {
+                        let gpus: Vec<_> = devices.iter().map(|&d| cluster.spec_of(d)).collect();
+                        let links = VirtualWorker::links(cluster, devices);
+                        NmSweep::new(graph, &gpus, &links, schedule, config.recompute)
+                    })
+                    .collect();
                 let mut best = (1usize, 0.0f64);
                 for nm in 1..=max_nm {
                     let mut slowest = f64::INFINITY;
                     let mut feasible = true;
-                    for devices in &ordered_groups {
-                        let gpus: Vec<_> = devices.iter().map(|&d| cluster.spec_of(d)).collect();
-                        let links = VirtualWorker::links(cluster, devices);
-                        match PartitionSolver::solve(
-                            &PartitionProblem::with_schedule(graph, gpus, links, nm, schedule)
-                                .with_recompute(config.recompute),
-                        ) {
+                    for sweep in &mut sweeps {
+                        match sweep.solve(nm) {
                             Ok(plan) => {
                                 let latency: f64 = plan.stage_secs.iter().sum();
                                 let rate = (1.0 / plan.bottleneck_secs).min(nm as f64 / latency);

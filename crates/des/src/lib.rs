@@ -28,4 +28,4 @@ pub use engine::Engine;
 pub use event::EventQueue;
 pub use resource::{Resource, ResourceId, ResourcePool};
 pub use time::SimTime;
-pub use trace::{Span, Trace};
+pub use trace::{peak_of_events, Span, Trace, TraceIndex};

@@ -82,6 +82,10 @@ impl<T> Trace<T> {
 
     /// Total busy time of `resource` within the window `[from, to)`,
     /// clipping spans that straddle the window edges.
+    ///
+    /// Scans the whole trace; callers issuing many windowed queries
+    /// (per stage, per GPU, per wait window) should build a
+    /// [`TraceIndex`] once and query that instead.
     pub fn busy_within(&self, resource: ResourceId, from: SimTime, to: SimTime) -> SimTime {
         let mut acc = SimTime::ZERO;
         for s in &self.spans {
@@ -95,6 +99,36 @@ impl<T> Trace<T> {
             }
         }
         acc
+    }
+
+    /// Builds a per-resource span index over the current trace
+    /// contents, for repeated windowed occupancy queries without
+    /// rescanning the full trace per call.
+    pub fn index(&self) -> TraceIndex {
+        let mut per_resource: BTreeMap<ResourceId, IndexedSpans> = BTreeMap::new();
+        for s in &self.spans {
+            per_resource
+                .entry(s.resource)
+                .or_default()
+                .spans
+                .push((s.start, s.end));
+        }
+        for idx in per_resource.values_mut() {
+            // Executors record each resource's FIFO timeline in start
+            // order already; sort defensively so the binary searches
+            // below never depend on that.
+            idx.spans.sort();
+            let mut cummax = SimTime::ZERO;
+            idx.cummax_end = idx
+                .spans
+                .iter()
+                .map(|&(_, end)| {
+                    cummax = cummax.max(end);
+                    cummax
+                })
+                .collect();
+        }
+        TraceIndex { per_resource }
     }
 
     /// Utilization of `resource` within `[from, to)`.
@@ -147,16 +181,7 @@ impl<T> Trace<T> {
         }
         per_key
             .into_iter()
-            .map(|(key, mut evs)| {
-                evs.sort();
-                let mut live = 0i64;
-                let mut peak = 0i64;
-                for (_, delta) in evs {
-                    live += delta;
-                    peak = peak.max(live);
-                }
-                (key, peak)
-            })
+            .map(|(key, evs)| (key, peak_of_events(evs)))
             .collect()
     }
 
@@ -170,13 +195,18 @@ impl<T> Trace<T> {
     /// span's tag into the event name and category. Timestamps are
     /// emitted in microseconds (the format's unit) with sub-µs
     /// precision preserved as fractions.
+    ///
+    /// The serialization issues one small `write!` per event, so the
+    /// writer is buffered internally ([`io::BufWriter`]) — callers can
+    /// hand over a raw `File` without paying a syscall per span.
     pub fn write_chrome_trace<W: Write>(
         &self,
-        mut out: W,
+        out: W,
         track_names: impl Fn(ResourceId) -> String,
         name_of: impl Fn(&T) -> String,
         category_of: impl Fn(&T) -> &'static str,
     ) -> io::Result<()> {
+        let mut out = io::BufWriter::new(out);
         let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
         writeln!(out, "[")?;
         // Track metadata, one per resource seen in the trace.
@@ -214,7 +244,7 @@ impl<T> Trace<T> {
             )?;
         }
         writeln!(out, "\n]")?;
-        Ok(())
+        out.flush()
     }
 
     /// [`Trace::write_chrome_trace`] straight to a file path.
@@ -226,7 +256,86 @@ impl<T> Trace<T> {
         category_of: impl Fn(&T) -> &'static str,
     ) -> io::Result<()> {
         let file = std::fs::File::create(path)?;
-        self.write_chrome_trace(io::BufWriter::new(file), track_names, name_of, category_of)
+        self.write_chrome_trace(file, track_names, name_of, category_of)
+    }
+}
+
+/// The peak running sum of `(instant, delta)` occupancy events.
+/// Same-instant events apply releases-first (ascending `delta`), so a
+/// handoff at an instant does not count as overlap. This is the single
+/// definition of a "measured peak": [`Trace::peak_concurrent`] folds
+/// every key through it, and external one-pass aggregations (e.g. the
+/// occupancy audit's dual keying) must use it too so measured values
+/// can never drift from the trace's own semantics.
+pub fn peak_of_events(mut events: Vec<(SimTime, i64)>) -> i64 {
+    events.sort();
+    let mut live = 0i64;
+    let mut peak = 0i64;
+    for (_, delta) in events {
+        live += delta;
+        peak = peak.max(live);
+    }
+    peak
+}
+
+/// A per-resource span index over a [`Trace`], answering windowed
+/// busy-time / utilization queries in `O(log s + hits)` over that
+/// resource's own spans instead of a full-trace scan per call — the
+/// post-run reports ask one such query per (device × wait window) and
+/// per (device × measurement window).
+///
+/// A snapshot: spans recorded after [`Trace::index`] are not visible
+/// to the index.
+#[derive(Debug, Clone)]
+pub struct TraceIndex {
+    per_resource: BTreeMap<ResourceId, IndexedSpans>,
+}
+
+/// One resource's spans sorted by start, with the running maximum of
+/// span ends alongside — `cummax_end` is nondecreasing, so "the first
+/// span that can overlap a window starting at `from`" is a binary
+/// search even when spans overlap each other.
+#[derive(Debug, Clone, Default)]
+struct IndexedSpans {
+    /// `(start, end)` pairs sorted by start.
+    spans: Vec<(SimTime, SimTime)>,
+    /// `cummax_end[i]` = max end over `spans[..=i]`.
+    cummax_end: Vec<SimTime>,
+}
+
+impl TraceIndex {
+    /// Total busy time of `resource` within `[from, to)`, clipping
+    /// spans that straddle the window edges. Identical semantics to
+    /// [`Trace::busy_within`].
+    pub fn busy_within(&self, resource: ResourceId, from: SimTime, to: SimTime) -> SimTime {
+        let Some(idx) = self.per_resource.get(&resource) else {
+            return SimTime::ZERO;
+        };
+        // Every span before `first` ends at or before `from` (the
+        // running max of ends is ≤ from there), so none can overlap;
+        // past `first`, stop at the first span starting at/after `to`.
+        let first = idx.cummax_end.partition_point(|&end| end <= from);
+        let mut acc = SimTime::ZERO;
+        for &(start, end) in &idx.spans[first..] {
+            if start >= to {
+                break;
+            }
+            let lo = start.max(from);
+            let hi = end.min(to);
+            if hi > lo {
+                acc += hi - lo;
+            }
+        }
+        acc
+    }
+
+    /// Utilization of `resource` within `[from, to)`; 0 for an empty
+    /// window. Identical semantics to [`Trace::utilization_within`].
+    pub fn utilization_within(&self, resource: ResourceId, from: SimTime, to: SimTime) -> f64 {
+        if to <= from {
+            return 0.0;
+        }
+        self.busy_within(resource, from, to).as_secs() / (to - from).as_secs()
     }
 }
 
@@ -319,6 +428,46 @@ mod tests {
         // One metadata event per distinct resource + one per span.
         assert_eq!(s.matches("\"ph\":\"M\"").count(), 2);
         assert_eq!(s.matches("\"ph\":\"X\"").count(), 2);
+    }
+
+    #[test]
+    fn index_matches_full_scan_queries() {
+        // Overlapping spans, out-of-order recording, multiple
+        // resources: the index must answer exactly like the scans.
+        let mut tr = Trace::new();
+        let (a, b) = (ResourceId(0), ResourceId(7));
+        tr.record(
+            a,
+            SimTime::from_nanos(20),
+            SimTime::from_nanos(90),
+            Tag::Fwd,
+        );
+        tr.record(a, SimTime::from_nanos(0), SimTime::from_nanos(10), Tag::Fwd);
+        tr.record(a, SimTime::from_nanos(5), SimTime::from_nanos(8), Tag::Bwd);
+        tr.record(
+            b,
+            SimTime::from_nanos(40),
+            SimTime::from_nanos(60),
+            Tag::Bwd,
+        );
+        let idx = tr.index();
+        for r in [a, b, ResourceId(3)] {
+            for from in [0u64, 5, 9, 30, 95] {
+                for to in [0u64, 7, 25, 60, 100] {
+                    let (from, to) = (SimTime::from_nanos(from), SimTime::from_nanos(to));
+                    assert_eq!(
+                        idx.busy_within(r, from, to),
+                        tr.busy_within(r, from, to),
+                        "res {r:?} window {from}..{to}"
+                    );
+                    assert_eq!(
+                        idx.utilization_within(r, from, to).to_bits(),
+                        tr.utilization_within(r, from, to).to_bits(),
+                        "res {r:?} window {from}..{to}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

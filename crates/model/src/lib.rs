@@ -29,6 +29,6 @@ pub mod zoo;
 
 pub use graph::ModelGraph;
 pub use layer::{Layer, LayerKind};
-pub use memory::TrainingMemoryModel;
+pub use memory::{StageMemoryTerms, TrainingMemoryModel};
 pub use profile::LayerProfile;
 pub use zoo::{mlp, resnet152, resnet50, transformer_encoder, vgg19};

@@ -63,6 +63,73 @@ pub fn nm_saturation_limit(k: usize) -> usize {
     2 * k - 1
 }
 
+/// The per-stage constants of the stage-memory formula, hoisted out
+/// of the byte computation: a stage's in-flight window, pinned weight
+/// versions, and checkpoint decision depend only on
+/// `(stage, k, nm, schedule, recompute)` — not on the layer range —
+/// so callers probing many ranges per stage (the partition DP issues
+/// O(L²) probes per stage per solve) construct the terms once and
+/// evaluate each range as pure prefix-sum arithmetic, instead of
+/// paying the schedule's dynamic dispatch per probe.
+///
+/// This is the *single source* of the stage-memory formula:
+/// [`TrainingMemoryModel::stage_bytes_with`] delegates here, so the
+/// hoisted and unhoisted paths cannot drift.
+#[derive(Debug, Clone, Copy)]
+pub struct StageMemoryTerms {
+    /// Parameter-set copies held: the resident
+    /// weights/gradients/momentum ([`PARAM_STATE_COPIES`]) plus the
+    /// schedule's stashed versions.
+    param_copies: u64,
+    /// Peak minibatches simultaneously holding activations.
+    in_flight: u64,
+    /// Whether the stage checkpoints
+    /// ([`PipelineSchedule::recomputes_at`]).
+    recomputes: bool,
+}
+
+impl StageMemoryTerms {
+    /// Resolves the schedule's per-stage terms once.
+    pub fn new(
+        stage: usize,
+        k: usize,
+        nm: usize,
+        schedule: &dyn PipelineSchedule,
+        recompute: RecomputePolicy,
+    ) -> StageMemoryTerms {
+        StageMemoryTerms {
+            param_copies: PARAM_STATE_COPIES + schedule.extra_weight_versions(stage, k, nm),
+            in_flight: schedule.max_in_flight(stage, k, nm) as u64,
+            recomputes: schedule.recomputes_at(stage, k, nm, recompute),
+        }
+    }
+
+    /// Whether the stage checkpoints under these terms (the resolved
+    /// [`PipelineSchedule::recomputes_at`] decision) — exposed so
+    /// callers that hoist the terms need not re-resolve the flag.
+    #[inline]
+    pub fn recomputes(&self) -> bool {
+        self.recomputes
+    }
+
+    /// Bytes the stage needs to hold the contiguous layer `range` —
+    /// O(1): two prefix-sum range queries and a few multiplies.
+    #[inline]
+    pub fn stage_bytes(&self, graph: &ModelGraph, range: Range<usize>) -> u64 {
+        let params = graph.param_bytes_in(range.clone());
+        let stored = graph.stored_bytes_in(range.clone());
+        let input_buf = graph.input_bytes_of(range.start);
+        let activations = if self.recomputes {
+            // Stashed boundary inputs for every in-flight minibatch,
+            // plus the one rematerialized set live during a backward.
+            self.in_flight * input_buf + stored
+        } else {
+            self.in_flight * (stored + input_buf)
+        };
+        params * self.param_copies + activations + CUDNN_WORKSPACE_BYTES + FRAMEWORK_OVERHEAD_BYTES
+    }
+}
+
 /// Analytic training-memory model for a [`ModelGraph`].
 #[derive(Debug, Clone, Copy)]
 pub struct TrainingMemoryModel;
@@ -141,24 +208,7 @@ impl TrainingMemoryModel {
         schedule: &dyn PipelineSchedule,
         recompute: RecomputePolicy,
     ) -> u64 {
-        let layers = &graph.layers()[range.clone()];
-        let params: u64 = layers.iter().map(|l| l.param_bytes).sum();
-        let stored: u64 = layers.iter().map(|l| l.stored_bytes).sum();
-        let in_flight = schedule.max_in_flight(stage, k, nm) as u64;
-        let extra_versions = schedule.extra_weight_versions(stage, k, nm);
-        let input_buf = graph.input_bytes_of(range.start);
-        let activations = if schedule.recomputes_at(stage, k, nm, recompute) {
-            // Stashed boundary inputs for every in-flight minibatch,
-            // plus the one rematerialized set live during a backward.
-            in_flight * input_buf + stored
-        } else {
-            in_flight * (stored + input_buf)
-        };
-
-        params * (PARAM_STATE_COPIES + extra_versions)
-            + activations
-            + CUDNN_WORKSPACE_BYTES
-            + FRAMEWORK_OVERHEAD_BYTES
+        StageMemoryTerms::new(stage, k, nm, schedule, recompute).stage_bytes(graph, range)
     }
 
     /// The *rematerialized-set* component of
@@ -184,10 +234,42 @@ impl TrainingMemoryModel {
         recompute: RecomputePolicy,
     ) -> u64 {
         if schedule.recomputes_at(stage, k, nm, recompute) {
-            graph.layers()[range].iter().map(|l| l.stored_bytes).sum()
+            graph.stored_bytes_in(range)
         } else {
             0
         }
+    }
+
+    /// Reference implementation of [`Self::stage_bytes_with`] that
+    /// re-sums the layer slice on every call (the pre-prefix-sum
+    /// behaviour). Kept as the parity oracle for the planner's O(1)
+    /// range queries and as the timing baseline `planner_bench`
+    /// records — not for production use.
+    #[allow(clippy::too_many_arguments)]
+    pub fn stage_bytes_with_naive(
+        graph: &ModelGraph,
+        range: Range<usize>,
+        stage: usize,
+        k: usize,
+        nm: usize,
+        schedule: &dyn PipelineSchedule,
+        recompute: RecomputePolicy,
+    ) -> u64 {
+        let layers = &graph.layers()[range.clone()];
+        let params: u64 = layers.iter().map(|l| l.param_bytes).sum();
+        let stored: u64 = layers.iter().map(|l| l.stored_bytes).sum();
+        let in_flight = schedule.max_in_flight(stage, k, nm) as u64;
+        let extra_versions = schedule.extra_weight_versions(stage, k, nm);
+        let input_buf = graph.input_bytes_of(range.start);
+        let activations = if schedule.recomputes_at(stage, k, nm, recompute) {
+            in_flight * input_buf + stored
+        } else {
+            in_flight * (stored + input_buf)
+        };
+        params * (PARAM_STATE_COPIES + extra_versions)
+            + activations
+            + CUDNN_WORKSPACE_BYTES
+            + FRAMEWORK_OVERHEAD_BYTES
     }
 
     /// Whether `gpu` can host the given stage under the wave schedule.
@@ -247,14 +329,22 @@ impl TrainingMemoryModel {
         schedule: &dyn PipelineSchedule,
         recompute: RecomputePolicy,
     ) -> bool {
+        let budget = Self::equal_split_budget(gpu, schedule);
+        Self::stage_bytes_with(graph, range, stage, k, nm, schedule, recompute) <= budget
+    }
+
+    /// The per-stage byte budget of `gpu` under `schedule`: the whole
+    /// capacity for flat schedules, or the conservative equal split
+    /// (fixed overheads counted once) across co-located interleaved
+    /// chunks.
+    pub fn equal_split_budget(gpu: &GpuSpec, schedule: &dyn PipelineSchedule) -> u64 {
         let colocated = schedule.colocated_stages() as u64;
-        let budget = if colocated > 1 {
+        if colocated > 1 {
             let fixed = CUDNN_WORKSPACE_BYTES + FRAMEWORK_OVERHEAD_BYTES;
             fixed + gpu.memory_bytes.saturating_sub(fixed) / colocated
         } else {
             gpu.memory_bytes
-        };
-        Self::stage_bytes_with(graph, range, stage, k, nm, schedule, recompute) <= budget
+        }
     }
 
     /// Whether the stage fits `gpu` with the *whole* GPU budget to
@@ -711,6 +801,43 @@ mod tests {
             &sched,
             rc
         ));
+    }
+
+    #[test]
+    fn prefix_sum_bytes_match_naive_reference() {
+        use hetpipe_schedule::Schedule;
+        let g = vgg19(32);
+        let n = g.len();
+        let (k, nm) = (4, 4);
+        for schedule in Schedule::ALL {
+            for recompute in [RecomputePolicy::None, RecomputePolicy::BoundaryOnly] {
+                for stage in [0, k - 1] {
+                    for (s, e) in [(0, n), (3, 9), (n / 2, n), (5, 6)] {
+                        assert_eq!(
+                            TrainingMemoryModel::stage_bytes_with(
+                                &g,
+                                s..e,
+                                stage,
+                                k,
+                                nm,
+                                &schedule,
+                                recompute
+                            ),
+                            TrainingMemoryModel::stage_bytes_with_naive(
+                                &g,
+                                s..e,
+                                stage,
+                                k,
+                                nm,
+                                &schedule,
+                                recompute
+                            ),
+                            "{schedule} {recompute} stage {stage} {s}..{e}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

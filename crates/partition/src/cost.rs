@@ -92,6 +92,14 @@ impl<'a> PartitionProblem<'a> {
 }
 
 /// Evaluates stage times and memory feasibility for a problem.
+///
+/// Every per-range query is O(1): layer times are prefix-summed per
+/// stage GPU, layer bytes are prefix-summed on the graph itself, and
+/// the schedule's per-stage terms (in-flight window, pinned versions,
+/// checkpoint decision, memory budgets) are resolved **once** at
+/// construction — the partition DP issues O(k·L²) probes per solve,
+/// so per-probe dynamic dispatch into the schedule dominated plan
+/// time as thoroughly as per-probe re-summation did.
 #[derive(Debug, Clone)]
 pub struct StageCostModel<'a> {
     problem: &'a PartitionProblem<'a>,
@@ -100,10 +108,25 @@ pub struct StageCostModel<'a> {
     /// Prefix sums of per-layer forward-only seconds (the recompute
     /// term re-runs exactly the forward), one row per stage GPU.
     prefix_fwd_secs: Vec<Vec<f64>>,
+    /// Per stage: incoming-activation transfer seconds by range start
+    /// (`in_comm[stage][s]` = receive the forward input cut at `s`;
+    /// 0 for stage 0, whose loader overlaps with compute).
+    in_comm: Vec<Vec<f64>>,
+    /// Per stage: incoming-gradient transfer seconds by range end
+    /// (`out_comm[stage][i]` = receive the gradient of the boundary
+    /// before layer `i`; 0 for the last stage). Index 0 is unused.
+    out_comm: Vec<Vec<f64>>,
+    /// Per stage: the schedule's memory terms, hoisted.
+    terms: Vec<hetpipe_model::StageMemoryTerms>,
+    /// Per stage: the equal-split byte budget ([`Self::fits`]).
+    budget_equal: Vec<u64>,
+    /// Per stage: the whole-GPU byte budget ([`Self::fits_alone`]).
+    budget_alone: Vec<u64>,
 }
 
 impl<'a> StageCostModel<'a> {
-    /// Precomputes prefix sums of layer times for every stage GPU.
+    /// Precomputes prefix sums of layer times for every stage GPU and
+    /// the per-stage schedule terms and budgets.
     pub fn new(problem: &'a PartitionProblem<'a>) -> Self {
         let layers = problem.graph.layers();
         let mut prefix_secs = Vec::with_capacity(problem.gpus.len());
@@ -125,10 +148,65 @@ impl<'a> StageCostModel<'a> {
             prefix_secs.push(row);
             prefix_fwd_secs.push(row_fwd);
         }
+        let k = problem.gpus.len();
+        let n = layers.len();
+        let g = problem.graph;
+        // Per-stage comm tables: transfer times depend only on the
+        // boundary a range starts or ends at, so the DP's per-probe
+        // comm charge is two lookups instead of two bandwidth
+        // computations.
+        let in_comm: Vec<Vec<f64>> = (0..k)
+            .map(|stage| {
+                (0..=n)
+                    .map(|s| {
+                        if stage > 0 && s < n {
+                            problem.links[stage - 1].transfer_secs(g.input_bytes_of(s))
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let out_comm: Vec<Vec<f64>> = (0..k)
+            .map(|stage| {
+                (0..=n)
+                    .map(|i| {
+                        if stage + 1 < k && i > 0 {
+                            problem.links[stage].transfer_secs(g.boundary_bytes(i - 1))
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let terms: Vec<_> = (0..k)
+            .map(|s| {
+                hetpipe_model::StageMemoryTerms::new(
+                    s,
+                    k,
+                    problem.nm,
+                    &problem.schedule,
+                    problem.recompute,
+                )
+            })
+            .collect();
+        let budget_equal = problem
+            .gpus
+            .iter()
+            .map(|gpu| TrainingMemoryModel::equal_split_budget(gpu, &problem.schedule))
+            .collect();
+        let budget_alone = problem.gpus.iter().map(|gpu| gpu.memory_bytes).collect();
         StageCostModel {
             problem,
             prefix_secs,
             prefix_fwd_secs,
+            in_comm,
+            out_comm,
+            terms,
+            budget_equal,
+            budget_alone,
         }
     }
 
@@ -151,20 +229,11 @@ impl<'a> StageCostModel<'a> {
     /// the right, and stage 0 receives its input from the data loader
     /// (not charged — the loader overlaps with compute in practice).
     pub fn comm_secs(&self, stage: usize, range: Range<usize>) -> f64 {
-        let g = self.problem.graph;
-        let mut secs = 0.0;
-        if stage > 0 {
-            // Forward activations arriving from the left neighbour.
-            let bytes = g.input_bytes_of(range.start);
-            secs += self.problem.links[stage - 1].transfer_secs(bytes);
-        }
-        if stage + 1 < self.problem.stages() {
-            // Gradients w.r.t. our outputs arriving from the right
-            // neighbour (same size as the boundary activations).
-            let bytes = g.boundary_bytes(range.end - 1);
-            secs += self.problem.links[stage].transfer_secs(bytes);
-        }
-        secs
+        // Forward activations arriving from the left neighbour, plus
+        // gradients w.r.t. our outputs arriving from the right (same
+        // size as the boundary activations) — precomputed per-stage
+        // boundary tables, since the DP probes every (start, end) pair.
+        self.in_comm[stage][range.start] + self.out_comm[stage][range.end]
     }
 
     /// Full execution time of a stage: compute, plus incoming
@@ -181,13 +250,34 @@ impl<'a> StageCostModel<'a> {
         let mut secs = self.compute_secs(stage, range.clone())
             + self.comm_secs(stage, range.clone())
             + 2.0 * STAGE_TASK_OVERHEAD_SECS;
+        if self.terms[stage].recomputes() {
+            secs += self.forward_secs(stage, range) + STAGE_TASK_OVERHEAD_SECS;
+        }
+        secs
+    }
+
+    /// Reference implementation of [`Self::stage_secs`] that re-sums
+    /// the layer slice on every call instead of using the prefix-sum
+    /// range queries. The parity oracle for `tests/planner_parity.rs`
+    /// and the per-probe cost `planner_bench` times as its baseline —
+    /// not for production use.
+    pub fn stage_secs_naive(&self, stage: usize, range: Range<usize>) -> f64 {
+        let layers = &self.problem.graph.layers()[range.clone()];
+        let gpu = &self.problem.gpus[stage];
+        let mut secs = profile::range_time_secs(layers, gpu)
+            + self.comm_secs(stage, range.clone())
+            + 2.0 * STAGE_TASK_OVERHEAD_SECS;
         if self.problem.schedule.recomputes_at(
             stage,
             self.problem.stages(),
             self.problem.nm,
             self.problem.recompute,
         ) {
-            secs += self.forward_secs(stage, range) + STAGE_TASK_OVERHEAD_SECS;
+            let fwd: f64 = layers
+                .iter()
+                .map(|l| profile::pass_time_secs(l, gpu, Pass::Forward))
+                .sum();
+            secs += fwd + STAGE_TASK_OVERHEAD_SECS;
         }
         secs
     }
@@ -197,16 +287,7 @@ impl<'a> StageCostModel<'a> {
     /// for co-located interleaved chunks — the conservative per-stage
     /// certification).
     pub fn fits(&self, stage: usize, range: Range<usize>) -> bool {
-        TrainingMemoryModel::stage_fits_with(
-            self.problem.graph,
-            range,
-            stage,
-            self.problem.stages(),
-            self.problem.nm,
-            &self.problem.gpus[stage],
-            &self.problem.schedule,
-            self.problem.recompute,
-        )
+        self.terms[stage].stage_bytes(self.problem.graph, range) <= self.budget_equal[stage]
     }
 
     /// The relaxed per-stage check: the range fits the stage's GPU
@@ -215,16 +296,7 @@ impl<'a> StageCostModel<'a> {
     /// ([`TrainingMemoryModel::plan_fits_per_gpu`]) so uneven chunk
     /// shares that fit *together* are admitted.
     pub fn fits_alone(&self, stage: usize, range: Range<usize>) -> bool {
-        TrainingMemoryModel::stage_fits_alone(
-            self.problem.graph,
-            range,
-            stage,
-            self.problem.stages(),
-            self.problem.nm,
-            &self.problem.gpus[stage],
-            &self.problem.schedule,
-            self.problem.recompute,
-        )
+        self.terms[stage].stage_bytes(self.problem.graph, range) <= self.budget_alone[stage]
     }
 
     /// The exact joint per-GPU check over a complete plan's ranges.
@@ -359,6 +431,65 @@ mod tests {
             "1F1B's window-1 last stage must skip the recompute charge"
         );
         assert!(m_ofob_ckpt.stage_secs(0, r.clone()) > m_ofob.stage_secs(0, r));
+    }
+
+    #[test]
+    fn hoisted_fits_matches_memory_model() {
+        // The hoisted per-stage terms must answer exactly like the
+        // memory model's unhoisted entry points, for every schedule,
+        // recompute policy, stage, and range probed.
+        use hetpipe_model::TrainingMemoryModel;
+        let g = vgg19(32);
+        let n = g.len();
+        for schedule in Schedule::ALL {
+            let k = {
+                use hetpipe_schedule::PipelineSchedule;
+                schedule.virtual_stages(4)
+            };
+            for recompute in [RecomputePolicy::None, RecomputePolicy::BoundaryOnly] {
+                let p = PartitionProblem::with_schedule(
+                    &g,
+                    (0..k).map(|_| GpuKind::Rtx2060.spec()).collect(),
+                    vec![LinkKind::Pcie; k - 1],
+                    3,
+                    schedule,
+                )
+                .with_recompute(recompute);
+                let m = StageCostModel::new(&p);
+                for stage in 0..k {
+                    for (s, e) in [(0, n), (0, 2), (3, 9), (n / 2, n), (n - 1, n)] {
+                        assert_eq!(
+                            m.fits(stage, s..e),
+                            TrainingMemoryModel::stage_fits_with(
+                                &g,
+                                s..e,
+                                stage,
+                                k,
+                                3,
+                                &p.gpus[stage],
+                                &schedule,
+                                recompute
+                            ),
+                            "{schedule} {recompute} fits stage {stage} {s}..{e}"
+                        );
+                        assert_eq!(
+                            m.fits_alone(stage, s..e),
+                            TrainingMemoryModel::stage_fits_alone(
+                                &g,
+                                s..e,
+                                stage,
+                                k,
+                                3,
+                                &p.gpus[stage],
+                                &schedule,
+                                recompute
+                            ),
+                            "{schedule} {recompute} fits_alone stage {stage} {s}..{e}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

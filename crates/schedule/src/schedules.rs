@@ -88,6 +88,25 @@ pub trait PipelineSchedule {
         Some(stream.with_remat(remat))
     }
 
+    /// The whole per-GPU composite stream set of one virtual worker
+    /// (`k_gpus` handles) with the schedule's checkpoint decisions
+    /// applied — what executors consume. The default assembles
+    /// independent per-GPU streams; schedules with a joint timetable
+    /// override it to fan all handles from **one shared** timetable
+    /// ([`GpuStream::shared_set`]), so the slot simulation runs once
+    /// per virtual worker instead of once per GPU. Each handle's op
+    /// sequence is identical either way.
+    fn gpu_streams_with(
+        &self,
+        k_gpus: usize,
+        wsp: WspParams,
+        policy: RecomputePolicy,
+    ) -> Option<Vec<GpuStream>> {
+        (0..k_gpus)
+            .map(|gpu| self.gpu_stream_with(gpu, k_gpus, wsp, policy))
+            .collect()
+    }
+
     /// Peak number of minibatches simultaneously holding activations at
     /// `stage` — the quantity the per-stage memory constraint charges.
     ///
@@ -382,6 +401,30 @@ impl PipelineSchedule for Interleaved1F1B {
         Some(GpuStream::new(gpu, k_gpus, chunks, wsp, caps))
     }
 
+    /// One **shared** joint timetable per virtual worker, fanned into
+    /// the `k_gpus` per-GPU handles — cuts the slot simulation from
+    /// G× (independent replays) to 1× without changing any handle's
+    /// op sequence.
+    fn gpu_streams_with(
+        &self,
+        k_gpus: usize,
+        wsp: WspParams,
+        policy: RecomputePolicy,
+    ) -> Option<Vec<GpuStream>> {
+        if !self.composite {
+            return None;
+        }
+        let chunks = self.chunks.max(1);
+        let k = chunks * k_gpus;
+        let caps = (0..k)
+            .map(|s| self.max_in_flight(s, k, wsp.nm) as u64)
+            .collect();
+        let remat = (0..k)
+            .map(|s| self.recomputes_at(s, k, wsp.nm, policy))
+            .collect();
+        Some(GpuStream::shared_set(k_gpus, chunks, wsp, caps, remat))
+    }
+
     /// The 1F1B bound over *virtual* depth — deep in-flight windows
     /// are what let the expanded pipeline stay full across its
     /// (chunk-multiplied) boundary transfers. The composite stream's
@@ -532,6 +575,15 @@ impl PipelineSchedule for Schedule {
 
     fn gpu_stream(&self, gpu: usize, k_gpus: usize, wsp: WspParams) -> Option<GpuStream> {
         self.with_concrete(|s| s.gpu_stream(gpu, k_gpus, wsp))
+    }
+
+    fn gpu_streams_with(
+        &self,
+        k_gpus: usize,
+        wsp: WspParams,
+        policy: RecomputePolicy,
+    ) -> Option<Vec<GpuStream>> {
+        self.with_concrete(|s| s.gpu_streams_with(k_gpus, wsp, policy))
     }
 
     fn max_in_flight(&self, stage: usize, k: usize, nm: usize) -> usize {
@@ -1185,6 +1237,56 @@ mod tests {
         .collect();
         let flat: Vec<ScheduleOp> = OneFOneB.stream(gpu, gpus, wsp).take(60).collect();
         assert_eq!(composite, flat);
+    }
+
+    #[test]
+    fn shared_timetable_matches_independent_replays() {
+        // The shared-set handles must emit exactly the op sequences of
+        // per-GPU independent replays, for every GPU, chunk count,
+        // recompute policy, and interleaved pull order — sharing the
+        // timetable is a cost optimization, not a semantic change.
+        for chunks in [1usize, 2, 3] {
+            for k_gpus in [1usize, 2, 4] {
+                let sched = Interleaved1F1B {
+                    chunks,
+                    composite: true,
+                };
+                for nm in [1usize, 4] {
+                    let wsp = WspParams::new(nm, 1);
+                    for recompute in RecomputePolicy::ALL {
+                        let mut shared = sched
+                            .gpu_streams_with(k_gpus, wsp, recompute)
+                            .expect("composite set");
+                        assert_eq!(shared.len(), k_gpus);
+                        let mut solo: Vec<_> = (0..k_gpus)
+                            .map(|g| {
+                                sched
+                                    .gpu_stream_with(g, k_gpus, wsp, recompute)
+                                    .expect("composite stream")
+                            })
+                            .collect();
+                        // Pull round-robin across the shared handles
+                        // (the executor's consumption is interleaved
+                        // too) and compare each against its solo
+                        // replay pulled straight through.
+                        let per_gpu = 120;
+                        let mut got: Vec<Vec<GpuOp>> = vec![Vec::new(); k_gpus];
+                        for _ in 0..per_gpu {
+                            for (g, stream) in shared.iter_mut().enumerate() {
+                                got[g].push(stream.next().unwrap());
+                            }
+                        }
+                        for (g, stream) in solo.iter_mut().enumerate() {
+                            let want: Vec<GpuOp> = stream.take(per_gpu).collect();
+                            assert_eq!(
+                                got[g], want,
+                                "chunks={chunks} k_gpus={k_gpus} nm={nm} {recompute} gpu {g}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

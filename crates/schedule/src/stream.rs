@@ -21,6 +21,7 @@ use crate::ops::{GpuOp, ScheduleOp};
 use crate::recompute::RecomputePolicy;
 use crate::wsp::WspParams;
 use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
 
 /// The base compute pattern of a stream, before wave decoration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -179,51 +180,21 @@ impl Iterator for ScheduleStream {
     }
 }
 
-/// An infinite, deterministic *composite* op stream for one physical
-/// GPU hosting several co-located virtual-stage chunks.
+/// The joint idealized unit-slot timetable of one whole virtual
+/// pipeline, together with the per-GPU op queues it fans into.
 ///
-/// The merge order is derived from an **idealized unit-slot
-/// timetable** of the whole virtual pipeline, the continuous analogue
-/// of how Megatron-LM lays out its interleaved chunk groups: every
-/// stage op takes one uniform time slot, each GPU runs at most one op
-/// per slot, and ops become ready when their pipeline dependency
-/// completed in an earlier slot. Per slot each GPU serves, in
-/// priority order, the ready *backward* with the oldest minibatch
-/// (draining completes minibatches and frees windows — classic 1F1B
-/// drain priority), else the ready *forward* with the oldest
-/// minibatch (ties to the deepest chunk, whose output the backward
-/// wave needs soonest). Forwards are gated on the per-stage 1F1B
-/// window `min(Nm, K − stage)` — the same bound
-/// [`crate::PipelineSchedule::max_in_flight`] declares and the memory
-/// model charges — so the stream's structural occupancy never
-/// exceeds its certification and the WSP injection cap stays intact.
-///
-/// Each [`GpuStream`] instance replays this (fully deterministic)
-/// timetable and emits the ops of its own GPU in slot order. Because
-/// every dependency edge crosses slot boundaries strictly forward,
-/// the union of stream-order edges and data dependencies is acyclic —
-/// executing the per-GPU streams in strict order can never deadlock,
-/// for any chunk count, GPU count, or `Nm`. (A naive per-GPU
-/// chunk-group cursor does not have this property: with equal chunk
-/// windows it can order a deep chunk's forward ahead of the shallow
-/// chunk op that transitively feeds it on another GPU, closing a
-/// cross-GPU wait cycle.)
-///
-/// The chunk-group interleaving the composite stream exists for
-/// emerges directly: chunk 1's first microbatch becomes ready after
-/// `GPUs` slots and immediately outranks chunk 0's next warmup
-/// forward, so warmup hands over after one group of `min(GPUs, Nm)`
-/// forwards instead of serializing chunk 0's whole window.
-///
-/// Wave bookkeeping (`PullGate` / `Push`) decorates virtual stage 0 —
-/// chunk 0 of GPU 0 — exactly as [`ScheduleStream`] decorates
-/// stage 0.
+/// One instance is **shared** (behind an `Arc`) by all of a virtual
+/// worker's [`GpuStream`] handles: advancing a slot emits the newly
+/// started ops of *every tracked GPU* into that GPU's queue, so the
+/// slot simulation runs once per virtual worker instead of once per
+/// GPU (the G× replay the per-instance form paid). Consumption order
+/// across handles cannot perturb the timetable — queues only buffer —
+/// so each GPU's emitted op sequence is identical to an independent
+/// replay.
 #[derive(Debug, Clone)]
-pub struct GpuStream {
+struct Timetable {
     /// Physical GPUs in the pipeline (`p`).
     gpus: usize,
-    /// This stream's GPU (0-based of `gpus`).
-    gpu: usize,
     /// Co-located chunks (`v`); virtual stages are `chunks × gpus`.
     chunks: usize,
     wsp: WspParams,
@@ -233,12 +204,9 @@ pub struct GpuStream {
     caps: Vec<u64>,
     /// Per virtual stage: emit a [`ScheduleOp::Recompute`] before
     /// each backward (the schedule's
-    /// [`crate::PipelineSchedule::recomputes_at`] decisions, set via
-    /// [`GpuStream::with_remat`]).
+    /// [`crate::PipelineSchedule::recomputes_at`] decisions).
     remat: Vec<bool>,
-    /// Simulated forward / backward completions per virtual stage
-    /// (the joint idealized timetable, shared logic across all of the
-    /// pipeline's `GpuStream` instances).
+    /// Simulated forward / backward completions per virtual stage.
     f: Vec<u64>,
     b: Vec<u64>,
     /// Per GPU: the timetable op in progress and its remaining slots
@@ -247,41 +215,31 @@ pub struct GpuStream {
     running: Vec<Option<(SlotOp, u32)>>,
     /// Newest wave already gated on (−1 = none).
     gated: i64,
-    pending: VecDeque<GpuOp>,
+    /// Which GPUs' ops are queued. A standalone [`GpuStream::new`]
+    /// handle tracks only its own GPU (foreign queues would otherwise
+    /// grow without a consumer); [`GpuStream::shared_set`] tracks all.
+    track: Vec<bool>,
+    /// Per-GPU queues of emitted-but-unconsumed ops.
+    queues: Vec<VecDeque<GpuOp>>,
+    /// Whether any slot has been simulated (guards `remat` changes).
+    started: bool,
 }
 
-/// One op of the idealized timetable (internal to [`GpuStream`]).
+/// One op of the idealized timetable (internal to [`Timetable`]).
 #[derive(Debug, Clone, Copy)]
 enum SlotOp {
     Fwd { stage: usize, mb: u64 },
     Bwd { stage: usize, mb: u64 },
 }
 
-impl GpuStream {
-    /// Creates the composite stream of `gpu` in a pipeline of `gpus`
-    /// physical GPUs each hosting `chunks` virtual stages (stage
-    /// `c × gpus + gpu` for chunk `c`).
-    ///
-    /// `caps` is the per-virtual-stage outstanding window, one entry
-    /// per stage — the *schedule's own*
-    /// [`crate::PipelineSchedule::max_in_flight`] values, passed in
-    /// rather than re-derived here so the stream's structural
-    /// occupancy can never drift from the declared accounting the
-    /// memory model certifies and the occupancy audit enforces.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `gpu >= gpus`, `chunks == 0`, `caps` has the wrong
-    /// length, or any cap is 0.
-    pub fn new(gpu: usize, gpus: usize, chunks: usize, wsp: WspParams, caps: Vec<u64>) -> Self {
-        assert!(gpu < gpus, "gpu index out of range");
+impl Timetable {
+    fn new(gpus: usize, chunks: usize, wsp: WspParams, caps: Vec<u64>, track: Vec<bool>) -> Self {
         assert!(chunks >= 1, "at least one chunk per GPU");
         let k = chunks * gpus;
         assert_eq!(caps.len(), k, "one window cap per virtual stage");
         assert!(caps.iter().all(|&c| c >= 1), "windows hold at least one");
-        GpuStream {
+        Timetable {
             gpus,
-            gpu,
             chunks,
             wsp,
             caps,
@@ -290,35 +248,10 @@ impl GpuStream {
             b: vec![0; k],
             running: vec![None; gpus],
             gated: -1,
-            pending: VecDeque::new(),
+            track,
+            queues: (0..gpus).map(|_| VecDeque::new()).collect(),
+            started: false,
         }
-    }
-
-    /// Sets the per-stage rematerialization flags, one per virtual
-    /// stage: before each backward of a flagged stage the stream
-    /// emits a [`ScheduleOp::Recompute`]. The flags are the
-    /// *schedule's own* per-stage checkpoint decisions
-    /// ([`crate::PipelineSchedule::recomputes_at`], applied by
-    /// [`crate::PipelineSchedule::gpu_stream_with`]) — passed in,
-    /// like the window caps, so the stream's recompute placement can
-    /// never drift from the memory/cost/executor accounting. Must be
-    /// applied before the first op is pulled.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `remat` does not have one entry per virtual stage.
-    pub fn with_remat(mut self, remat: Vec<bool>) -> Self {
-        debug_assert!(
-            self.f.iter().all(|&n| n == 0) && self.b.iter().all(|&n| n == 0),
-            "recompute flags must be set before the stream starts"
-        );
-        assert_eq!(
-            remat.len(),
-            self.remat.len(),
-            "one recompute flag per virtual stage"
-        );
-        self.remat = remat;
-        self
     }
 
     /// The op GPU `g` serves in the current slot of the idealized
@@ -375,9 +308,11 @@ impl GpuStream {
         }
     }
 
-    /// Advances the idealized timetable one slot, emitting this GPU's
-    /// newly started op (if any) with its decorations into `pending`.
+    /// Advances the idealized timetable one slot, emitting every
+    /// tracked GPU's newly started op (if any) with its decorations
+    /// into that GPU's queue.
     fn step_slot(&mut self) {
+        self.started = true;
         // Idle GPUs pick against the slot-start state; completions
         // apply at the end of an op's last slot, so dependencies
         // always cross slot boundaries strictly forward (what makes
@@ -395,8 +330,8 @@ impl GpuStream {
         for (g, op) in starts.into_iter().enumerate() {
             if let Some(op) = op {
                 self.running[g] = Some((op, self.duration(op)));
-                if g == self.gpu {
-                    self.emit(op);
+                if self.track[g] {
+                    self.emit(g, op);
                 }
             }
         }
@@ -416,39 +351,40 @@ impl GpuStream {
     }
 
     /// Emits `op` (with its WSP decorations and recompute prefix) into
-    /// `pending`.
-    fn emit(&mut self, op: SlotOp) {
+    /// GPU `g`'s queue.
+    fn emit(&mut self, g: usize, op: SlotOp) {
+        let queue = &mut self.queues[g];
         match op {
             SlotOp::Fwd { stage, mb } => {
                 if stage == 0 {
                     if let Some(w) = self.wsp.required_wave(mb) {
                         if w as i64 > self.gated {
                             self.gated = w as i64;
-                            self.pending.push_back(GpuOp {
+                            queue.push_back(GpuOp {
                                 stage,
                                 op: ScheduleOp::PullGate { wave: w },
                             });
                         }
                     }
                 }
-                self.pending.push_back(GpuOp {
+                queue.push_back(GpuOp {
                     stage,
                     op: ScheduleOp::Forward { mb },
                 });
             }
             SlotOp::Bwd { stage, mb } => {
                 if self.remat[stage] {
-                    self.pending.push_back(GpuOp {
+                    queue.push_back(GpuOp {
                         stage,
                         op: ScheduleOp::Recompute { mb },
                     });
                 }
-                self.pending.push_back(GpuOp {
+                queue.push_back(GpuOp {
                     stage,
                     op: ScheduleOp::Backward { mb },
                 });
                 if stage == 0 && mb.is_multiple_of(self.wsp.nm as u64) {
-                    self.pending.push_back(GpuOp {
+                    queue.push_back(GpuOp {
                         stage,
                         op: ScheduleOp::Push {
                             wave: mb / self.wsp.nm as u64 - 1,
@@ -458,30 +394,203 @@ impl GpuStream {
             }
         }
     }
+}
 
-    /// Generates ops into `pending` until this GPU has at least one.
-    fn refill(&mut self) {
-        while self.pending.is_empty() {
-            // The timetable always progresses: the oldest incomplete
-            // minibatch's frontier op is ready by construction (its
-            // dependency completed and, being the oldest, no window
-            // can be full of younger work below it), so some GPU runs
-            // every slot and this GPU's chunks recur within a bounded
-            // number of slots.
-            self.step_slot();
+/// An infinite, deterministic *composite* op stream for one physical
+/// GPU hosting several co-located virtual-stage chunks.
+///
+/// The merge order is derived from an **idealized unit-slot
+/// timetable** of the whole virtual pipeline, the continuous analogue
+/// of how Megatron-LM lays out its interleaved chunk groups: every
+/// stage op takes one uniform time slot, each GPU runs at most one op
+/// per slot, and ops become ready when their pipeline dependency
+/// completed in an earlier slot. Per slot each GPU serves, in
+/// priority order, the ready *backward* with the oldest minibatch
+/// (draining completes minibatches and frees windows — classic 1F1B
+/// drain priority), else the ready *forward* with the oldest
+/// minibatch (ties to the deepest chunk, whose output the backward
+/// wave needs soonest). Forwards are gated on the per-stage 1F1B
+/// window `min(Nm, K − stage)` — the same bound
+/// [`crate::PipelineSchedule::max_in_flight`] declares and the memory
+/// model charges — so the stream's structural occupancy never
+/// exceeds its certification and the WSP injection cap stays intact.
+///
+/// A virtual worker's handles share **one** joint [`Timetable`]
+/// behind an `Arc` ([`GpuStream::shared_set`]): each slot is
+/// simulated once and its ops fan into per-GPU queues, instead of
+/// every handle independently replaying the whole timetable (G× the
+/// slot work — the inefficiency the ROADMAP flagged). A standalone
+/// handle ([`GpuStream::new`]) owns a private timetable and behaves
+/// exactly like one member of a set — queues only buffer, so the
+/// per-GPU op sequence is independent of how the handles interleave
+/// their pulls. Because every dependency edge crosses slot boundaries
+/// strictly forward, the union of stream-order edges and data
+/// dependencies is acyclic — executing the per-GPU streams in strict
+/// order can never deadlock, for any chunk count, GPU count, or `Nm`.
+/// (A naive per-GPU chunk-group cursor does not have this property:
+/// with equal chunk windows it can order a deep chunk's forward ahead
+/// of the shallow chunk op that transitively feeds it on another GPU,
+/// closing a cross-GPU wait cycle.)
+///
+/// The chunk-group interleaving the composite stream exists for
+/// emerges directly: chunk 1's first microbatch becomes ready after
+/// `GPUs` slots and immediately outranks chunk 0's next warmup
+/// forward, so warmup hands over after one group of `min(GPUs, Nm)`
+/// forwards instead of serializing chunk 0's whole window.
+///
+/// Wave bookkeeping (`PullGate` / `Push`) decorates virtual stage 0 —
+/// chunk 0 of GPU 0 — exactly as [`ScheduleStream`] decorates
+/// stage 0.
+#[derive(Debug)]
+pub struct GpuStream {
+    /// The joint timetable — private to this handle
+    /// ([`GpuStream::new`]) or shared by a virtual worker's whole
+    /// handle set ([`GpuStream::shared_set`]).
+    shared: Arc<Mutex<Timetable>>,
+    /// This stream's GPU (0-based).
+    gpu: usize,
+}
+
+impl Clone for GpuStream {
+    /// Deep-clones the timetable state: the clone replays on from the
+    /// current state independently, sharing nothing with the original
+    /// (or with any set the original belongs to). The clone is a
+    /// *standalone* handle: it tracks (and buffers ops for) only its
+    /// own GPU — foreign queues a shared-set member had accumulated
+    /// are dropped, since the clone has no consumer for them and they
+    /// would otherwise grow without bound.
+    fn clone(&self) -> GpuStream {
+        let mut snapshot = self.shared.lock().expect("timetable lock").clone();
+        for g in 0..snapshot.track.len() {
+            snapshot.track[g] = g == self.gpu;
+            if g != self.gpu {
+                snapshot.queues[g].clear();
+            }
         }
+        GpuStream {
+            shared: Arc::new(Mutex::new(snapshot)),
+            gpu: self.gpu,
+        }
+    }
+}
+
+impl GpuStream {
+    /// Creates a *standalone* composite stream of `gpu` in a pipeline
+    /// of `gpus` physical GPUs each hosting `chunks` virtual stages
+    /// (stage `c × gpus + gpu` for chunk `c`), with a private
+    /// timetable that queues only this GPU's ops. Executors serving a
+    /// whole virtual worker should use [`GpuStream::shared_set`]
+    /// instead, which simulates the joint timetable once for all G
+    /// handles.
+    ///
+    /// `caps` is the per-virtual-stage outstanding window, one entry
+    /// per stage — the *schedule's own*
+    /// [`crate::PipelineSchedule::max_in_flight`] values, passed in
+    /// rather than re-derived here so the stream's structural
+    /// occupancy can never drift from the declared accounting the
+    /// memory model certifies and the occupancy audit enforces.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gpu >= gpus`, `chunks == 0`, `caps` has the wrong
+    /// length, or any cap is 0.
+    pub fn new(gpu: usize, gpus: usize, chunks: usize, wsp: WspParams, caps: Vec<u64>) -> Self {
+        assert!(gpu < gpus, "gpu index out of range");
+        let mut track = vec![false; gpus];
+        track[gpu] = true;
+        GpuStream {
+            shared: Arc::new(Mutex::new(Timetable::new(gpus, chunks, wsp, caps, track))),
+            gpu,
+        }
+    }
+
+    /// Creates the full per-GPU handle set of one virtual worker —
+    /// one [`GpuStream`] per physical GPU, all fanned from a **single
+    /// shared** joint timetable (`Arc`), so each unit slot is
+    /// simulated once instead of once per GPU.
+    ///
+    /// `remat` holds the per-virtual-stage rematerialization flags
+    /// (the schedule's [`crate::PipelineSchedule::recomputes_at`]
+    /// decisions), applied at construction since a shared timetable
+    /// must not change once any handle has pulled an op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunks == 0`, or `caps` / `remat` do not have one
+    /// entry per virtual stage, or any cap is 0.
+    pub fn shared_set(
+        gpus: usize,
+        chunks: usize,
+        wsp: WspParams,
+        caps: Vec<u64>,
+        remat: Vec<bool>,
+    ) -> Vec<GpuStream> {
+        let mut timetable = Timetable::new(gpus, chunks, wsp, caps, vec![true; gpus]);
+        assert_eq!(
+            remat.len(),
+            timetable.remat.len(),
+            "one recompute flag per virtual stage"
+        );
+        timetable.remat = remat;
+        let shared = Arc::new(Mutex::new(timetable));
+        (0..gpus)
+            .map(|gpu| GpuStream {
+                shared: Arc::clone(&shared),
+                gpu,
+            })
+            .collect()
+    }
+
+    /// Sets the per-stage rematerialization flags, one per virtual
+    /// stage: before each backward of a flagged stage the stream
+    /// emits a [`ScheduleOp::Recompute`]. The flags are the
+    /// *schedule's own* per-stage checkpoint decisions
+    /// ([`crate::PipelineSchedule::recomputes_at`], applied by
+    /// [`crate::PipelineSchedule::gpu_stream_with`]) — passed in,
+    /// like the window caps, so the stream's recompute placement can
+    /// never drift from the memory/cost/executor accounting. Must be
+    /// applied before the first op is pulled.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `remat` does not have one entry per virtual stage,
+    /// or if the stream has already started.
+    pub fn with_remat(self, remat: Vec<bool>) -> Self {
+        {
+            let mut t = self.shared.lock().expect("timetable lock");
+            assert!(
+                !t.started,
+                "recompute flags must be set before the stream starts"
+            );
+            assert_eq!(
+                remat.len(),
+                t.remat.len(),
+                "one recompute flag per virtual stage"
+            );
+            t.remat = remat;
+        }
+        self
     }
 }
 
 impl Iterator for GpuStream {
     type Item = GpuOp;
 
-    /// Always `Some`: schedules are infinite.
+    /// Always `Some`: schedules are infinite. Pops this GPU's queue,
+    /// advancing the (possibly shared) joint timetable while the
+    /// queue is empty — the timetable always progresses: the oldest
+    /// incomplete minibatch's frontier op is ready by construction
+    /// (its dependency completed and, being the oldest, no window can
+    /// be full of younger work below it), so some GPU runs every slot
+    /// and this GPU's chunks recur within a bounded number of slots.
     fn next(&mut self) -> Option<GpuOp> {
-        if self.pending.is_empty() {
-            self.refill();
+        let mut t = self.shared.lock().expect("timetable lock");
+        loop {
+            if let Some(op) = t.queues[self.gpu].pop_front() {
+                return Some(op);
+            }
+            t.step_slot();
         }
-        self.pending.pop_front()
     }
 }
 
