@@ -26,15 +26,25 @@
 //!   per (cluster, model, schedule, recompute) cell, named
 //!   `<prefix>-<cluster>-<model>-<schedule>[-ckpt].json`.
 //! - `--horizon <secs>`: simulated horizon (default 60).
+//! - `--faults <spec>`: add a perturbed column — every cell re-run
+//!   under the fault script with the *static* (non-reactive) policy,
+//!   so the composite-vs-depth-expanded adaptivity gap (and every
+//!   other schedule delta) is a standing measurement under
+//!   perturbation too. `<spec>` is a script JSON path, or
+//!   `canonical-straggler` (device 0 ×1.3 from 5 s — the acceptance
+//!   scenario's shape), or `seeded:<n>` (a deterministic random
+//!   script).
 
 use hetpipe_bench::{maybe_write_json, print_table};
 use hetpipe_cluster::{Cluster, GpuKind};
+use hetpipe_core::WspParams;
 use hetpipe_core::{
     AllocationPolicy, HetPipeSystem, OccupancyAudit, Placement, RecomputePolicy, Schedule,
     SystemConfig,
 };
 use hetpipe_des::SimTime;
 use hetpipe_model::{resnet152, vgg19, ModelGraph};
+use hetpipe_runtime::{FaultScript, MonitorConfig, Policy, RuntimeParams};
 use serde_json::json;
 
 fn arg_value(name: &str) -> Option<String> {
@@ -92,6 +102,28 @@ fn whimpy_testbed() -> Cluster {
     Cluster::testbed_subset(&[GpuKind::Rtx2060; 4])
 }
 
+/// Resolves the `--faults` spec: a named canonical script, a seeded
+/// generator, or a JSON file path.
+fn load_script(spec: &str, horizon_secs: f64) -> FaultScript {
+    // Canonical onsets land 10% into the run (capped at the acceptance
+    // scenario's 5 s) so short CI horizons still see the perturbation.
+    let onset = (horizon_secs * 0.1).min(5.0);
+    match spec {
+        "canonical-straggler" => FaultScript::canonical_straggler(0, onset),
+        "canonical-gpu-loss" => FaultScript::canonical_gpu_loss(0, onset),
+        other => {
+            if let Some(seed) = other.strip_prefix("seeded:") {
+                let seed: u64 = seed.parse().expect("--faults seeded:<n> needs an integer");
+                return FaultScript::seeded(seed, horizon_secs, 16, 4, 4);
+            }
+            let text = std::fs::read_to_string(other)
+                .unwrap_or_else(|e| panic!("cannot read fault script {other}: {e}"));
+            FaultScript::from_json(&text)
+                .unwrap_or_else(|e| panic!("cannot parse fault script {other}: {e}"))
+        }
+    }
+}
+
 fn main() {
     let horizon = SimTime::from_secs(
         arg_value("--horizon")
@@ -99,6 +131,7 @@ fn main() {
             .unwrap_or(60.0),
     );
     let trace_prefix = arg_value("--trace-out");
+    let script = arg_value("--faults").map(|spec| load_script(&spec, horizon.as_secs()));
 
     let clusters: Vec<(&str, Cluster)> = vec![
         ("paper", Cluster::paper_testbed()),
@@ -153,11 +186,40 @@ fn main() {
                             for v in audit.violations() {
                                 violations.push(format!("{cell}: {v}"));
                             }
+                            // The perturbed column: the same cell under
+                            // the fault script with the non-reactive
+                            // (static) policy — what each schedule's
+                            // structure alone does with a straggler.
+                            let faulted_ips = script.as_ref().map(|script| {
+                                let fr = hetpipe_runtime::run(
+                                    RuntimeParams {
+                                        cluster,
+                                        graph,
+                                        vws: sys.virtual_workers().to_vec(),
+                                        wsp: WspParams::new(sys.nm(), 0),
+                                        placement: Placement::Local,
+                                        sync_transfers: true,
+                                        schedule,
+                                        recompute,
+                                        script: script.clone(),
+                                        policy: Policy::Static,
+                                        monitor: MonitorConfig::default(),
+                                        max_reactions: 0,
+                                    },
+                                    horizon,
+                                );
+                                if !fr.audits_sound() {
+                                    violations
+                                        .push(format!("{cell} (faulted): occupancy violation"));
+                                }
+                                fr.throughput_images_per_sec(0.15)
+                            });
                             rows.push(vec![
                                 schedule.to_string(),
                                 ckpt.into(),
                                 sys.nm().to_string(),
                                 format!("{ips:.0}"),
+                                faulted_ips.map_or("-".into(), |f| format!("{f:.0}")),
                                 format!("{peak_gib:.2}"),
                                 if audit.is_sound() { "ok" } else { "VIOLATED" }.into(),
                             ]);
@@ -168,6 +230,9 @@ fn main() {
                                 "recompute": recompute.to_string(),
                                 "nm": sys.nm(),
                                 "images_per_sec": ips,
+                                "faulted_images_per_sec": faulted_ips
+                                    .map(serde_json::Value::Number)
+                                    .unwrap_or(serde_json::Value::Null),
                                 "peak_gpu_bytes": peak_bytes,
                                 "pull_wait_secs": report.total_pull_wait_secs(),
                                 "memory_sound": audit.is_sound(),
@@ -229,6 +294,7 @@ fn main() {
                                 e.to_string(),
                                 "-".into(),
                                 "-".into(),
+                                "-".into(),
                             ]);
                             dump.push(json!({
                                 "cluster": *cluster_name,
@@ -241,11 +307,22 @@ fn main() {
                     }
                 }
             }
+            let fault_col = script.as_ref().map_or("img/s@fault(-)".to_string(), |s| {
+                format!("img/s@fault({})", s.name)
+            });
             print_table(
                 &format!(
                     "Schedule comparison ({cluster_name} cluster, {model_name}, ED-local, D=0)"
                 ),
-                &["schedule", "ckpt", "Nm", "img/s", "peak GPU GiB", "mem"],
+                &[
+                    "schedule",
+                    "ckpt",
+                    "Nm",
+                    "img/s",
+                    &fault_col,
+                    "peak GPU GiB",
+                    "mem",
+                ],
                 &rows,
             );
         }

@@ -217,6 +217,29 @@ impl GpuSpec {
     pub fn peak_flops(&self) -> f64 {
         2.0 * self.cuda_cores as f64 * self.boost_clock_mhz as f64 * 1e6
     }
+
+    /// A copy of this spec derated by an observed slowdown
+    /// `factor ≥ 1`: sustained compute and streaming bandwidth scale
+    /// down by the factor, memory *capacity* is unchanged (a throttled
+    /// GPU computes slower but holds just as much). This is how the
+    /// runtime feeds observed straggler severities back into the
+    /// partitioner — the planner sees the GPU at the speed it is
+    /// actually delivering.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive and finite.
+    pub fn derated(&self, factor: f64) -> GpuSpec {
+        assert!(
+            factor > 0.0 && factor.is_finite(),
+            "derate factor must be positive and finite"
+        );
+        GpuSpec {
+            effective_throughput: self.effective_throughput / factor,
+            memory_bw_bytes_per_sec: self.memory_bw_bytes_per_sec / factor,
+            ..self.clone()
+        }
+    }
 }
 
 #[cfg(test)]

@@ -149,6 +149,64 @@ pub struct ExecParams<'a> {
     pub recompute: RecomputePolicy,
 }
 
+/// Which timeline resource a fault (rate change) targets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RateTarget {
+    /// A GPU, by cluster device index.
+    Gpu(usize),
+    /// A node's NIC, by node index.
+    Nic(usize),
+}
+
+/// A scheduled service-rate change: at `at` (segment-local simulated
+/// time) the target resource's rate becomes `rate` (1.0 = nominal,
+/// `1/k` = a ×k slowdown, ≤ 0 = lost). Fired as a first-class DES
+/// event; reservations made after it fires are scaled by the new rate
+/// (work already on the timeline keeps its granted duration).
+#[derive(Debug, Clone, Copy)]
+pub struct RateEvent {
+    /// Segment-local fire time.
+    pub at: SimTime,
+    /// The resource whose rate changes.
+    pub target: RateTarget,
+    /// The new service-rate multiplier.
+    pub rate: f64,
+}
+
+/// Options for one executor *segment* — the unit the fault-aware
+/// runtime (`hetpipe-runtime`) splices: a bounded run that may start
+/// under pre-existing fault rates, experience scheduled rate changes,
+/// stop injecting work at a wave boundary (and drain), and optionally
+/// relax strict composite-stream order within a bounded window.
+///
+/// The default options reproduce [`run`] exactly: no faults, no stop,
+/// strict order — the zero-fault golden-trace invariance the tier-1
+/// tests pin.
+#[derive(Debug, Clone, Default)]
+pub struct SegmentOpts {
+    /// Stop *injecting* minibatches after this one (1-indexed,
+    /// segment-local) and drain: ops of later minibatches are
+    /// discarded unexecuted, so the segment ends — at the splice
+    /// point — once every in-flight minibatch and the boundary wave's
+    /// push/pull traffic completes. Must be a wave boundary
+    /// (a multiple of `Nm`) so the WSP clock is whole at the splice.
+    pub stop_after_mb: Option<u64>,
+    /// Rates already in effect when the segment starts (fault windows
+    /// opened in an earlier segment).
+    pub initial_rates: Vec<(RateTarget, f64)>,
+    /// Rate changes that fire during the segment.
+    pub rate_events: Vec<RateEvent>,
+    /// `SkipStraggler` support: when > 0, a GPU whose composite-stream
+    /// head op is blocked on a data dependency may execute a *ready
+    /// backward* (with its recompute prefix) from up to this many ops
+    /// ahead in its own stream. Backwards only — they release
+    /// activations, never acquire them — and never past a closed
+    /// [`ScheduleOp::PullGate`] or an earlier op of the same stage, so
+    /// the declared occupancy and staleness bounds hold unchanged.
+    /// 0 (the default) is strict stream order.
+    pub reorder_window: usize,
+}
+
 /// One virtual worker's synchronization statistics.
 #[derive(Debug, Clone, Default)]
 pub struct VwStats {
@@ -189,17 +247,55 @@ pub struct RunStats {
     pub act_bytes_inter: u64,
     /// Intra-node bytes moved for activations/gradients.
     pub act_bytes_intra: u64,
+    /// The *planned* (nominal, fault-free) per-VW per-stage forward
+    /// compute times the run dispatched with — the denominator of the
+    /// runtime monitor's observed/planned straggler ratio.
+    pub planned_fwd: Vec<Vec<SimTime>>,
+    /// Planned per-VW per-stage backward compute times.
+    pub planned_bwd: Vec<Vec<SimTime>>,
+    /// Instant of the last processed event — for a draining segment
+    /// (`SegmentOpts::stop_after_mb`) this is the splice point where
+    /// the boundary wave's last work finished.
+    pub end: SimTime,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Ev {
-    FwdArrive { vw: u32, stage: u32, mb: u64 },
-    FwdDone { vw: u32, stage: u32, mb: u64 },
-    BwdArrive { vw: u32, stage: u32, mb: u64 },
-    BwdDone { vw: u32, stage: u32, mb: u64 },
-    PushChunkDone { vw: u32, wave: u64 },
-    PullChunkDone { vw: u32 },
-    TryInject { vw: u32 },
+    FwdArrive {
+        vw: u32,
+        stage: u32,
+        mb: u64,
+    },
+    FwdDone {
+        vw: u32,
+        stage: u32,
+        mb: u64,
+    },
+    BwdArrive {
+        vw: u32,
+        stage: u32,
+        mb: u64,
+    },
+    BwdDone {
+        vw: u32,
+        stage: u32,
+        mb: u64,
+    },
+    PushChunkDone {
+        vw: u32,
+        wave: u64,
+    },
+    PullChunkDone {
+        vw: u32,
+    },
+    TryInject {
+        vw: u32,
+    },
+    /// A scheduled service-rate change fires
+    /// (`SegmentOpts::rate_events[idx]`).
+    Fault {
+        idx: u32,
+    },
 }
 
 struct VwState {
@@ -264,6 +360,10 @@ struct StageCursor {
     /// Newest minibatch whose output gradients have arrived from the
     /// next stage.
     bwd_arrived: u64,
+    /// Drain mode only (`SegmentOpts::stop_after_mb`): this stage has
+    /// emitted every backward up to the stop point, so its cursor is
+    /// parked permanently.
+    drained: bool,
 }
 
 /// One physical GPU's position in its *composite* stream
@@ -273,8 +373,11 @@ struct StageCursor {
 /// chunk rather than by virtual stage.
 struct GpuCursor {
     stream: GpuStream,
-    /// The op the GPU is waiting to execute (peeked, not consumed).
-    next: Option<GpuOp>,
+    /// Ops pulled from the stream but not yet executed. `buf[0]` is
+    /// the head (strict-order) op; under a non-zero
+    /// [`SegmentOpts::reorder_window`] the executor may serve a ready
+    /// backward from deeper in the buffer while the head is blocked.
+    buf: VecDeque<GpuOp>,
     /// Newest minibatch whose forward activations have arrived at
     /// each local chunk (chunk `c` is virtual stage
     /// `c × gpus + gpu`).
@@ -282,6 +385,9 @@ struct GpuCursor {
     /// Newest minibatch whose output gradients have arrived at each
     /// local chunk.
     bwd_arrived: Vec<u64>,
+    /// Highest backward minibatch consumed (executed or, in drain
+    /// mode, discarded) per local chunk — the GPU's drain progress.
+    bwd_consumed: Vec<u64>,
 }
 
 struct Exec<'a> {
@@ -306,6 +412,7 @@ struct Exec<'a> {
     /// gates on these; both paths debug-assert against them).
     windows: Vec<Vec<StageWindow>>,
     dispatch: Dispatch,
+    opts: SegmentOpts,
     horizon: SimTime,
     sync_inter: u64,
     sync_intra: u64,
@@ -314,7 +421,7 @@ struct Exec<'a> {
 }
 
 impl<'a> Exec<'a> {
-    fn new(p: ExecParams<'a>, horizon: SimTime) -> Self {
+    fn new(p: ExecParams<'a>, opts: SegmentOpts, horizon: SimTime) -> Self {
         let cluster = p.cluster;
         let mut pool = ResourcePool::new();
         let gpu_res: Vec<ResourceId> = cluster
@@ -394,6 +501,7 @@ impl<'a> Exec<'a> {
                             next: None,
                             fwd_arrived: 0,
                             bwd_arrived: 0,
+                            drained: false,
                         })
                         .collect()
                 })
@@ -417,9 +525,10 @@ impl<'a> Exec<'a> {
                         .into_iter()
                         .map(|stream| GpuCursor {
                             stream,
-                            next: None,
+                            buf: VecDeque::new(),
                             fwd_arrived: vec![0; chunks],
                             bwd_arrived: vec![0; chunks],
+                            bwd_consumed: vec![0; chunks],
                         })
                         .collect()
                 })
@@ -460,6 +569,7 @@ impl<'a> Exec<'a> {
             gpu_cursors,
             windows,
             dispatch,
+            opts,
             horizon,
             sync_inter: 0,
             sync_intra: 0,
@@ -485,17 +595,55 @@ impl<'a> Exec<'a> {
         self.states.iter().map(|s| s.clock).min().unwrap_or(0)
     }
 
+    /// The pool resource a fault target maps to.
+    fn fault_resource(&self, target: RateTarget) -> ResourceId {
+        match target {
+            RateTarget::Gpu(device) => self.gpu_res[device],
+            RateTarget::Nic(node) => self.nic_res[node],
+        }
+    }
+
+    /// Applies the rate change of `rate_events[idx]`. Reservations made
+    /// from now on are scaled by the new rate; in-flight work keeps the
+    /// duration it was granted with.
+    fn apply_fault(&mut self, idx: usize) {
+        let ev = self.opts.rate_events[idx];
+        let res = self.fault_resource(ev.target);
+        self.pool.get_mut(res).set_rate(ev.rate);
+    }
+
+    /// A compute duration scaled by its GPU's current fault rate
+    /// (exact identity at the nominal rate — the golden path).
+    fn gpu_scaled(&self, gpu: ResourceId, dur: SimTime) -> SimTime {
+        self.pool.get(gpu).scaled(dur)
+    }
+
+    /// True when injection (or op execution) of `mb` is past the
+    /// segment's stop point.
+    fn past_stop(&self, mb: u64) -> bool {
+        self.opts.stop_after_mb.is_some_and(|m| mb > m)
+    }
+
     /// Moves `bytes` between two nodes, returning the arrival time.
     /// Inter-node transfers reserve both endpoint NICs; intra-node
     /// transfers use dedicated PCIe lanes.
     fn transfer(&mut self, from: NodeId, to: NodeId, bytes: u64, tag: SpanTag) -> SimTime {
         let now = self.engine.now();
         if from == to {
+            // Dedicated PCIe lanes carry no timeline resource, so link
+            // degradation targets NICs (inter-node traffic) only.
             now + SimTime::from_secs(LinkKind::Pcie.transfer_secs(bytes))
         } else {
             let dur = SimTime::from_secs(LinkKind::Infiniband.transfer_secs(bytes));
             let a = self.nic_res[from.0];
             let b = self.nic_res[to.0];
+            // A degraded link runs at the slower endpoint's rate.
+            let slower = if self.pool.get(a).rate() <= self.pool.get(b).rate() {
+                a
+            } else {
+                b
+            };
+            let dur = self.pool.get(slower).scaled(dur);
             let start = now
                 .max(self.pool.get(a).free_at())
                 .max(self.pool.get(b).free_at());
@@ -525,6 +673,9 @@ impl<'a> Exec<'a> {
     }
 
     fn handle(&mut self, ev: Ev) {
+        if let Ev::Fault { idx } = ev {
+            return self.apply_fault(idx as usize);
+        }
         match self.dispatch {
             Dispatch::ArrivalFifo => self.handle_arrival_fifo(ev),
             Dispatch::StreamOrder => self.handle_stream_order(ev),
@@ -547,6 +698,7 @@ impl<'a> Exec<'a> {
             Ev::BwdDone { vw, stage, mb } => self.bwd_done(vw as usize, stage as usize, mb),
             Ev::PushChunkDone { vw, wave } => self.push_chunk_done(vw as usize, wave),
             Ev::PullChunkDone { vw } => self.pull_chunk_done(vw as usize),
+            Ev::Fault { .. } => unreachable!("faults are handled centrally"),
         }
     }
 
@@ -557,6 +709,10 @@ impl<'a> Exec<'a> {
                 break;
             }
             let p = self.states[vw].next_mb;
+            // Segment drain: stop injecting past the splice boundary.
+            if self.past_stop(p) {
+                break;
+            }
             // The WSP start gate: do the local weights reflect the
             // required global wave?
             if let Some(req) = self.p.wsp.required_wave(p) {
@@ -616,7 +772,7 @@ impl<'a> Exec<'a> {
         let gpu = self.gpu_of(vw, stage);
         if stage == k - 1 {
             // Fused forward+backward at the last stage (Section 4).
-            let dur = self.fwd[vw][stage] + self.bwd[vw][stage];
+            let dur = self.gpu_scaled(gpu, self.fwd[vw][stage] + self.bwd[vw][stage]);
             let (s, e) = self.pool.get_mut(gpu).reserve(now, dur);
             self.trace.record(
                 gpu,
@@ -637,7 +793,7 @@ impl<'a> Exec<'a> {
                 },
             );
         } else {
-            let dur = self.fwd[vw][stage];
+            let dur = self.gpu_scaled(gpu, self.fwd[vw][stage]);
             let (s, e) = self.pool.get_mut(gpu).reserve(now, dur);
             self.trace.record(
                 gpu,
@@ -699,7 +855,7 @@ impl<'a> Exec<'a> {
             // Rematerialize the stage's activations from the stashed
             // boundary input: one forward re-run reserved directly
             // ahead of the backward on the same FIFO timeline.
-            let dur = self.fwd[vw][stage];
+            let dur = self.gpu_scaled(gpu, self.fwd[vw][stage]);
             let (s, e) = self.pool.get_mut(gpu).reserve(now, dur);
             self.trace.record(
                 gpu,
@@ -712,7 +868,7 @@ impl<'a> Exec<'a> {
                 },
             );
         }
-        let dur = self.bwd[vw][stage];
+        let dur = self.gpu_scaled(gpu, self.bwd[vw][stage]);
         let (s, e) = self.pool.get_mut(gpu).reserve(now, dur);
         self.trace.record(
             gpu,
@@ -855,6 +1011,7 @@ impl<'a> Exec<'a> {
             }
             Ev::PushChunkDone { vw, wave } => self.push_chunk_done(vw as usize, wave),
             Ev::PullChunkDone { vw } => self.pull_chunk_done(vw as usize),
+            Ev::Fault { .. } => unreachable!("faults are handled centrally"),
         }
     }
 
@@ -891,6 +1048,9 @@ impl<'a> Exec<'a> {
         let now = self.engine.now();
         let k = self.p.vws[vw].stages();
         loop {
+            if self.cursors[vw][stage].drained {
+                return;
+            }
             let op = {
                 let cur = &mut self.cursors[vw][stage];
                 if cur.next.is_none() {
@@ -898,6 +1058,23 @@ impl<'a> Exec<'a> {
                 }
                 cur.next.expect("schedule streams are infinite")
             };
+            // Segment drain: ops of minibatches past the splice
+            // boundary never execute. Forwards (and their recomputes)
+            // are discarded so the stream can reach the remaining
+            // in-boundary backwards behind them; the stage's first
+            // past-boundary backward (per-stage backwards are in
+            // order) proves every boundary backward was consumed, so
+            // the cursor parks permanently there.
+            if let Some(mb) = op.minibatch() {
+                if self.past_stop(mb) {
+                    if op.has_backward() {
+                        self.cursors[vw][stage].drained = true;
+                        return;
+                    }
+                    self.cursors[vw][stage].next = None;
+                    continue;
+                }
+            }
             match op {
                 ScheduleOp::PullGate { wave } => {
                     if self.pull_gate_open(vw, wave, now) {
@@ -1029,52 +1206,103 @@ impl<'a> Exec<'a> {
             }
             Ev::PushChunkDone { vw, wave } => self.push_chunk_done(vw as usize, wave),
             Ev::PullChunkDone { vw } => self.pull_chunk_done(vw as usize),
+            Ev::Fault { .. } => unreachable!("faults are handled centrally"),
+        }
+    }
+
+    /// Ensures `gpu`'s op buffer holds at least `len` ops, pulling
+    /// from the composite stream as needed.
+    fn fill_gpu_buf(&mut self, vw: usize, gpu: usize, len: usize) {
+        let cur = &mut self.gpu_cursors[vw][gpu];
+        while cur.buf.len() < len {
+            let gop = cur.stream.next().expect("gpu streams are infinite");
+            cur.buf.push_back(gop);
         }
     }
 
     /// Executes `gpu`'s composite stream in order for as long as op
     /// dependencies are satisfied, reserving GPU time slots eagerly
     /// (the FIFO timeline serializes them in stream order) — the
-    /// per-GPU analogue of [`Exec::advance`].
+    /// per-GPU analogue of [`Exec::advance`]. Two segment-mode
+    /// extensions, both off by default:
+    ///
+    /// - **drain** ([`SegmentOpts::stop_after_mb`]): past-boundary ops
+    ///   are discarded unexecuted. Unlike the per-stage streams, a
+    ///   composite stream interleaves chunks, and a deep chunk's
+    ///   backward of `mb + 1` can legitimately precede a shallow
+    ///   chunk's backward of `mb` on the same GPU timeline — so
+    ///   past-boundary *backwards* are discarded too (marking their
+    ///   chunk fully drained), and the cursor parks once every local
+    ///   chunk has consumed its boundary backward.
+    /// - **bounded reorder** ([`SegmentOpts::reorder_window`]): when
+    ///   the head op is blocked on a data dependency, a *ready
+    ///   backward* (with its recompute prefix) from up to `window`
+    ///   ops ahead may run instead — the `SkipStraggler` policy's
+    ///   lever against head-of-line blocking when a straggler's
+    ///   gradient is late. Backwards only (they release activation
+    ///   windows, never acquire), never past a closed pull gate, and
+    ///   never past an earlier op of their own stage, so declared
+    ///   occupancy, per-stage order, and staleness all hold.
     fn advance_gpu(&mut self, vw: usize, gpu: usize) {
         let now = self.engine.now();
         let k = self.p.vws[vw].stages();
         let gpus = self.gpu_cursors[vw].len();
         loop {
-            let gop = {
-                let cur = &mut self.gpu_cursors[vw][gpu];
-                if cur.next.is_none() {
-                    cur.next = cur.stream.next();
-                }
-                cur.next.expect("gpu streams are infinite")
-            };
+            self.fill_gpu_buf(vw, gpu, 1);
+            let gop = self.gpu_cursors[vw][gpu].buf[0];
             let stage = gop.stage;
             debug_assert_eq!(stage % gpus, gpu, "op on a foreign GPU");
             let chunk = stage / gpus;
-            match gop.op {
+            // Segment drain: discard past-boundary ops; park once all
+            // local chunks crossed the boundary (keeping the head
+            // available for the boundary wave's Push / PullGate).
+            if let Some(stop) = self.opts.stop_after_mb {
+                if let Some(mb) = gop.op.minibatch() {
+                    if mb > stop {
+                        let cur = &mut self.gpu_cursors[vw][gpu];
+                        if gop.op.has_backward() {
+                            // Backwards are per-stage in order: the
+                            // first past-boundary one proves the chunk
+                            // is drained.
+                            cur.bwd_consumed[chunk] = cur.bwd_consumed[chunk].max(stop);
+                        }
+                        cur.buf.pop_front();
+                        if self.gpu_cursors[vw][gpu]
+                            .bwd_consumed
+                            .iter()
+                            .all(|&m| m >= stop)
+                        {
+                            return;
+                        }
+                        continue;
+                    }
+                }
+            }
+            let executed = match gop.op {
                 ScheduleOp::PullGate { wave } => {
                     if self.pull_gate_open(vw, wave, now) {
-                        self.gpu_cursors[vw][gpu].next = None;
-                    } else {
-                        return;
+                        self.gpu_cursors[vw][gpu].buf.pop_front();
+                        continue;
                     }
+                    // Nothing may run past a closed gate (staleness).
+                    return;
                 }
                 ScheduleOp::Push { wave } => {
                     if self.wave_push_ready(vw, wave) {
-                        self.gpu_cursors[vw][gpu].next = None;
+                        self.gpu_cursors[vw][gpu].buf.pop_front();
                         self.start_push(vw, wave);
-                    } else {
-                        return;
+                        continue;
                     }
+                    false
                 }
                 ScheduleOp::Forward { mb } => {
                     if stage > 0 && self.gpu_cursors[vw][gpu].fwd_arrived[chunk] < mb {
+                        false
+                    } else if !self.reserve_compute(vw, stage, mb, StreamTask::Forward) {
                         return;
+                    } else {
+                        true
                     }
-                    if !self.reserve_compute(vw, stage, mb, StreamTask::Forward) {
-                        return;
-                    }
-                    self.gpu_cursors[vw][gpu].next = None;
                 }
                 ScheduleOp::Backward { mb } => {
                     // At the pipeline's last virtual stage the
@@ -1082,27 +1310,122 @@ impl<'a> Exec<'a> {
                     // precedes it on this GPU's timeline; elsewhere it
                     // waits for the gradient from the right.
                     if stage + 1 < k && self.gpu_cursors[vw][gpu].bwd_arrived[chunk] < mb {
+                        false
+                    } else if !self.reserve_compute(vw, stage, mb, StreamTask::Backward) {
                         return;
+                    } else {
+                        let cur = &mut self.gpu_cursors[vw][gpu];
+                        cur.bwd_consumed[chunk] = mb;
+                        true
                     }
-                    if !self.reserve_compute(vw, stage, mb, StreamTask::Backward) {
-                        return;
-                    }
-                    self.gpu_cursors[vw][gpu].next = None;
                 }
                 ScheduleOp::Recompute { mb } => {
                     if stage + 1 < k && self.gpu_cursors[vw][gpu].bwd_arrived[chunk] < mb {
+                        false
+                    } else if !self.reserve_compute(vw, stage, mb, StreamTask::Recompute) {
                         return;
+                    } else {
+                        true
                     }
-                    if !self.reserve_compute(vw, stage, mb, StreamTask::Recompute) {
-                        return;
-                    }
-                    self.gpu_cursors[vw][gpu].next = None;
                 }
+                ScheduleOp::FusedFwdBwd { .. } => {
+                    unreachable!("composite streams never fuse")
+                }
+            };
+            if executed {
+                self.gpu_cursors[vw][gpu].buf.pop_front();
+                continue;
+            }
+            // Head blocked on a data dependency (or an unready push):
+            // bounded out-of-order service of a ready backward.
+            if self.opts.reorder_window == 0 || !self.reorder_backward(vw, gpu, k, gpus) {
+                return;
+            }
+        }
+    }
+
+    /// Scans up to `reorder_window` ops past the blocked head of
+    /// `gpu`'s buffer for a ready backward (with its recompute prefix)
+    /// and executes it out of line. Returns whether anything ran. See
+    /// [`Exec::advance_gpu`] for the soundness constraints.
+    fn reorder_backward(&mut self, vw: usize, gpu: usize, k: usize, gpus: usize) -> bool {
+        let window = self.opts.reorder_window;
+        for j in 1..=window {
+            self.fill_gpu_buf(vw, gpu, j + 1);
+            let gop = self.gpu_cursors[vw][gpu].buf[j];
+            let (stage, chunk) = (gop.stage, gop.stage / gpus);
+            // Preserve per-stage order: never overtake an earlier op
+            // of the same stage (covers "backward before its own
+            // forward" too, since the forward precedes it in-stage).
+            let overtakes_same_stage = self.gpu_cursors[vw][gpu]
+                .buf
+                .iter()
+                .take(j)
+                .any(|g| g.stage == stage);
+            if overtakes_same_stage {
+                continue;
+            }
+            match gop.op {
+                ScheduleOp::Backward { mb } => {
+                    if self.past_stop(mb) {
+                        continue;
+                    }
+                    if stage + 1 < k && self.gpu_cursors[vw][gpu].bwd_arrived[chunk] < mb {
+                        continue;
+                    }
+                    if !self.reserve_compute(vw, stage, mb, StreamTask::Backward) {
+                        return false;
+                    }
+                    let cur = &mut self.gpu_cursors[vw][gpu];
+                    cur.bwd_consumed[chunk] = mb;
+                    cur.buf.remove(j);
+                    return true;
+                }
+                ScheduleOp::Recompute { mb } => {
+                    // A checkpointing stage's backward rides directly
+                    // behind its recompute; serve them as a unit.
+                    if self.past_stop(mb) {
+                        continue;
+                    }
+                    if stage + 1 < k && self.gpu_cursors[vw][gpu].bwd_arrived[chunk] < mb {
+                        continue;
+                    }
+                    self.fill_gpu_buf(vw, gpu, j + 2);
+                    debug_assert_eq!(
+                        self.gpu_cursors[vw][gpu].buf[j + 1],
+                        GpuOp {
+                            stage,
+                            op: ScheduleOp::Backward { mb }
+                        },
+                        "recompute must precede its own backward"
+                    );
+                    if !self.reserve_compute(vw, stage, mb, StreamTask::Recompute) {
+                        return false;
+                    }
+                    self.gpu_cursors[vw][gpu].buf.remove(j);
+                    // Backward now sits at index j. Reserving it can
+                    // only fail at the horizon edge — then it stays
+                    // buffered, exactly like a strict-order cursor
+                    // parked after its recompute.
+                    if !self.reserve_compute(vw, stage, mb, StreamTask::Backward) {
+                        return false;
+                    }
+                    let cur = &mut self.gpu_cursors[vw][gpu];
+                    cur.bwd_consumed[chunk] = mb;
+                    cur.buf.remove(j);
+                    return true;
+                }
+                // Forwards acquire activation slots — not reordered.
+                // Pushes are wave bookkeeping a backward may pass.
+                ScheduleOp::Forward { .. } | ScheduleOp::Push { .. } => continue,
+                // A gate fences everything behind it: stop the scan.
+                ScheduleOp::PullGate { .. } => return false,
                 ScheduleOp::FusedFwdBwd { .. } => {
                     unreachable!("composite streams never fuse")
                 }
             }
         }
+        false
     }
 
     /// Reserves a compute task on the stage's GPU, records its span,
@@ -1120,6 +1443,7 @@ impl<'a> Exec<'a> {
             StreamTask::Backward => self.bwd[vw][stage],
             StreamTask::Fused => self.fwd[vw][stage] + self.bwd[vw][stage],
         };
+        let dur = self.gpu_scaled(gpu, dur);
         let (s, e) = self.pool.get_mut(gpu).reserve(now, dur);
         let (vw32, stage32) = (vw as u32, stage as u32);
         let (tag, done) = match task {
@@ -1343,6 +1667,17 @@ impl<'a> Exec<'a> {
     }
 
     fn run(mut self) -> RunStats {
+        // Rates carried over from earlier segments (fault windows that
+        // opened before this segment started).
+        for i in 0..self.opts.initial_rates.len() {
+            let (target, rate) = self.opts.initial_rates[i];
+            let res = self.fault_resource(target);
+            self.pool.get_mut(res).set_rate(rate);
+        }
+        // Scheduled rate changes are first-class DES events.
+        for (i, ev) in self.opts.rate_events.iter().enumerate() {
+            self.engine.schedule_at(ev.at, Ev::Fault { idx: i as u32 });
+        }
         for vw in 0..self.p.vws.len() {
             self.engine
                 .schedule_at(SimTime::ZERO, Ev::TryInject { vw: vw as u32 });
@@ -1353,6 +1688,7 @@ impl<'a> Exec<'a> {
         }
         RunStats {
             horizon,
+            end: self.engine.now(),
             vws: self.states.into_iter().map(|s| s.stats).collect(),
             trace: self.trace,
             gpu_resources: self.gpu_res,
@@ -1362,13 +1698,33 @@ impl<'a> Exec<'a> {
             sync_bytes_intra: self.sync_intra,
             act_bytes_inter: self.act_inter,
             act_bytes_intra: self.act_intra,
+            planned_fwd: self.fwd,
+            planned_bwd: self.bwd,
         }
     }
 }
 
 /// Runs the pipeline simulation until `horizon`.
 pub fn run(params: ExecParams<'_>, horizon: SimTime) -> RunStats {
-    Exec::new(params, horizon).run()
+    Exec::new(params, SegmentOpts::default(), horizon).run()
+}
+
+/// Runs one *segment* of a fault-aware simulation: [`run`] extended
+/// with [`SegmentOpts`] — pre-existing and scheduled resource-rate
+/// changes (fault injection), an optional stop-and-drain point at a
+/// wave boundary (the splice the reactive runtime re-plans at), and a
+/// bounded composite-stream reorder window. Default options make this
+/// identical to [`run`] — the zero-fault golden-trace invariance.
+pub fn run_segment(params: ExecParams<'_>, opts: SegmentOpts, horizon: SimTime) -> RunStats {
+    if let Some(stop) = opts.stop_after_mb {
+        assert!(
+            stop.is_multiple_of(params.wsp.nm as u64),
+            "segments splice at wave boundaries (stop {} vs Nm {})",
+            stop,
+            params.wsp.nm
+        );
+    }
+    Exec::new(params, opts, horizon).run()
 }
 
 #[cfg(test)]
@@ -1635,6 +1991,156 @@ mod tests {
             let max = *clocks.iter().max().unwrap();
             let min = *clocks.iter().min().unwrap();
             assert!(max - min <= 1, "{schedule} clocks diverged: {clocks:?}");
+        }
+    }
+
+    // --------------------------------------------------------------
+    // Segment machinery: faults, drains, zero-fault invariance.
+    // --------------------------------------------------------------
+
+    fn run_ed_segment(nm: usize, secs: f64, schedule: Schedule, opts: SegmentOpts) -> RunStats {
+        let cluster = Cluster::paper_testbed();
+        let graph = hetpipe_model::vgg19(32);
+        let vws = build_vws(&cluster, &graph, &ed_groups(), nm);
+        let shards = ShardMap::build(Placement::Local, &graph, &cluster, &vws[0]);
+        run_segment(
+            ExecParams {
+                cluster: &cluster,
+                graph: &graph,
+                vws: &vws,
+                wsp: WspParams::new(nm, 0),
+                shards: &shards,
+                sync_transfers: true,
+                schedule,
+                recompute: RecomputePolicy::None,
+            },
+            opts,
+            SimTime::from_secs(secs),
+        )
+    }
+
+    #[test]
+    fn zero_fault_segment_is_bit_identical_to_run() {
+        for schedule in [
+            Schedule::HetPipeWave,
+            Schedule::FillDrain,
+            Schedule::OneFOneB,
+        ] {
+            let plain = run_ed_sched(4, 0, 10.0, schedule);
+            let seg = run_ed_segment(4, 10.0, schedule, SegmentOpts::default());
+            assert_eq!(plain.trace.len(), seg.trace.len(), "{schedule}");
+            for (a, b) in plain.trace.spans().iter().zip(seg.trace.spans()) {
+                assert_eq!(a, b, "{schedule}");
+            }
+            for (a, b) in plain.vws.iter().zip(&seg.vws) {
+                assert_eq!(a.completions, b.completions, "{schedule}");
+            }
+        }
+    }
+
+    #[test]
+    fn fault_event_slows_the_pipeline() {
+        for schedule in [Schedule::HetPipeWave, Schedule::OneFOneB] {
+            let clean = run_ed_segment(4, 20.0, schedule, SegmentOpts::default());
+            let faulted = run_ed_segment(
+                4,
+                20.0,
+                schedule,
+                SegmentOpts {
+                    rate_events: vec![RateEvent {
+                        at: SimTime::from_secs(2.0),
+                        // Slow VW 0's stage-1 GPU (device 4 hosts ED
+                        // group 0's second stage) by x4 — far past the
+                        // pipeline bottleneck, so it must bind.
+                        target: RateTarget::Gpu(4),
+                        rate: 0.25,
+                    }],
+                    ..SegmentOpts::default()
+                },
+            );
+            let c = clean.vws[0].completions.len();
+            let f = faulted.vws[0].completions.len();
+            assert!(
+                (f as f64) < c as f64 * 0.9,
+                "{schedule}: x4 slowdown must cost throughput ({f} vs {c})"
+            );
+            // Spans on the slowed GPU after the fault are stretched.
+            let gpu = faulted.gpu_resources[4];
+            let stretched = faulted.trace.spans().iter().any(|s| {
+                s.resource == gpu
+                    && s.start >= SimTime::from_secs(2.0)
+                    && s.duration() > faulted.planned_fwd[0][1]
+            });
+            assert!(stretched, "{schedule}: no stretched span on the slowed GPU");
+        }
+    }
+
+    #[test]
+    fn lost_gpu_stalls_but_terminates() {
+        let faulted = run_ed_segment(
+            4,
+            15.0,
+            Schedule::HetPipeWave,
+            SegmentOpts {
+                rate_events: vec![RateEvent {
+                    at: SimTime::from_secs(3.0),
+                    target: RateTarget::Gpu(4),
+                    rate: 0.0,
+                }],
+                ..SegmentOpts::default()
+            },
+        );
+        // VW 0 stops completing shortly after the loss; the run still
+        // terminates (no live-lock) and other VWs are eventually
+        // throttled by the WSP distance bound, not deadlocked.
+        let last = faulted.vws[0].completions.last().copied().unwrap();
+        assert!(
+            last < SimTime::from_secs(5.0),
+            "vw0 kept completing: {last}"
+        );
+        assert!(faulted.end <= SimTime::from_secs(15.0));
+    }
+
+    #[test]
+    fn segment_drain_stops_at_wave_boundary() {
+        for schedule in [
+            Schedule::HetPipeWave,
+            Schedule::FillDrain,
+            Schedule::OneFOneB,
+        ] {
+            let seg = run_ed_segment(
+                4,
+                30.0,
+                schedule,
+                SegmentOpts {
+                    stop_after_mb: Some(8),
+                    ..SegmentOpts::default()
+                },
+            );
+            for (i, vw) in seg.vws.iter().enumerate() {
+                assert_eq!(
+                    vw.completions.len(),
+                    8,
+                    "{schedule} vw{i}: drain must complete exactly the boundary wave"
+                );
+                assert_eq!(vw.waves_pushed, 2, "{schedule} vw{i}");
+            }
+            // The drain ends well before the horizon: that end is the
+            // splice point.
+            assert!(
+                seg.end < SimTime::from_secs(29.0),
+                "{schedule}: drain should end early, got {}",
+                seg.end
+            );
+            // No compute span belongs to a past-boundary minibatch.
+            for span in seg.trace.spans() {
+                if let SpanTag::Forward { mb, .. }
+                | SpanTag::Backward { mb, .. }
+                | SpanTag::Recompute { mb, .. } = span.tag
+                {
+                    assert!(mb <= 8, "{schedule}: span for mb {mb} past the boundary");
+                }
+            }
         }
     }
 

@@ -502,6 +502,10 @@ impl<'a> Exec<'a> {
         }
         RunStats {
             horizon,
+            // Stat-carrier fields added for the fault-aware runtime;
+            // no behavioural change (the frozen event logic above is
+            // untouched).
+            end: self.engine.now(),
             vws: self.states.into_iter().map(|s| s.stats).collect(),
             trace: self.trace,
             gpu_resources: self.gpu_res,
@@ -511,6 +515,8 @@ impl<'a> Exec<'a> {
             sync_bytes_intra: self.sync_intra,
             act_bytes_inter: self.act_inter,
             act_bytes_intra: self.act_intra,
+            planned_fwd: self.fwd,
+            planned_bwd: self.bwd,
         }
     }
 }

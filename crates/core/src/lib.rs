@@ -44,9 +44,10 @@ pub mod vw;
 
 pub use alloc::AllocationPolicy;
 pub use audit::OccupancyAudit;
+pub use exec::{RateEvent, RateTarget, SegmentOpts};
 pub use hetpipe_schedule::{PipelineSchedule, RecomputePolicy, Schedule};
 pub use metrics::SystemReport;
 pub use pserver::Placement;
 pub use sync::{SyncModel, WspParams};
-pub use system::{BuildError, HetPipeSystem, SystemConfig};
+pub use system::{replan_vw_from_observed, BuildError, HetPipeSystem, SystemConfig};
 pub use vw::VirtualWorker;

@@ -323,6 +323,53 @@ fn simulate_standalone_rate(
     Some(completed as f64 / (horizon.as_secs() * 0.75))
 }
 
+/// Re-solves one virtual worker's partition from *observed* per-stage
+/// costs — the system rebuild entry point the fault-aware runtime
+/// (`hetpipe-runtime`) calls when its monitor reports stragglers or a
+/// lost GPU:
+///
+/// - `devices` are the *surviving* stage devices in pipeline order
+///   (drop the lost GPU to shrink the pipeline);
+/// - `derate[q]` is the observed/planned duration ratio of stage `q`
+///   (≥ 1 for a straggler, 1 for healthy stages): each stage's GPU
+///   spec is derated to the speed it actually delivers
+///   ([`hetpipe_cluster::gpu::GpuSpec::derated`]), so the min–max DP
+///   rebalances layers away from slowed GPUs;
+/// - `incumbent` warm-starts the solver with the currently-executing
+///   plan ([`PartitionSolver::solve_warm`] — answer-preserving bound
+///   pruning, so online re-planning costs less than a cold solve).
+///
+/// Returns the re-planned partition at the requested `nm`, or the
+/// partition error when the shrunk/derated configuration cannot hold
+/// the model there (callers then lower `nm` — WSP requires a common
+/// `Nm`, so the controller owns that decision).
+#[allow(clippy::too_many_arguments)]
+pub fn replan_vw_from_observed(
+    cluster: &Cluster,
+    graph: &ModelGraph,
+    devices: &[DeviceId],
+    derate: &[f64],
+    nm: usize,
+    schedule: Schedule,
+    recompute: RecomputePolicy,
+    incumbent: Option<&[std::ops::Range<usize>]>,
+) -> Result<hetpipe_partition::PartitionPlan, hetpipe_partition::PartitionError> {
+    assert_eq!(
+        devices.len(),
+        derate.len(),
+        "one observed derate per stage device"
+    );
+    let gpus: Vec<_> = devices
+        .iter()
+        .zip(derate)
+        .map(|(&d, &r)| cluster.spec_of(d).derated(r.max(1.0)))
+        .collect();
+    let links = VirtualWorker::links(cluster, devices);
+    let problem =
+        PartitionProblem::with_schedule(graph, gpus, links, nm, schedule).with_recompute(recompute);
+    PartitionSolver::solve_warm(&problem, incumbent)
+}
+
 /// A fully-assembled HetPipe deployment, ready to simulate.
 #[derive(Debug, Clone)]
 pub struct HetPipeSystem<'a> {

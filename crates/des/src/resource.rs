@@ -24,6 +24,12 @@ pub struct Resource {
     free_at: SimTime,
     busy: SimTime,
     reservations: u64,
+    /// Service-rate multiplier (1.0 = nominal). Fault injection models
+    /// a throttled GPU or degraded link by lowering the rate; callers
+    /// scale nominal durations through [`Resource::scaled`] before
+    /// reserving. The rate applies at *reservation time*: work already
+    /// on the timeline keeps the duration it was granted with.
+    rate: f64,
 }
 
 impl Resource {
@@ -34,7 +40,37 @@ impl Resource {
             free_at: SimTime::ZERO,
             busy: SimTime::ZERO,
             reservations: 0,
+            rate: 1.0,
         }
+    }
+
+    /// Current service-rate multiplier (1.0 = nominal speed).
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// Sets the service-rate multiplier. `0.5` means work takes twice
+    /// its nominal duration; `0.0` (or any non-positive value) models a
+    /// lost resource — [`Resource::scaled`] returns an effectively
+    /// unreachable duration, so work reserved on it never completes
+    /// within any finite horizon.
+    pub fn set_rate(&mut self, rate: f64) {
+        self.rate = rate;
+    }
+
+    /// Scales a nominal duration by the current rate. Exact identity
+    /// at the nominal rate (the common case pays no float round-trip);
+    /// non-positive rates clamp to a quarter of [`SimTime::MAX`] so
+    /// that downstream additions saturate instead of wrapping.
+    pub fn scaled(&self, nominal: SimTime) -> SimTime {
+        if self.rate == 1.0 {
+            return nominal;
+        }
+        if self.rate <= 0.0 {
+            return SimTime::from_nanos(u64::MAX / 4);
+        }
+        let ns = (nominal.as_nanos() as f64 / self.rate).min(u64::MAX as f64 / 4.0);
+        SimTime::from_nanos(ns as u64)
     }
 
     /// Reserves the resource for `duration`, starting no earlier than
@@ -168,6 +204,27 @@ mod tests {
     fn utilization_zero_horizon() {
         let gpu = Resource::new("gpu0");
         assert_eq!(gpu.utilization(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn rate_scales_durations() {
+        let mut gpu = Resource::new("gpu0");
+        let d = SimTime::from_nanos(1000);
+        // Nominal rate is an exact identity.
+        assert_eq!(gpu.rate(), 1.0);
+        assert_eq!(gpu.scaled(d), d);
+        // Half speed doubles the duration.
+        gpu.set_rate(0.5);
+        assert_eq!(gpu.scaled(d), SimTime::from_nanos(2000));
+        // A lost resource yields an unreachable duration that still
+        // saturates under addition.
+        gpu.set_rate(0.0);
+        let dead = gpu.scaled(d);
+        assert!(dead > SimTime::from_secs(1e9));
+        assert!(SimTime::MAX + dead == SimTime::MAX);
+        // Recovery restores the identity.
+        gpu.set_rate(1.0);
+        assert_eq!(gpu.scaled(d), d);
     }
 
     #[test]

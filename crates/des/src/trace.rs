@@ -206,6 +206,23 @@ impl<T> Trace<T> {
         name_of: impl Fn(&T) -> String,
         category_of: impl Fn(&T) -> &'static str,
     ) -> io::Result<()> {
+        self.write_chrome_trace_with_instants(out, track_names, name_of, category_of, &[])
+    }
+
+    /// [`Trace::write_chrome_trace`] plus process-scoped *instant*
+    /// events (`"ph": "i"`, global scope): point-in-time markers such
+    /// as fault-injection edges or plan-splice epochs, so perturbed
+    /// traces stay visually debuggable — each marker renders as a
+    /// vertical line across every track in `chrome://tracing` /
+    /// Perfetto. Each instant is `(time, name, category)`.
+    pub fn write_chrome_trace_with_instants<W: Write>(
+        &self,
+        out: W,
+        track_names: impl Fn(ResourceId) -> String,
+        name_of: impl Fn(&T) -> String,
+        category_of: impl Fn(&T) -> &'static str,
+        instants: &[(SimTime, String, &'static str)],
+    ) -> io::Result<()> {
         let mut out = io::BufWriter::new(out);
         let escape = |s: &str| s.replace('\\', "\\\\").replace('"', "\\\"");
         writeln!(out, "[")?;
@@ -241,6 +258,19 @@ impl<T> Trace<T> {
                 escape(&name_of(&s.tag)),
                 category_of(&s.tag),
                 s.resource.0
+            )?;
+        }
+        for (at, name, cat) in instants {
+            if !first {
+                writeln!(out, ",")?;
+            }
+            first = false;
+            let ts = at.as_nanos() as f64 / 1e3;
+            write!(
+                out,
+                "  {{\"name\":\"{}\",\"cat\":\"{cat}\",\"ph\":\"i\",\"s\":\"g\",\
+                 \"pid\":0,\"tid\":0,\"ts\":{ts}}}",
+                escape(name),
             )?;
         }
         writeln!(out, "\n]")?;
@@ -428,6 +458,34 @@ mod tests {
         // One metadata event per distinct resource + one per span.
         assert_eq!(s.matches("\"ph\":\"M\"").count(), 2);
         assert_eq!(s.matches("\"ph\":\"X\"").count(), 2);
+    }
+
+    #[test]
+    fn chrome_trace_instant_events() {
+        let mut tr = Trace::new();
+        tr.record(
+            ResourceId(0),
+            SimTime::from_micros(1),
+            SimTime::from_micros(3),
+            Tag::Fwd,
+        );
+        let mut buf = Vec::new();
+        tr.write_chrome_trace_with_instants(
+            &mut buf,
+            |r| format!("res{}", r.0),
+            |t| format!("{t:?}"),
+            |_| "forward",
+            &[
+                (SimTime::from_micros(2), "fault: gpu1 x1.3".into(), "fault"),
+                (SimTime::from_micros(5), "splice: epoch 1".into(), "epoch"),
+            ],
+        )
+        .unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.trim_start().starts_with('[') && s.trim_end().ends_with(']'));
+        assert_eq!(s.matches("\"ph\":\"i\"").count(), 2);
+        assert!(s.contains("\"name\":\"fault: gpu1 x1.3\"") && s.contains("\"ts\":2"));
+        assert!(s.contains("\"cat\":\"epoch\"") && s.contains("\"ts\":5"));
     }
 
     #[test]

@@ -1,0 +1,649 @@
+//! The reactive controller: policies, splices, and epochs.
+//!
+//! The controller turns the one-shot executor into a *dynamic* one by
+//! running it in **segments** spliced at wave boundaries:
+//!
+//! 1. **Probe.** Simulate the remaining horizon under the current
+//!    configuration (plans, derates, reorder window) with the fault
+//!    script's rate edges injected as DES events.
+//! 2. **Observe.** Feed the probe's span trace to the
+//!    [`Monitor`] and collect typed signals.
+//! 3. **React (policy).** If the policy answers a signal, pick the
+//!    first wave boundary at/after the detection instant, re-run the
+//!    segment in *drain mode* ([`SegmentOpts::stop_after_mb`]) so it
+//!    ends exactly at that boundary, commit it as an **epoch**, apply
+//!    the action, and continue from the splice. If nothing is
+//!    actionable, the probe itself is the final epoch — so a
+//!    zero-fault run under any policy commits exactly the trace a
+//!    plain [`hetpipe_core::exec::run`] produces, bit for bit.
+//!
+//! **Why wave boundaries?** At a boundary every virtual worker has
+//! completed — and pushed — the same whole number of waves and holds
+//! no in-flight minibatch. PipeDream-2BW's double buffering (the
+//! `two_bw_version` semantics PR 3 pinned) means the only weight state
+//! a continuation needs is the version closed by the boundary wave —
+//! the shadow copy — so the spliced run starts from a *fully
+//! synchronized* state. WSP's staleness gate is monotone in wave
+//! distance, and a synchronized start is its most conservative
+//! configuration: every bound that held for an uninterrupted run holds
+//! (with slack) for the spliced one. Each epoch carries its own
+//! [`OccupancyAudit`], so the measured ≤ declared memory invariant is
+//! certified per plan segment, not just per run.
+//!
+//! Policies:
+//!
+//! - [`Policy::Static`] — today's behaviour: observe, never react.
+//! - [`Policy::SkipStraggler`] — on a straggler, enable the
+//!   executor's bounded composite-stream reorder window
+//!   ([`SegmentOpts::reorder_window`]): GPUs blocked on the
+//!   straggler's late gradients serve ready backwards from other
+//!   chunks instead of head-of-line blocking (the ROADMAP's
+//!   composite-vs-arrival adaptivity lever).
+//! - [`Policy::Replan`] — re-run the fast planner
+//!   ([`hetpipe_core::replan_vw_from_observed`], warm-started from
+//!   the incumbent plan) with every straggler's GPU derated to its
+//!   observed speed, and with lost GPUs dropped from the pipeline
+//!   (shrinking `Nm` when the smaller pipeline demands it); splice
+//!   the new plan in at the boundary.
+
+use crate::fault::FaultScript;
+use crate::monitor::{Monitor, MonitorConfig, Signal};
+use hetpipe_cluster::{Cluster, DeviceId};
+use hetpipe_core::exec::{self, ExecParams, RunStats, SegmentOpts, SpanTag};
+use hetpipe_core::pserver::{Placement, ShardMap};
+use hetpipe_core::{replan_vw_from_observed, OccupancyAudit, VirtualWorker, WspParams};
+use hetpipe_des::{SimTime, Trace};
+use hetpipe_model::ModelGraph;
+use hetpipe_schedule::{PipelineSchedule, RecomputePolicy, Schedule};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A reactive policy: what the controller does with monitor signals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Never react (today's static behaviour; the baseline).
+    Static,
+    /// On a straggler, enable bounded out-of-order service of ready
+    /// backwards within `window` ops of each composite GPU stream.
+    /// Only composite-stream schedules (`Dispatch::GpuStreamOrder`)
+    /// have a stream to reorder; for others this behaves like
+    /// [`Policy::Static`].
+    SkipStraggler {
+        /// Lookahead window, in stream ops.
+        window: usize,
+    },
+    /// Re-plan with observed costs / surviving GPUs and splice at the
+    /// next wave boundary.
+    Replan,
+}
+
+impl Policy {
+    /// A short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Policy::Static => "static",
+            Policy::SkipStraggler { .. } => "skip-straggler",
+            Policy::Replan => "replan",
+        }
+    }
+
+    /// Parses a CLI name: `static` | `skip-straggler[:window]` |
+    /// `replan`.
+    pub fn parse(s: &str) -> Option<Policy> {
+        match s {
+            "static" => Some(Policy::Static),
+            "skip-straggler" => Some(Policy::SkipStraggler { window: 8 }),
+            "replan" => Some(Policy::Replan),
+            _ => {
+                let rest = s.strip_prefix("skip-straggler:")?;
+                let window: usize = rest.parse().ok().filter(|&w| w >= 1)?;
+                Some(Policy::SkipStraggler { window })
+            }
+        }
+    }
+}
+
+/// Inputs of a fault-aware run.
+#[derive(Debug, Clone)]
+pub struct RuntimeParams<'a> {
+    /// The cluster.
+    pub cluster: &'a Cluster,
+    /// The model.
+    pub graph: &'a ModelGraph,
+    /// Initial virtual workers (plans resolved, as for the executor).
+    pub vws: Vec<VirtualWorker>,
+    /// WSP parameters of the initial configuration.
+    pub wsp: WspParams,
+    /// Parameter-server shard placement (rebuilt after a re-plan).
+    pub placement: Placement,
+    /// Model sync transfers (see `ExecParams::sync_transfers`).
+    pub sync_transfers: bool,
+    /// The pipeline schedule.
+    pub schedule: Schedule,
+    /// Activation recomputation policy.
+    pub recompute: RecomputePolicy,
+    /// The fault script to inject.
+    pub script: FaultScript,
+    /// The reactive policy.
+    pub policy: Policy,
+    /// Monitor tuning.
+    pub monitor: MonitorConfig,
+    /// Reaction budget (backstop against pathological oscillation).
+    pub max_reactions: usize,
+}
+
+/// One committed plan segment.
+#[derive(Debug, Clone)]
+pub struct Epoch {
+    /// Epoch index (0-based).
+    pub index: usize,
+    /// Global start time.
+    pub start: SimTime,
+    /// Global end time (the splice point, or the horizon).
+    pub end: SimTime,
+    /// The `Nm` this epoch ran with.
+    pub nm: usize,
+    /// Minibatches completed per VW within the epoch.
+    pub completed: Vec<u64>,
+    /// The epoch's own measured ≤ declared occupancy audit.
+    pub audit: OccupancyAudit,
+    /// The action that ended this epoch (`None` for the final epoch).
+    pub action: Option<String>,
+}
+
+/// The merged result of a fault-aware run.
+#[derive(Debug, Clone)]
+pub struct RuntimeReport {
+    /// Requested horizon.
+    pub horizon: SimTime,
+    /// Batch size (throughput conversions).
+    pub batch_size: usize,
+    /// Committed epochs, in order.
+    pub epochs: Vec<Epoch>,
+    /// Per-VW minibatch completion times, global, across all epochs.
+    pub completions: Vec<Vec<SimTime>>,
+    /// The merged span trace (tags rebased to global minibatch/wave
+    /// numbering, times rebased to global time).
+    pub trace: Trace<SpanTag>,
+    /// Resource names by `ResourceId` index (chrome-trace tracks).
+    pub resource_names: Vec<String>,
+    /// Instant markers: fault edges, monitor signals, splices.
+    pub instants: Vec<(SimTime, String, &'static str)>,
+    /// Every signal observed (global detection time + label).
+    pub signals: Vec<(SimTime, String)>,
+    /// The virtual workers in effect at the end of the run (after any
+    /// re-planning; what the last epoch executed).
+    pub final_vws: Vec<VirtualWorker>,
+    /// The common `Nm` in effect at the end of the run.
+    pub final_nm: usize,
+}
+
+impl RuntimeReport {
+    /// Total minibatches completed across VWs.
+    pub fn total_completed(&self) -> usize {
+        self.completions.iter().map(Vec::len).sum()
+    }
+
+    /// System throughput in minibatches per second, excluding the
+    /// leading `warmup_fraction` of the horizon.
+    pub fn throughput_minibatches_per_sec(&self, warmup_fraction: f64) -> f64 {
+        let warmup = SimTime::from_secs(self.horizon.as_secs() * warmup_fraction);
+        let window = (self.horizon - warmup).as_secs();
+        if window <= 0.0 {
+            return 0.0;
+        }
+        let counted: usize = self
+            .completions
+            .iter()
+            .map(|c| c.iter().filter(|&&t| t >= warmup).count())
+            .sum();
+        counted as f64 / window
+    }
+
+    /// System throughput in images per second (minibatch rate × batch
+    /// size).
+    pub fn throughput_images_per_sec(&self, warmup_fraction: f64) -> f64 {
+        self.throughput_minibatches_per_sec(warmup_fraction) * self.batch_size as f64
+    }
+
+    /// True when every epoch's occupancy audit is sound.
+    pub fn audits_sound(&self) -> bool {
+        self.epochs.iter().all(|e| e.audit.is_sound())
+    }
+
+    /// Writes the merged trace as a `chrome://tracing` JSON file with
+    /// fault edges, monitor signals, and plan-splice epochs as
+    /// instant markers.
+    pub fn write_chrome_trace(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        let file = std::fs::File::create(path)?;
+        self.trace.write_chrome_trace_with_instants(
+            file,
+            |rid| {
+                self.resource_names
+                    .get(rid.0)
+                    .cloned()
+                    .unwrap_or_else(|| format!("res{}", rid.0))
+            },
+            |tag| tag.label(),
+            |tag| tag.category(),
+            &self.instants,
+        )
+    }
+}
+
+/// The action a policy chose for one probe.
+enum Action {
+    EnableReorder { window: usize, trigger: Signal },
+    Replan { signals: Vec<Signal> },
+}
+
+impl Action {
+    fn label(&self) -> String {
+        match self {
+            Action::EnableReorder { window, trigger } => {
+                format!("enable reorder window {window} on [{}]", trigger.label())
+            }
+            Action::Replan { signals } => {
+                let parts: Vec<String> = signals.iter().map(Signal::label).collect();
+                format!("replan on [{}]", parts.join(", "))
+            }
+        }
+    }
+
+    /// The signals that caused this action — what the reaction branch
+    /// commits to the report (the rest of the probe's observations
+    /// belong to a discarded timeline).
+    fn triggers(&self) -> Vec<Signal> {
+        match self {
+            Action::EnableReorder { trigger, .. } => vec![trigger.clone()],
+            Action::Replan { signals } => signals.clone(),
+        }
+    }
+}
+
+/// Mutable controller state across epochs.
+struct Controller<'a> {
+    p: RuntimeParams<'a>,
+    monitor: Monitor,
+    vws: Vec<VirtualWorker>,
+    nm: usize,
+    /// Derates already reacted to, keyed by stage (what the monitor
+    /// compares against) and by device (survives re-planning, which
+    /// renumbers stages).
+    applied: BTreeMap<(usize, usize), f64>,
+    applied_dev: BTreeMap<(usize, DeviceId), f64>,
+    dead: BTreeSet<DeviceId>,
+    reorder: usize,
+    // Global accumulators.
+    offset: SimTime,
+    mb_offset: u64,
+    wave_offset: u64,
+    reactions: usize,
+    report: RuntimeReport,
+}
+
+impl<'a> Controller<'a> {
+    fn new(p: RuntimeParams<'a>, horizon: SimTime) -> Self {
+        let monitor = Monitor::new(p.monitor);
+        let vws = p.vws.clone();
+        let nm = p.wsp.nm;
+        let mut instants: Vec<(SimTime, String, &'static str)> = p
+            .script
+            .instants()
+            .into_iter()
+            .filter(|(at, _, _)| *at <= horizon)
+            .collect();
+        instants.sort_by_key(|i| i.0);
+        let report = RuntimeReport {
+            horizon,
+            batch_size: p.graph.batch_size,
+            epochs: Vec::new(),
+            completions: vec![Vec::new(); vws.len()],
+            trace: Trace::new(),
+            resource_names: Vec::new(),
+            instants,
+            signals: Vec::new(),
+            final_vws: Vec::new(),
+            final_nm: nm,
+        };
+        Controller {
+            monitor,
+            vws,
+            nm,
+            applied: BTreeMap::new(),
+            applied_dev: BTreeMap::new(),
+            dead: BTreeSet::new(),
+            reorder: 0,
+            offset: SimTime::ZERO,
+            mb_offset: 0,
+            wave_offset: 0,
+            reactions: 0,
+            report,
+            p,
+        }
+    }
+
+    /// One segment's executor options under the current config.
+    fn segment_opts(&self, stop_after_mb: Option<u64>) -> SegmentOpts {
+        let (initial_rates, rate_events) = self.p.script.segment_rates(self.offset);
+        SegmentOpts {
+            stop_after_mb,
+            initial_rates,
+            rate_events,
+            reorder_window: self.reorder,
+        }
+    }
+
+    fn run_segment(&self, opts: SegmentOpts, remaining: SimTime) -> RunStats {
+        let shards = ShardMap::build(self.p.placement, self.p.graph, self.p.cluster, &self.vws[0]);
+        exec::run_segment(
+            ExecParams {
+                cluster: self.p.cluster,
+                graph: self.p.graph,
+                vws: &self.vws,
+                wsp: WspParams::new(self.nm, self.p.wsp.d),
+                shards: &shards,
+                sync_transfers: self.p.sync_transfers,
+                schedule: self.p.schedule,
+                recompute: self.p.recompute,
+            },
+            opts,
+            remaining,
+        )
+    }
+
+    /// Folds a committed segment into the global report.
+    fn commit(&mut self, stats: &RunStats, action: Option<String>) {
+        let off = self.offset;
+        if self.report.resource_names.is_empty() {
+            self.report.resource_names = stats.pool.iter().map(|(_, r)| r.name.clone()).collect();
+        }
+        for span in stats.trace.spans() {
+            let tag = match span.tag {
+                SpanTag::Forward { vw, stage, mb } => SpanTag::Forward {
+                    vw,
+                    stage,
+                    mb: mb + self.mb_offset,
+                },
+                SpanTag::Backward { vw, stage, mb } => SpanTag::Backward {
+                    vw,
+                    stage,
+                    mb: mb + self.mb_offset,
+                },
+                SpanTag::Recompute { vw, stage, mb } => SpanTag::Recompute {
+                    vw,
+                    stage,
+                    mb: mb + self.mb_offset,
+                },
+                SpanTag::SyncTransfer { vw, wave, pull } => SpanTag::SyncTransfer {
+                    vw,
+                    wave: wave + self.wave_offset,
+                    pull,
+                },
+                other => other,
+            };
+            self.report
+                .trace
+                .record(span.resource, span.start + off, span.end + off, tag);
+        }
+        let mut completed = Vec::with_capacity(stats.vws.len());
+        for (i, vw) in stats.vws.iter().enumerate() {
+            completed.push(vw.completions.len() as u64);
+            self.report.completions[i].extend(vw.completions.iter().map(|&t| t + off));
+        }
+        let audit = OccupancyAudit::measure(stats, &self.vws, &self.p.schedule, self.nm);
+        let end = off + stats.end;
+        if let Some(action) = &action {
+            self.report
+                .instants
+                .push((end, format!("splice: {action}"), "epoch"));
+        }
+        self.report.epochs.push(Epoch {
+            index: self.report.epochs.len(),
+            start: off,
+            end,
+            nm: self.nm,
+            completed,
+            audit,
+            action,
+        });
+    }
+
+    /// Logs a probe's signals (global times) into the report.
+    fn log_signals(&mut self, signals: &[Signal]) {
+        for s in signals {
+            let at = s.at() + self.offset;
+            self.report.signals.push((at, s.label()));
+            self.report.instants.push((at, s.label(), "signal"));
+        }
+    }
+
+    /// What, if anything, the policy does with this probe's signals.
+    fn decide(&self, signals: &[Signal]) -> Option<(SimTime, Action)> {
+        if self.reactions >= self.p.max_reactions {
+            return None;
+        }
+        match self.p.policy {
+            Policy::Static => None,
+            Policy::SkipStraggler { window } => {
+                if self.reorder > 0 {
+                    return None; // Already reordering; nothing to add.
+                }
+                signals
+                    .iter()
+                    .find(|s| matches!(s, Signal::Straggler { .. }))
+                    .map(|s| {
+                        (
+                            s.at(),
+                            Action::EnableReorder {
+                                window,
+                                trigger: s.clone(),
+                            },
+                        )
+                    })
+            }
+            Policy::Replan => {
+                let actionable: Vec<Signal> = signals
+                    .iter()
+                    .filter(|s| {
+                        matches!(
+                            s,
+                            Signal::Straggler { .. }
+                                | Signal::GpuLost { .. }
+                                | Signal::Recovered { .. }
+                        )
+                    })
+                    .cloned()
+                    .collect();
+                let first = actionable.first()?.at();
+                Some((
+                    first,
+                    Action::Replan {
+                        signals: actionable,
+                    },
+                ))
+            }
+        }
+    }
+
+    /// The first wave boundary (as a segment-local minibatch count)
+    /// at/after `t_sig` that the probe shows *every* VW completing —
+    /// falling back to the last fully completed wave when the
+    /// pipeline stalled (GPU loss), or 0 (an immediate, zero-length
+    /// splice epoch) when no wave completed at all; the 0 case cannot
+    /// loop because every action changes the configuration and the
+    /// reaction budget bounds it regardless.
+    fn splice_boundary(&self, probe: &RunStats, t_sig: SimTime) -> u64 {
+        let nm = self.nm as u64;
+        let full_waves = probe
+            .vws
+            .iter()
+            .map(|v| v.completions.len() as u64 / nm)
+            .min()
+            .unwrap_or(0);
+        if full_waves == 0 {
+            return 0;
+        }
+        for w in 0..full_waves {
+            let last_mb = ((w + 1) * nm - 1) as usize;
+            let boundary = probe
+                .vws
+                .iter()
+                .map(|v| v.completions[last_mb])
+                .max()
+                .expect("at least one VW");
+            if boundary >= t_sig {
+                return (w + 1) * nm;
+            }
+        }
+        // Completions ceased before the signal (a stalled pipeline):
+        // splice at the last whole wave.
+        full_waves * nm
+    }
+
+    /// Applies a decided action at a committed splice.
+    fn apply(&mut self, action: Action) {
+        match action {
+            Action::EnableReorder { window, .. } => {
+                self.reorder = window;
+            }
+            Action::Replan { signals } => {
+                for s in &signals {
+                    let (vw, stage) = s.stage_key();
+                    let device = self.vws[vw].devices[stage];
+                    match s {
+                        Signal::Straggler { severity, .. } => {
+                            self.applied_dev.insert((vw, device), *severity);
+                        }
+                        Signal::Recovered { .. } => {
+                            self.applied_dev.remove(&(vw, device));
+                        }
+                        Signal::GpuLost { .. } => {
+                            self.dead.insert(device);
+                        }
+                    }
+                }
+                self.replan();
+            }
+        }
+    }
+
+    /// Rebuilds every VW's plan from observed costs and surviving
+    /// GPUs, lowering the common `Nm` only when the shrunk pipeline
+    /// demands it. On total failure the old configuration is kept
+    /// (the reaction budget stops the loop).
+    fn replan(&mut self) {
+        let schedule = self.p.schedule;
+        // Per VW: surviving physical devices (order preserved).
+        let mut survivors: Vec<Vec<DeviceId>> = Vec::with_capacity(self.vws.len());
+        for vw in &self.vws {
+            let mut phys: Vec<DeviceId> = Vec::new();
+            for &d in &vw.devices {
+                if !phys.contains(&d) && !self.dead.contains(&d) {
+                    phys.push(d);
+                }
+            }
+            if phys.is_empty() {
+                return; // Nothing left to run on; keep the old config.
+            }
+            survivors.push(phys);
+        }
+        // Try the current Nm first, lowering until every VW solves.
+        'nm: for nm in (1..=self.nm).rev() {
+            let mut new_vws = Vec::with_capacity(self.vws.len());
+            for (i, phys) in survivors.iter().enumerate() {
+                let vk = schedule.virtual_stages(phys.len());
+                let expanded: Vec<DeviceId> = (0..vk).map(|s| phys[s % phys.len()]).collect();
+                let derate: Vec<f64> = expanded
+                    .iter()
+                    .map(|d| self.applied_dev.get(&(i, *d)).copied().unwrap_or(1.0))
+                    .collect();
+                let incumbent = (self.vws[i].devices == expanded && self.vws[i].nm == nm)
+                    .then(|| self.vws[i].plan.ranges.clone());
+                let plan = replan_vw_from_observed(
+                    self.p.cluster,
+                    self.p.graph,
+                    &expanded,
+                    &derate,
+                    nm,
+                    schedule,
+                    self.p.recompute,
+                    incumbent.as_deref(),
+                );
+                match plan {
+                    Ok(plan) => new_vws.push(VirtualWorker {
+                        index: i,
+                        devices: expanded,
+                        plan,
+                        nm,
+                    }),
+                    Err(_) => continue 'nm,
+                }
+            }
+            self.vws = new_vws;
+            self.nm = nm;
+            // Re-key the monitor baseline to the (possibly renumbered)
+            // stages of the new pipelines.
+            let mut applied = BTreeMap::new();
+            for (i, vw) in self.vws.iter().enumerate() {
+                for (s, d) in vw.devices.iter().enumerate() {
+                    if let Some(&r) = self.applied_dev.get(&(i, *d)) {
+                        applied.insert((i, s), r);
+                    }
+                }
+            }
+            self.applied = applied;
+            return;
+        }
+        // No feasible Nm: keep the old configuration.
+    }
+
+    fn run(mut self, horizon: SimTime) -> RuntimeReport {
+        loop {
+            let remaining = horizon - self.offset;
+            if remaining.is_zero() {
+                break;
+            }
+            let probe = self.run_segment(self.segment_opts(None), remaining);
+            let signals = self
+                .monitor
+                .analyze(&probe, &self.vws, self.p.schedule, &self.applied);
+            match self.decide(&signals) {
+                None => {
+                    // Nothing to react to: the probe is the final
+                    // epoch (for a zero-fault script this is exactly
+                    // the plain one-shot run), and its signals are
+                    // observations of the committed timeline.
+                    self.log_signals(&signals);
+                    self.commit(&probe, None);
+                    break;
+                }
+                Some((t_sig, action)) => {
+                    let stop = self.splice_boundary(&probe, t_sig);
+                    let stats = self.run_segment(self.segment_opts(Some(stop)), remaining);
+                    // Log only the signals the policy acted on:
+                    // everything else the probe observed belongs to a
+                    // discarded timeline and would leave phantom
+                    // markers in the report.
+                    self.log_signals(&action.triggers());
+                    self.commit(&stats, Some(action.label()));
+                    self.offset += stats.end;
+                    self.mb_offset += stop;
+                    self.wave_offset += stop / self.nm as u64;
+                    self.apply(action);
+                    self.reactions += 1;
+                }
+            }
+        }
+        self.report.instants.sort_by_key(|i| i.0);
+        self.report.signals.sort_by_key(|i| i.0);
+        self.report.final_vws = self.vws;
+        self.report.final_nm = self.nm;
+        self.report
+    }
+}
+
+/// Runs a fault-aware simulation: fault injection, monitoring, and
+/// the reactive policy, merged into one global report.
+pub fn run(params: RuntimeParams<'_>, horizon: SimTime) -> RuntimeReport {
+    Controller::new(params, horizon).run(horizon)
+}

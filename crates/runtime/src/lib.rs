@@ -1,0 +1,66 @@
+//! Fault-aware dynamic execution for the HetPipe reproduction.
+//!
+//! HetPipe's premise is throughput on *whimpy, heterogeneous*
+//! clusters — exactly the hardware where GPUs throttle, links degrade,
+//! and nodes die mid-epoch. Every schedule in `hetpipe-schedule` is a
+//! static infinite iterator; this crate adds the dynamic layer that
+//! reacts when the hardware stops matching the plan:
+//!
+//! - [`FaultScript`] / [`Fault`] — a deterministic, replayable
+//!   perturbation model (GPU slowdown windows, link degradation, GPU
+//!   loss and recovery) compiled to resource service-rate edges the
+//!   executor fires as first-class DES events
+//!   (`hetpipe_core::exec::SegmentOpts`).
+//! - [`Monitor`] / [`Signal`] — the feedback path: a per-stage EWMA
+//!   of observed vs planned task durations folded from the span
+//!   trace, raising `Straggler` / `GpuLost` / `Recovered` signals.
+//!   Purely observational — the monitor never reads the script.
+//! - [`Policy`] / [`run`] — the reactive controller:
+//!   [`Policy::Static`] (baseline), [`Policy::SkipStraggler`]
+//!   (bounded out-of-order service of ready backwards in the
+//!   composite per-GPU streams), and [`Policy::Replan`] (re-run the
+//!   fast planner with observed costs and surviving GPUs —
+//!   warm-started from the incumbent plan — and splice the new plan
+//!   at a wave boundary).
+//!
+//! # The wave-boundary splice and WSP staleness
+//!
+//! Reconfiguration always happens at a **wave boundary**: the
+//! controller drains the executor to the first boundary at/after the
+//! triggering signal ([`hetpipe_core::exec::SegmentOpts::stop_after_mb`]),
+//! commits that segment as an *epoch* with its own
+//! [`OccupancyAudit`](hetpipe_core::OccupancyAudit), and starts the
+//! next segment with fresh streams whose minibatch/wave numbering the
+//! report rebases to global indices — a drained boundary leaves
+//! nothing in flight, so "fresh + offset" *is* the correct resumed
+//! state, and the refill bubble is the reconfiguration's honest cost.
+//! (`ScheduleStream::resume_from` / `GpuStream::resume_from` are the
+//! stream-level form of the same boundary state, for splices that
+//! keep the stream objects alive.) At a boundary every VW has
+//! pushed the same whole number of waves and holds no in-flight
+//! minibatch, so the only weight state a continuation needs is the
+//! version the boundary wave closed — exactly the shadow copy
+//! PipeDream-2BW double buffering keeps (`WspParams::two_bw_version`).
+//! A continuation therefore starts *fully synchronized*, which is the
+//! most conservative configuration WSP's staleness gate can see:
+//! every distance-`D` bound that held for an uninterrupted run holds
+//! with slack for the spliced one. The refill bubble the drain pays
+//! is the honest price of reconfiguration.
+//!
+//! # Determinism
+//!
+//! Everything is deterministic: scripts are data (seeded generators
+//! included), the DES engine breaks ties by insertion order, and the
+//! controller's decisions are pure functions of the (deterministic)
+//! trace — same script + same seed ⇒ identical epochs, traces, and
+//! reports, on any thread count. A zero-fault script under any policy
+//! commits exactly the trace of a plain one-shot run, bit for bit
+//! (`tests/runtime_faults.rs` pins both properties).
+
+pub mod controller;
+pub mod fault;
+pub mod monitor;
+
+pub use controller::{run, Epoch, Policy, RuntimeParams, RuntimeReport};
+pub use fault::{Fault, FaultScript};
+pub use monitor::{Monitor, MonitorConfig, Signal};

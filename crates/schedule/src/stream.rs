@@ -88,6 +88,60 @@ impl ScheduleStream {
         self
     }
 
+    /// Fast-forwards this (fresh) stream to the state immediately
+    /// after the wave-boundary backward: ops are generated and
+    /// discarded until the backward (or fused task) of `mb` — the last
+    /// minibatch of `wave` — and the [`ScheduleOp::Push`] of `wave`
+    /// that follows it on decorated stages have been emitted. The next
+    /// op pulled from the resumed stream is therefore exactly the op a
+    /// fresh stream would emit after that point: the resumed sequence
+    /// *is* the tail of a fresh stream, which is what lets a re-planned
+    /// executor splice a continuation at a wave boundary without
+    /// re-deriving mid-stream state (`tests/runtime_faults.rs` /
+    /// the stream tests pin the tail equality).
+    ///
+    /// `mb = 0` (before wave 0) returns the stream unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mb` is not the last minibatch of `wave`, or if the
+    /// stream has already emitted ops.
+    pub fn resume_from(mut self, wave: u64, mb: u64) -> Self {
+        assert!(
+            self.fwd_emitted == 0 && self.bwd_emitted == 0 && self.pending.is_empty(),
+            "resume_from requires a fresh stream"
+        );
+        if mb == 0 {
+            return self;
+        }
+        assert_eq!(
+            mb,
+            self.wsp.last_of_wave(wave),
+            "splices happen at wave boundaries"
+        );
+        // Discard popped ops (not generated state: `refill` batches a
+        // whole emission group into `pending`, so `bwd_emitted` runs
+        // ahead of what has actually been pulled).
+        loop {
+            match self.next() {
+                Some(ScheduleOp::Backward { mb: m }) | Some(ScheduleOp::FusedFwdBwd { mb: m })
+                    if m == mb =>
+                {
+                    break
+                }
+                Some(_) => {}
+                None => unreachable!("schedule streams are infinite"),
+            }
+        }
+        // Drain the rest of the boundary minibatch's emission group:
+        // the wave push (decorated stages) sits in `pending` right
+        // behind the backward that closed it.
+        while matches!(self.pending.front(), Some(ScheduleOp::Push { wave: w }) if *w <= wave) {
+            self.pending.pop_front();
+        }
+        self
+    }
+
     /// Emits the gate for `p`'s required wave (once per wave) ahead of
     /// the forward of `p`.
     fn gate_before_forward(&mut self, p: u64) {
@@ -571,6 +625,59 @@ impl GpuStream {
         }
         self
     }
+
+    /// Fast-forwards this composite stream to the state immediately
+    /// after the wave-boundary backward of `mb` (the last minibatch of
+    /// `wave`): ops are pulled and discarded until *every* co-located
+    /// chunk of this GPU has emitted its backward of `mb`, plus the
+    /// [`ScheduleOp::Push`] of `wave` on GPU 0 (which hosts virtual
+    /// stage 0). The next op pulled is exactly what a fresh stream
+    /// would emit after that point — the per-GPU form of
+    /// [`ScheduleStream::resume_from`], and the stream-level
+    /// prerequisite for splicing a re-planned continuation at a wave
+    /// boundary.
+    ///
+    /// Works on standalone handles and on [`GpuStream::shared_set`]
+    /// members alike (resume every member of a shared set, in any
+    /// order: each handle discards only its own queue, and the shared
+    /// timetable advances once). `mb = 0` returns the stream
+    /// unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mb` is not the last minibatch of `wave`.
+    pub fn resume_from(mut self, wave: u64, mb: u64) -> Self {
+        if mb == 0 {
+            return self;
+        }
+        let (gpus, chunks) = {
+            let t = self.shared.lock().expect("timetable lock");
+            assert_eq!(
+                mb,
+                t.wsp.last_of_wave(wave),
+                "splices happen at wave boundaries"
+            );
+            (t.gpus, t.chunks)
+        };
+        let mut done = vec![0u64; chunks];
+        while done.iter().any(|&m| m < mb) {
+            let gop = self.next().expect("streams are infinite");
+            if let ScheduleOp::Backward { mb: m } = gop.op {
+                done[gop.stage / gpus] = m;
+            }
+        }
+        // The boundary wave's push is queued directly behind stage 0's
+        // backward; consume it so the resumed stream starts clean.
+        let mut t = self.shared.lock().expect("timetable lock");
+        while matches!(
+            t.queues[self.gpu].front(),
+            Some(GpuOp { op: ScheduleOp::Push { wave: w }, .. }) if *w <= wave
+        ) {
+            t.queues[self.gpu].pop_front();
+        }
+        drop(t);
+        self
+    }
 }
 
 impl Iterator for GpuStream {
@@ -735,6 +842,156 @@ mod tests {
             .take(20)
             .collect();
         assert!(got.iter().all(|o| !matches!(o, Recompute { .. })));
+    }
+
+    #[test]
+    fn resumed_stream_equals_tail_of_fresh() {
+        // The splice prerequisite: resume_from(wave, mb) must continue
+        // exactly where a fresh stream stands after emitting mb's
+        // backward (and the wave push on decorated stages) — for every
+        // base pattern, decorated and not.
+        for pattern in [
+            BasePattern::FillDrain,
+            BasePattern::Interleave { warmup: 3 },
+            BasePattern::Fused,
+        ] {
+            for stage in [0usize, 2] {
+                for recompute in [RecomputePolicy::None, RecomputePolicy::BoundaryOnly] {
+                    let wsp = WspParams::new(3, 1);
+                    let mk = || {
+                        ScheduleStream::new(pattern, stage, wsp).with_recompute(
+                            if pattern == BasePattern::Fused {
+                                RecomputePolicy::None
+                            } else {
+                                recompute
+                            },
+                        )
+                    };
+                    let (wave, mb) = (1u64, wsp.last_of_wave(1));
+                    let fresh: Vec<ScheduleOp> = mk().take(120).collect();
+                    // The cut point: right after Backward/Fused{mb} and
+                    // any immediately-following wave push.
+                    let bwd_at = fresh
+                        .iter()
+                        .position(|o| {
+                            matches!(o,
+                                ScheduleOp::Backward { mb: m }
+                                | ScheduleOp::FusedFwdBwd { mb: m } if *m == mb)
+                        })
+                        .expect("boundary backward in prefix");
+                    let mut cut = bwd_at + 1;
+                    while matches!(fresh.get(cut), Some(ScheduleOp::Push { .. })) {
+                        cut += 1;
+                    }
+                    let tail: Vec<ScheduleOp> = fresh[cut..].to_vec();
+                    let resumed: Vec<ScheduleOp> =
+                        mk().resume_from(wave, mb).take(tail.len()).collect();
+                    assert_eq!(
+                        resumed, tail,
+                        "{pattern:?} stage {stage} {recompute}: resumed != fresh tail"
+                    );
+                }
+            }
+        }
+        // mb = 0 is the identity.
+        let wsp = WspParams::new(4, 0);
+        let a: Vec<ScheduleOp> = ScheduleStream::new(BasePattern::FillDrain, 0, wsp)
+            .resume_from(0, 0)
+            .take(20)
+            .collect();
+        let b: Vec<ScheduleOp> = ScheduleStream::new(BasePattern::FillDrain, 0, wsp)
+            .take(20)
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn resumed_gpu_stream_equals_tail_of_fresh() {
+        // Per-GPU form: after resume_from(wave, mb), each handle's op
+        // sequence equals the fresh stream's tail past the point where
+        // all of the GPU's chunks emitted Backward{mb} (plus the wave
+        // push on GPU 0). Checked per GPU across chunk counts and
+        // recompute, for standalone handles.
+        for chunks in [1usize, 2, 3] {
+            for gpus in [1usize, 2, 4] {
+                let wsp = WspParams::new(3, 0);
+                let k = chunks * gpus;
+                let caps: Vec<u64> = (0..k).map(|s| (wsp.nm.min(k - s)) as u64).collect();
+                let (wave, mb) = (1u64, wsp.last_of_wave(1));
+                for gpu in 0..gpus {
+                    let fresh: Vec<GpuOp> = GpuStream::new(gpu, gpus, chunks, wsp, caps.clone())
+                        .take(400)
+                        .collect();
+                    let mut done = vec![0u64; chunks];
+                    let mut cut = 0;
+                    for (i, gop) in fresh.iter().enumerate() {
+                        if let ScheduleOp::Backward { mb: m } = gop.op {
+                            done[gop.stage / gpus] = m;
+                        }
+                        if done.iter().all(|&m| m >= mb) {
+                            cut = i + 1;
+                            break;
+                        }
+                    }
+                    assert!(cut > 0, "prefix long enough to cross the boundary");
+                    while matches!(
+                        fresh.get(cut),
+                        Some(GpuOp {
+                            op: ScheduleOp::Push { .. },
+                            ..
+                        })
+                    ) {
+                        cut += 1;
+                    }
+                    let tail: Vec<GpuOp> = fresh[cut..cut + 100].to_vec();
+                    let resumed: Vec<GpuOp> = GpuStream::new(gpu, gpus, chunks, wsp, caps.clone())
+                        .resume_from(wave, mb)
+                        .take(100)
+                        .collect();
+                    assert_eq!(
+                        resumed, tail,
+                        "chunks={chunks} gpus={gpus} gpu={gpu}: resumed != fresh tail"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_resume_from_zero_is_identity() {
+        let wsp = WspParams::new(4, 0);
+        let caps = vec![4, 3, 2, 1];
+        let a: Vec<GpuOp> = GpuStream::new(1, 2, 2, wsp, caps.clone())
+            .resume_from(0, 0)
+            .take(40)
+            .collect();
+        let b: Vec<GpuOp> = GpuStream::new(1, 2, 2, wsp, caps).take(40).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn resumed_shared_set_matches_standalone_resume() {
+        // Resuming every member of a shared set must leave each handle
+        // emitting exactly what its standalone resumed counterpart
+        // does — the shared timetable advances once, queues buffer.
+        let (gpus, chunks) = (4usize, 2usize);
+        let wsp = WspParams::new(4, 0);
+        let k = chunks * gpus;
+        let caps: Vec<u64> = (0..k).map(|s| (wsp.nm.min(k - s)) as u64).collect();
+        let (wave, mb) = (0u64, wsp.last_of_wave(0));
+        let shared: Vec<GpuStream> =
+            GpuStream::shared_set(gpus, chunks, wsp, caps.clone(), vec![false; k])
+                .into_iter()
+                .map(|s| s.resume_from(wave, mb))
+                .collect();
+        for (g, mut stream) in shared.into_iter().enumerate() {
+            let want: Vec<GpuOp> = GpuStream::new(g, gpus, chunks, wsp, caps.clone())
+                .resume_from(wave, mb)
+                .take(80)
+                .collect();
+            let got: Vec<GpuOp> = (0..80).map(|_| stream.next().unwrap()).collect();
+            assert_eq!(got, want, "gpu {g}");
+        }
     }
 
     #[test]

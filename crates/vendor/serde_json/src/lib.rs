@@ -275,6 +275,205 @@ pub fn to_string_pretty<T: Into<Value> + Clone>(value: &T) -> Result<String, fmt
     Ok(s)
 }
 
+/// Why a JSON document failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+    /// Byte offset of the failure.
+    pub offset: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a JSON document into a [`Value`] tree — the deserialization
+/// half of the vendored surface (fault scripts and other small config
+/// documents read this way). Standard JSON: objects, arrays, strings
+/// with `\uXXXX` escapes, numbers, booleans, null; trailing garbage is
+/// an error.
+pub fn from_str(s: &str) -> Result<Value, ParseError> {
+    let bytes = s.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos, 0)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(err("trailing characters", pos));
+    }
+    Ok(value)
+}
+
+fn err(message: &str, offset: usize) -> ParseError {
+    ParseError {
+        message: message.into(),
+        offset,
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), ParseError> {
+    if b.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(err(&format!("expected '{}'", c as char), *pos))
+    }
+}
+
+/// Nesting bound: recursion is per-level, so a depth cap turns what
+/// would be a stack overflow on adversarial input (100k `[`s) into a
+/// proper [`ParseError`]. Far above any document this shim reads.
+const MAX_DEPTH: usize = 128;
+
+fn parse_value(b: &[u8], pos: &mut usize, depth: usize) -> Result<Value, ParseError> {
+    if depth > MAX_DEPTH {
+        return Err(err("nesting too deep", *pos));
+    }
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err(err("unexpected end of input", *pos)),
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = Map::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(map));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, b':')?;
+                let value = parse_value(b, pos, depth + 1)?;
+                map.insert(key, value);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(map));
+                    }
+                    _ => return Err(err("expected ',' or '}'", *pos)),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_value(b, pos, depth + 1)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(err("expected ',' or ']'", *pos)),
+                }
+            }
+        }
+        Some(b'"') => Ok(Value::String(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Value::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Value::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Value::Null),
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, value: Value) -> Result<Value, ParseError> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(err(&format!("expected '{lit}'"), *pos))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, ParseError> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && matches!(b[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-') {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| err("invalid utf-8", start))?;
+    text.parse::<f64>()
+        .map(Value::Number)
+        .map_err(|_| err("invalid number", start))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, ParseError> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err(err("unterminated string", *pos)),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{0008}'),
+                    Some(b'f') => out.push('\u{000C}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| err("truncated \\u escape", *pos))?;
+                        let hex =
+                            std::str::from_utf8(hex).map_err(|_| err("invalid utf-8", *pos))?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| err("invalid \\u escape", *pos))?;
+                        // Surrogates degrade to the replacement char;
+                        // the documents this shim reads are ASCII.
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(err("invalid escape", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Copy the full UTF-8 scalar starting here.
+                let tail =
+                    std::str::from_utf8(&b[*pos..]).map_err(|_| err("invalid utf-8", *pos))?;
+                let c = tail.chars().next().unwrap();
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
 /// Builds a [`Value`] from JSON-looking syntax, mirroring
 /// `serde_json::json!` for the object / array / expression forms.
 /// Object values may be arbitrary expressions (commas inside
@@ -383,5 +582,46 @@ mod tests {
     fn non_finite_numbers_degrade_to_null() {
         assert_eq!(json!(f64::NAN).to_string(), "null");
         assert_eq!(json!(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn parse_roundtrips_serialized_values() {
+        let v = json!({
+            "name": "canonical-straggler",
+            "faults": vec![
+                json!({"kind": "gpu-slowdown", "gpu": 1u32, "factor": 1.3f64, "from": 5.0f64}),
+                json!({"kind": "gpu-loss", "gpu": 2u32, "at": 10.0f64}),
+            ],
+            "none": Value::Null,
+            "flag": true,
+        });
+        for text in [v.to_string(), to_string_pretty(&v).unwrap()] {
+            let parsed = from_str(&text).expect("round-trip parses");
+            assert_eq!(parsed, v, "round-trip of {text}");
+        }
+    }
+
+    #[test]
+    fn parse_escapes_and_errors() {
+        let v = from_str(r#"{"a": "x\n\"yA", "b": [1, -2.5e1, null]}"#).unwrap();
+        let Value::Object(map) = &v else { panic!() };
+        assert_eq!(map.get("a"), Some(&Value::String("x\n\"yA".into())));
+        assert_eq!(
+            map.get("b"),
+            Some(&Value::Array(vec![
+                Value::Number(1.0),
+                Value::Number(-25.0),
+                Value::Null
+            ]))
+        );
+        assert!(from_str("{\"a\": }").is_err());
+        assert!(from_str("[1, 2").is_err());
+        assert!(from_str("true false").is_err());
+        assert!(from_str("").is_err());
+        // Nesting past the depth cap is a ParseError, not a stack
+        // overflow.
+        let deep = "[".repeat(100_000);
+        let e = from_str(&deep).unwrap_err();
+        assert!(e.message.contains("nesting"), "{e}");
     }
 }

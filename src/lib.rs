@@ -21,6 +21,12 @@
 //! - [`train`] — a real (threaded, lock-based) WSP/SSP/BSP/ASP parameter
 //!   server and SGD trainer used for convergence experiments.
 //!
+//! - [`runtime`] — fault-aware *dynamic* execution: deterministic
+//!   fault/straggler injection scripts, a trace-fed runtime monitor
+//!   (per-stage EWMA of observed vs planned durations), and reactive
+//!   policies — `SkipStraggler` (bounded composite-stream reorder)
+//!   and `Replan` (live re-partitioning from observed costs, spliced
+//!   at wave boundaries with per-epoch occupancy audits).
 //! - [`schedule`] — pluggable static pipeline schedules (the paper's
 //!   wave schedule, GPipe fill-drain, PipeDream 1F1B, interleaved
 //!   1F1B) reified as per-stage op streams, with per-schedule peak
@@ -92,6 +98,7 @@ pub use hetpipe_core as core;
 pub use hetpipe_des as des;
 pub use hetpipe_model as model;
 pub use hetpipe_partition as partition;
+pub use hetpipe_runtime as runtime;
 pub use hetpipe_schedule as schedule;
 pub use hetpipe_train as train;
 
