@@ -114,6 +114,7 @@ fn main() {
                     policy,
                     monitor: MonitorConfig::default(),
                     max_reactions: 8,
+                    planner: None,
                 },
                 horizon,
             );

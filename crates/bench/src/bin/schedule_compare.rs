@@ -205,6 +205,7 @@ fn main() {
                                         policy: Policy::Static,
                                         monitor: MonitorConfig::default(),
                                         max_reactions: 0,
+                                        planner: None,
                                     },
                                     horizon,
                                 );

@@ -27,6 +27,10 @@
 //! - [`system`] — end-to-end assembly and simulation entry point.
 //! - [`metrics`] — throughput, per-GPU utilization, waiting vs true
 //!   idle time (Section 8.4), and traffic split.
+//! - [`plankey`] — process-stable model/cluster fingerprints, the
+//!   public [`plankey::RefineKey`] planning-instance identity, and the
+//!   sharded concurrent memo cache shared by the order-search refine
+//!   pass and the `hetpipe-plansvc` plan cache.
 //! - [`convergence`] — composition of simulated throughput with
 //!   accuracy-per-update curves into accuracy-vs-time series
 //!   (Figures 5 and 6).
@@ -37,6 +41,7 @@ pub mod convergence;
 pub mod exec;
 pub mod golden;
 pub mod metrics;
+pub mod plankey;
 pub mod pserver;
 pub mod sync;
 pub mod system;
@@ -47,6 +52,7 @@ pub use audit::OccupancyAudit;
 pub use exec::{RateEvent, RateTarget, SegmentOpts};
 pub use hetpipe_schedule::{PipelineSchedule, RecomputePolicy, Schedule};
 pub use metrics::SystemReport;
+pub use plankey::{cluster_fingerprint, graph_fingerprint, RefineKey, ShardedCache};
 pub use pserver::Placement;
 pub use sync::{SyncModel, WspParams};
 pub use system::{replan_vw_from_observed, BuildError, HetPipeSystem, SystemConfig};

@@ -9,6 +9,7 @@
 use crate::alloc::{AllocError, AllocationPolicy};
 use crate::exec::{self, ExecParams};
 use crate::metrics::SystemReport;
+use crate::plankey;
 use crate::pserver::{Placement, ShardMap};
 use crate::sync::WspParams;
 use crate::vw::VirtualWorker;
@@ -120,122 +121,36 @@ impl From<AllocError> for BuildError {
 /// spread), small enough to keep `build` cheap.
 const ORDER_REFINE_CANDIDATES: usize = 6;
 
-/// Everything that determines a refine candidate's simulated
-/// standalone rate: the kind-order (GPU kinds of the expanded stage
-/// list), the node co-location pattern (canonicalized to
-/// first-occurrence ranks — it decides PCIe-vs-InfiniBand links and
-/// shard-transfer locality), the candidate `Nm`, the placement /
-/// schedule / recompute / staleness / sync-transfer configuration,
-/// and a model fingerprint. Two candidates with equal keys simulate
-/// identically, so the refine pass memoizes on this key — on big
-/// clusters most virtual workers are kind-identical (e.g. every ED
-/// group), and repeated `build` calls re-rank the same leaders, so
-/// the second pass was re-simulating the same handful of candidates
-/// over and over.
-#[derive(Clone, PartialEq, Eq, Hash)]
-struct RefineKey {
-    kinds: Vec<&'static str>,
-    node_pattern: Vec<usize>,
-    /// Cluster shape: the round-robin default shard placement spreads
-    /// over `node_count()` nodes, so the same candidate on a
-    /// different-shaped cluster is a different simulation.
-    cluster_shape: (usize, usize),
-    nm: usize,
-    placement: Placement,
-    schedule: Schedule,
-    recompute: RecomputePolicy,
-    staleness_bound: usize,
-    sync_transfers: bool,
-    /// Per-layer model fingerprint (FNV over every layer's bytes,
-    /// flops, and kernel counts) plus the batch size — totals alone
-    /// would let two models with equal sums collide.
-    graph: (usize, u64),
-}
-
-/// FNV-1a over every layer's cost-relevant fields: two models that
-/// hash equal simulate equal (up to astronomically unlikely
-/// collisions), two models differing in any per-layer profile hash
-/// apart.
-fn graph_fingerprint(graph: &ModelGraph) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    let mut mix = |v: u64| {
-        h ^= v;
-        h = h.wrapping_mul(0x100000001b3);
-    };
-    mix(graph.batch_size as u64);
-    for l in graph.layers() {
-        mix(l.param_bytes);
-        mix(l.stored_bytes);
-        mix(l.activation_bytes);
-        mix(l.membound_bytes);
-        mix(l.kernels as u64);
-        mix(l.fwd_flops.to_bits());
-        mix(l.bwd_flops.to_bits());
-    }
-    h
-}
-
-impl RefineKey {
-    fn new(
-        cluster: &Cluster,
-        graph: &ModelGraph,
-        devices: &[DeviceId],
-        nm: usize,
-        config: &SystemConfig,
-    ) -> RefineKey {
-        // Node layout. Under ED-style *local* shard placement, only
-        // the co-location pattern matters (it decides the links and
-        // every shard sits on its stage's own node), so nodes are
-        // canonicalized to first-appearance ranks and kind-identical
-        // VWs on different nodes share a memo entry. Under the
-        // round-robin *default* placement the absolute nodes decide
-        // which shard transfers stay on-node, so they key verbatim.
-        let node_pattern = match config.placement {
-            Placement::Local => {
-                let mut seen: Vec<hetpipe_cluster::NodeId> = Vec::new();
-                devices
-                    .iter()
-                    .map(|&d| {
-                        let node = cluster.node_of(d);
-                        match seen.iter().position(|&n| n == node) {
-                            Some(rank) => rank,
-                            None => {
-                                seen.push(node);
-                                seen.len() - 1
-                            }
-                        }
-                    })
-                    .collect()
-            }
-            Placement::Default => devices.iter().map(|&d| cluster.node_of(d).0).collect(),
-        };
-        RefineKey {
-            kinds: devices.iter().map(|&d| cluster.spec_of(d).name).collect(),
-            node_pattern,
-            cluster_shape: (cluster.node_count(), cluster.device_count()),
-            nm,
-            placement: config.placement,
-            schedule: config.schedule,
-            recompute: config.recompute,
-            staleness_bound: config.staleness_bound,
-            sync_transfers: config.sync_transfers,
-            graph: (graph.len(), graph_fingerprint(graph)),
-        }
-    }
-}
-
-thread_local! {
-    /// Refine-pass memo, persistent across `build` calls on this
-    /// thread (bounded: cleared wholesale if it ever grows past a few
-    /// thousand entries — sweeps over many models stay well under).
-    static REFINE_CACHE: std::cell::RefCell<std::collections::HashMap<RefineKey, Option<f64>>> =
-        std::cell::RefCell::new(std::collections::HashMap::new());
-}
+/// Refine-pass memo, shared by *every* thread in the process —
+/// `search_orders_par`'s scoped workers and repeated `build` calls
+/// on any thread all hit the same entries. (The previous thread-local
+/// memo left each scoped worker with an empty map, so kind-identical
+/// VW refinements re-simulated once per thread.) Keyed by the public
+/// [`plankey::RefineKey`]; bounded the same blunt way the thread-local
+/// was (shard-wise wholesale clear at capacity).
+static REFINE_CACHE: std::sync::LazyLock<plankey::ShardedCache<plankey::RefineKey, Option<f64>>> =
+    std::sync::LazyLock::new(|| plankey::ShardedCache::new(REFINE_CACHE_CAP));
 
 /// Maximum entries retained in the refine memo.
 const REFINE_CACHE_CAP: usize = 4096;
 
-/// [`simulate_standalone_rate`], memoized by [`RefineKey`].
+#[cfg(test)]
+thread_local! {
+    /// Per-thread (hits, misses) observed by `memoized_standalone_rate`
+    /// on *this* thread — test instrumentation only. The cache itself
+    /// is global and other tests run in parallel against it, so tests
+    /// must assert on their own thread's traffic, not on global
+    /// counters or cache length.
+    static REFINE_STATS: std::cell::Cell<(u64, u64)> = const { std::cell::Cell::new((0, 0)) };
+}
+
+#[cfg(test)]
+fn refine_stats_take() -> (u64, u64) {
+    REFINE_STATS.with(|s| s.replace((0, 0)))
+}
+
+/// [`simulate_standalone_rate`], memoized by [`plankey::RefineKey`] in
+/// the process-wide [`REFINE_CACHE`].
 fn memoized_standalone_rate(
     cluster: &Cluster,
     graph: &ModelGraph,
@@ -243,30 +158,23 @@ fn memoized_standalone_rate(
     nm: usize,
     config: &SystemConfig,
 ) -> Option<f64> {
-    let key = RefineKey::new(cluster, graph, devices, nm, config);
-    if let Some(hit) = REFINE_CACHE.with(|c| c.borrow().get(&key).copied()) {
+    let key = plankey::RefineKey::new(cluster, graph, devices, nm, config);
+    if let Some(hit) = REFINE_CACHE.get(&key) {
+        #[cfg(test)]
+        REFINE_STATS.with(|s| {
+            let (h, m) = s.get();
+            s.set((h + 1, m));
+        });
         return hit;
     }
-    let rate = simulate_standalone_rate(cluster, graph, devices, nm, config);
-    REFINE_CACHE.with(|c| {
-        let mut cache = c.borrow_mut();
-        if cache.len() >= REFINE_CACHE_CAP {
-            cache.clear();
-        }
-        cache.insert(key, rate);
+    #[cfg(test)]
+    REFINE_STATS.with(|s| {
+        let (h, m) = s.get();
+        s.set((h, m + 1));
     });
+    let rate = simulate_standalone_rate(cluster, graph, devices, nm, config);
+    REFINE_CACHE.insert(key, rate);
     rate
-}
-
-/// Number of memoized refine candidates on this thread (test hook).
-#[cfg(test)]
-fn refine_cache_len() -> usize {
-    REFINE_CACHE.with(|c| c.borrow().len())
-}
-
-#[cfg(test)]
-fn refine_cache_clear() {
-    REFINE_CACHE.with(|c| c.borrow_mut().clear());
 }
 
 /// Simulated steady-state rate (minibatches/sec past warm-up) of one
@@ -833,32 +741,74 @@ mod tests {
         // same co-location pattern), so the simulation-refined second
         // pass must run its handful of candidate simulations ONCE and
         // share them across all four VWs — and a repeated build must
-        // add no new entries at all.
+        // simulate nothing at all. The cache is process-global and
+        // other tests run concurrently against it, so assertions use
+        // this thread's own hit/miss stats (`refine_stats_take`) and a
+        // staleness bound no other test uses (part of the RefineKey),
+        // keeping the observed keys private to this test.
         let cluster = Cluster::paper_testbed();
         let graph = hetpipe_model::resnet152(32);
         let config = SystemConfig {
             order_search: true,
-            ..cfg(AllocationPolicy::EqualDistribution, Placement::Local, 0)
+            ..cfg(AllocationPolicy::EqualDistribution, Placement::Local, 7)
         };
-        refine_cache_clear();
+        refine_stats_take();
         let first = HetPipeSystem::build(&cluster, &graph, &config).unwrap();
-        let after_first = refine_cache_len();
+        let (hits, misses) = refine_stats_take();
         assert!(
-            after_first > 0 && after_first <= ORDER_REFINE_CANDIDATES,
-            "4 kind-identical VWs must share one refine set, got {after_first} entries"
+            misses > 0 && misses <= ORDER_REFINE_CANDIDATES as u64,
+            "4 kind-identical VWs must share one refine set, got {misses} simulations"
+        );
+        assert!(
+            hits >= 3 * misses,
+            "the other three VWs must reuse the leader set ({hits} hits / {misses} misses)"
         );
         let second = HetPipeSystem::build(&cluster, &graph, &config).unwrap();
-        assert_eq!(
-            refine_cache_len(),
-            after_first,
-            "a repeated build must be fully memoized"
-        );
+        let (_, misses2) = refine_stats_take();
+        assert_eq!(misses2, 0, "a repeated build must be fully memoized");
         // Memoization must not change the outcome.
         for (a, b) in first.virtual_workers().iter().zip(second.virtual_workers()) {
             assert_eq!(a.devices, b.devices);
             assert_eq!(a.plan.ranges, b.plan.ranges);
         }
         assert_eq!(first.nm(), second.nm());
+    }
+
+    #[test]
+    fn refine_memo_is_shared_across_threads() {
+        // The satellite pin for the old thread-local REFINE_CACHE bug:
+        // a build on a *different* thread must hit the entries this
+        // thread populated (previously each thread started cold).
+        // Staleness bound 9 keeps the keys private to this test.
+        let cluster = Cluster::paper_testbed();
+        let graph = hetpipe_model::vgg19(32);
+        let config = SystemConfig {
+            order_search: true,
+            ..cfg(AllocationPolicy::EqualDistribution, Placement::Local, 9)
+        };
+        refine_stats_take();
+        let first = HetPipeSystem::build(&cluster, &graph, &config).unwrap();
+        let (_, misses) = refine_stats_take();
+        assert!(misses > 0, "first build must populate the memo");
+        let (worker_stats, second) = std::thread::scope(|s| {
+            s.spawn(|| {
+                refine_stats_take();
+                let sys = HetPipeSystem::build(&cluster, &graph, &config).unwrap();
+                (refine_stats_take(), sys)
+            })
+            .join()
+            .unwrap()
+        });
+        let (worker_hits, worker_misses) = worker_stats;
+        assert_eq!(
+            worker_misses, 0,
+            "cross-thread build must hit the shared memo"
+        );
+        assert!(worker_hits > 0, "cross-thread build must consult the memo");
+        for (a, b) in first.virtual_workers().iter().zip(second.virtual_workers()) {
+            assert_eq!(a.devices, b.devices);
+            assert_eq!(a.plan.ranges, b.plan.ranges);
+        }
     }
 
     #[test]

@@ -1,0 +1,270 @@
+//! The sequence-versioned plan cache and its warm-start neighbor index.
+//!
+//! Built on [`hetpipe_core::plankey::ShardedCache`]: all reads and
+//! writes of one [`PlanKey`] serialize on its shard lock, and the
+//! publish/insert primitives below layer the `MatchSeq`-style
+//! monotonic-sequence protocol on top of that atomicity (see the
+//! crate-level docs for the protocol statement).
+
+use hetpipe_cluster::DeviceId;
+use hetpipe_core::plankey::ShardedCache;
+use hetpipe_partition::PartitionPlan;
+use hetpipe_schedule::{RecomputePolicy, Schedule};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identity of one planning instance, by value: stable fingerprints
+/// for the model and cluster, the expanded stage-device list in
+/// pipeline order, `Nm`, schedule, recompute policy, and the observed
+/// per-stage derate vector (bit-exact, already normalized to ≥ 1.0).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// [`hetpipe_core::plankey::graph_fingerprint`] of the model.
+    pub model_fp: u64,
+    /// [`hetpipe_core::plankey::cluster_fingerprint`] of the cluster.
+    pub cluster_fp: u64,
+    /// Expanded virtual-stage device list in pipeline order.
+    pub devices: Vec<DeviceId>,
+    /// Concurrent minibatches.
+    pub nm: usize,
+    /// Pipeline schedule.
+    pub schedule: Schedule,
+    /// Recomputation policy.
+    pub recompute: RecomputePolicy,
+    /// `f64::to_bits` of each stage's normalized derate (length =
+    /// `devices.len()`; all-nominal is a vector of `1.0f64.to_bits()`).
+    pub derate_bits: Vec<u64>,
+}
+
+impl PlanKey {
+    /// The key's warm-start family: every instance sharing model,
+    /// cluster, devices, schedule, and recompute — any `Nm` or derate
+    /// vector. Family members share the stage count, so any member's
+    /// plan is a shape-compatible incumbent for any other.
+    fn family(&self) -> FamilyKey {
+        FamilyKey {
+            model_fp: self.model_fp,
+            cluster_fp: self.cluster_fp,
+            devices: self.devices.clone(),
+            schedule: self.schedule,
+            recompute: self.recompute,
+        }
+    }
+}
+
+/// Neighbor-index key: [`PlanKey`] minus `nm` and `derate_bits`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct FamilyKey {
+    model_fp: u64,
+    cluster_fp: u64,
+    devices: Vec<DeviceId>,
+    schedule: Schedule,
+    recompute: RecomputePolicy,
+}
+
+/// One cached plan with its `MatchSeq`-style version.
+#[derive(Debug, Clone)]
+pub struct CachedPlan {
+    /// Monotonic per-key sequence: 1 on first insert, +1 per publish.
+    pub seq: u64,
+    /// The solved partition (bit-identical to a cold solve).
+    pub plan: PartitionPlan,
+    /// Plan cost: bottleneck seconds.
+    pub cost: f64,
+}
+
+/// Neighbors remembered per family, most recent first.
+const FAMILY_NEIGHBOR_CAP: usize = 8;
+
+/// The plan cache: a sharded `PlanKey → CachedPlan` map plus the
+/// family neighbor index used to seed warm starts on misses.
+#[derive(Debug)]
+pub struct PlanCache {
+    entries: ShardedCache<PlanKey, CachedPlan>,
+    families: ShardedCache<FamilyKey, Vec<PlanKey>>,
+    publishes: AtomicU64,
+}
+
+impl PlanCache {
+    /// Creates a cache bounded at roughly `capacity` plans.
+    pub fn new(capacity: usize) -> PlanCache {
+        PlanCache {
+            entries: ShardedCache::new(capacity),
+            families: ShardedCache::new(capacity),
+            publishes: AtomicU64::new(0),
+        }
+    }
+
+    /// Looks up the current entry for `key` (counts hit/miss).
+    pub fn get(&self, key: &PlanKey) -> Option<CachedPlan> {
+        self.entries.get(key)
+    }
+
+    /// Publishes a replanned `key` with `seq = prior + 1` (or 1 when
+    /// the key was absent), atomically replacing any prior entry —
+    /// after this returns, no reader of `key` can be served an older
+    /// sequence.
+    pub fn publish(&self, key: &PlanKey, plan: PartitionPlan, cost: f64) -> CachedPlan {
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+        let entry = self.entries.update(key.clone(), |slot| {
+            let seq = slot.as_ref().map(|e| e.seq + 1).unwrap_or(1);
+            let entry = CachedPlan { seq, plan, cost };
+            *slot = Some(entry.clone());
+            entry
+        });
+        self.remember_family(key);
+        entry
+    }
+
+    /// Inserts a freshly solved query miss *unless* someone installed
+    /// an entry in the meantime — a racing publisher's newer plan is
+    /// never clobbered; the existing entry is returned instead.
+    /// Returns `(entry, fresh)` with `fresh = false` when the race was
+    /// lost (callers then serve the cached entry as a hit, keeping the
+    /// sequence guarantee).
+    pub fn insert_if_absent(
+        &self,
+        key: &PlanKey,
+        plan: PartitionPlan,
+        cost: f64,
+    ) -> (CachedPlan, bool) {
+        let (entry, fresh) = self.entries.update(key.clone(), |slot| match slot {
+            Some(existing) => (existing.clone(), false),
+            None => {
+                let entry = CachedPlan { seq: 1, plan, cost };
+                *slot = Some(entry.clone());
+                (entry, true)
+            }
+        });
+        if fresh {
+            self.remember_family(key);
+        }
+        (entry, fresh)
+    }
+
+    /// The most recently cached family neighbor of `key` (same model,
+    /// cluster, devices, schedule, recompute; different `Nm` or
+    /// derates) that still has a live cache entry — the warm-start
+    /// incumbent candidate for a miss on `key`.
+    pub fn neighbor(&self, key: &PlanKey) -> Option<CachedPlan> {
+        let siblings = self.families.get(&key.family())?;
+        siblings
+            .iter()
+            .filter(|k| *k != key)
+            .find_map(|k| self.entries.get(k))
+    }
+
+    fn remember_family(&self, key: &PlanKey) {
+        self.families.update(key.family(), |slot| {
+            let mut list = slot.take().unwrap_or_default();
+            list.retain(|k| k != key);
+            list.insert(0, key.clone());
+            list.truncate(FAMILY_NEIGHBOR_CAP);
+            *slot = Some(list);
+        });
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no plan is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drops every cached plan and neighbor link (counters persist).
+    pub fn clear(&self) {
+        self.entries.clear();
+        self.families.clear();
+    }
+
+    /// Lifetime entry-lookup hits.
+    pub fn hits(&self) -> u64 {
+        self.entries.hits()
+    }
+
+    /// Lifetime entry-lookup misses.
+    pub fn misses(&self) -> u64 {
+        self.entries.misses()
+    }
+
+    /// Lifetime publishes ([`PlanCache::publish`] calls).
+    pub fn publishes(&self) -> u64 {
+        self.publishes.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(nm: usize, derate: f64) -> PlanKey {
+        PlanKey {
+            model_fp: 0xabcd,
+            cluster_fp: 0x1234,
+            devices: vec![DeviceId(0), DeviceId(1)],
+            nm,
+            schedule: Schedule::HetPipeWave,
+            recompute: RecomputePolicy::None,
+            derate_bits: vec![derate.to_bits(); 2],
+        }
+    }
+
+    fn plan(bottleneck: f64) -> PartitionPlan {
+        PartitionPlan {
+            ranges: vec![0..1, 1..2],
+            stage_secs: vec![bottleneck, bottleneck / 2.0],
+            bottleneck_secs: bottleneck,
+        }
+    }
+
+    #[test]
+    fn publish_bumps_sequence_monotonically() {
+        let cache = PlanCache::new(1024);
+        let k = key(4, 1.0);
+        for expect in 1..=5u64 {
+            let e = cache.publish(&k, plan(0.1), 0.1);
+            assert_eq!(e.seq, expect);
+        }
+        assert_eq!(cache.get(&k).unwrap().seq, 5);
+        assert_eq!(cache.publishes(), 5);
+    }
+
+    #[test]
+    fn insert_if_absent_yields_to_published_entry() {
+        let cache = PlanCache::new(1024);
+        let k = key(4, 1.3);
+        // A publisher got there first (e.g. a replan racing a query).
+        cache.publish(&k, plan(0.2), 0.2);
+        cache.publish(&k, plan(0.3), 0.3);
+        let (entry, fresh) = cache.insert_if_absent(&k, plan(0.9), 0.9);
+        assert!(!fresh, "a lost race must not clobber the newer entry");
+        assert_eq!(entry.seq, 2);
+        assert_eq!(entry.cost, 0.3);
+        // Whereas a genuinely absent key inserts at seq 1.
+        let k2 = key(3, 1.3);
+        let (entry, fresh) = cache.insert_if_absent(&k2, plan(0.4), 0.4);
+        assert!(fresh);
+        assert_eq!(entry.seq, 1);
+    }
+
+    #[test]
+    fn neighbor_finds_family_members_most_recent_first() {
+        let cache = PlanCache::new(1024);
+        assert!(cache.neighbor(&key(4, 1.5)).is_none());
+        cache.publish(&key(4, 1.0), plan(0.1), 0.1);
+        cache.publish(&key(3, 1.0), plan(0.2), 0.2);
+        // Miss on a derated instance: the most recent family member
+        // (nm=3) seeds the warm start.
+        let n = cache.neighbor(&key(4, 1.5)).unwrap();
+        assert_eq!(n.cost, 0.2);
+        // A key is not its own neighbor.
+        let n = cache.neighbor(&key(3, 1.0)).unwrap();
+        assert_eq!(n.cost, 0.1);
+        // Different devices = different family.
+        let mut other = key(4, 1.0);
+        other.devices = vec![DeviceId(2), DeviceId(3)];
+        assert!(cache.neighbor(&other).is_none());
+    }
+}

@@ -1,0 +1,76 @@
+//! Planner-as-a-service: a concurrent, typed request/reply plan server
+//! over a sharded, sequence-versioned plan cache.
+//!
+//! PRs 4–5 made a single HetPipe partition solve cheap (tens of
+//! microseconds) and replans warm-startable, but every caller still
+//! linked the planner in-process and re-solved from scratch per run.
+//! This crate productizes the planning pipeline behind one concurrent
+//! API, the deployment shape PipeDream's offline profiler+optimizer
+//! takes toward production: a long-running [`PlanService`] answers
+//! "partition this model onto these (possibly derated) devices" for
+//! many clients at once, and fault-driven replans arrive as
+//! cache-invalidating *writes* rather than fresh cold solves.
+//!
+//! # Request/reply protocol
+//!
+//! A [`PlanRequest`] names the planning instance by value, not by
+//! reference: `model_fp` / `cluster_fp` are the process-stable
+//! FNV-1a fingerprints of [`hetpipe_core::plankey`] (registered up
+//! front in a [`Catalog`]), plus the expanded stage-device list, `Nm`,
+//! schedule, recompute policy, and the observed per-stage derate
+//! vector. The [`PlanReply`] carries the partition plan, its cost
+//! (bottleneck seconds), a per-key sequence number, and an honest
+//! [`Provenance`]:
+//!
+//! - [`Provenance::CacheHit`] — served verbatim from the cache;
+//!   bit-identical to the cold solve that populated it.
+//! - [`Provenance::WarmMiss`] — solved, but warm-started from a cached
+//!   neighbor via [`hetpipe_partition::PartitionSolver::solve_warm`];
+//!   claimed only when [`PartitionSolver::incumbent_bound_secs`]
+//!   confirms the incumbent actually yields a finite pruning bound
+//!   (answer-preserving, so the reply is still bit-identical to cold).
+//! - [`Provenance::Cold`] — solved from scratch.
+//!
+//! # Sequence numbers and invalidation (`MatchSeq`-style)
+//!
+//! Every cache entry carries a monotonic `seq`, starting at 1 and
+//! incremented by each [`PlanClient::replan`] publish. All reads and
+//! publishes of one key serialize on its cache shard's lock, which
+//! yields the coherence guarantee the runtime needs: **once a replan
+//! for a key has published `seq = n`, no reader of that key can ever
+//! be served a plan with `seq < n`** — a fault-era plan cannot
+//! resurface after recovery has replanned past it. Readers that cache
+//! replies locally compare `seq` to detect staleness. A racing
+//! query-miss that solved concurrently with a publish never clobbers
+//! the newer entry: its insert is an atomic insert-if-absent that
+//! yields to (and serves) whatever a concurrent publisher installed.
+//!
+//! # Warm-start neighbor policy
+//!
+//! A cache miss consults a neighbor index keyed by the request's
+//! *family* — same model and cluster fingerprints, same device list,
+//! schedule, and recompute policy, but any `Nm` or derate vector.
+//! The most recently cached family member whose plan admits a sound
+//! incumbent bound on the new instance seeds `solve_warm`, turning
+//! most misses into warm misses: a straggler replan warm-starts from
+//! the nominal plan, an `Nm` backoff warm-starts from the higher-`Nm`
+//! plan (memory is monotone in `Nm`, so the higher-`Nm` incumbent
+//! stays feasible). Family neighbors share the device list, hence the
+//! stage count, so the incumbent is always shape-compatible.
+//!
+//! # Execution model
+//!
+//! [`PlanService::start`] spawns a worker pool over an mpsc request
+//! queue; each [`PlanClient`] is a cheap clonable handle that resolves
+//! cache hits directly against the shared cache (no queue round-trip)
+//! and enqueues misses/replans as blocking request/reply jobs.
+//!
+//! [`PartitionSolver::incumbent_bound_secs`]: hetpipe_partition::PartitionSolver::incumbent_bound_secs
+
+pub mod cache;
+pub mod service;
+
+pub use cache::{CachedPlan, PlanCache, PlanKey};
+pub use service::{
+    Catalog, PlanClient, PlanError, PlanReply, PlanRequest, PlanService, Provenance,
+};

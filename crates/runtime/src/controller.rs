@@ -129,6 +129,14 @@ pub struct RuntimeParams<'a> {
     pub monitor: MonitorConfig,
     /// Reaction budget (backstop against pathological oscillation).
     pub max_reactions: usize,
+    /// When set, `Replan` reactions route through this plan-service
+    /// client ([`hetpipe_plansvc::PlanClient::replan`], published as a
+    /// cache-invalidating write) instead of solving in-process. The
+    /// service's warm starts are answer-preserving, so the spliced
+    /// plans are bit-identical either way; on service loss the
+    /// controller falls back to the in-process path. The service's
+    /// catalog must contain this run's model and cluster.
+    pub planner: Option<hetpipe_plansvc::PlanClient>,
 }
 
 /// One committed plan segment.
@@ -279,6 +287,9 @@ struct Controller<'a> {
     wave_offset: u64,
     reactions: usize,
     report: RuntimeReport,
+    /// `(model_fp, cluster_fp)` for service-routed replans; computed
+    /// once at construction when a planner client is attached.
+    plan_fps: Option<(u64, u64)>,
 }
 
 impl<'a> Controller<'a> {
@@ -305,6 +316,12 @@ impl<'a> Controller<'a> {
             final_vws: Vec::new(),
             final_nm: nm,
         };
+        let plan_fps = p.planner.as_ref().map(|_| {
+            (
+                hetpipe_core::plankey::graph_fingerprint(p.graph),
+                hetpipe_core::plankey::cluster_fingerprint(p.cluster),
+            )
+        });
         Controller {
             monitor,
             vws,
@@ -318,6 +335,7 @@ impl<'a> Controller<'a> {
             wave_offset: 0,
             reactions: 0,
             report,
+            plan_fps,
             p,
         }
     }
@@ -527,6 +545,53 @@ impl<'a> Controller<'a> {
         }
     }
 
+    /// One VW's replan attempt at `nm`: through the attached plan
+    /// service (published as a cache-invalidating write) when one is
+    /// configured, in-process otherwise. The service's warm start is
+    /// answer-preserving, so both paths return bit-identical plans for
+    /// the same observed costs; a partition error (infeasible `nm`)
+    /// surfaces either way so the caller can lower `nm`, while
+    /// service-transport failures (stopped service, stale catalog)
+    /// fall back to the in-process solve rather than killing the
+    /// reaction.
+    fn solve_replan(
+        &self,
+        i: usize,
+        expanded: &[DeviceId],
+        derate: &[f64],
+        nm: usize,
+    ) -> Result<hetpipe_partition::PartitionPlan, hetpipe_partition::PartitionError> {
+        if let (Some(client), Some((model_fp, cluster_fp))) = (&self.p.planner, self.plan_fps) {
+            let req = hetpipe_plansvc::PlanRequest {
+                model_fp,
+                cluster_fp,
+                devices: expanded.to_vec(),
+                nm,
+                schedule: self.p.schedule,
+                recompute: self.p.recompute,
+                observed_derates: derate.to_vec(),
+            };
+            match client.replan(&req) {
+                Ok(reply) => return Ok(reply.plan),
+                Err(hetpipe_plansvc::PlanError::Partition(e)) => return Err(e),
+                // Service gone or misconfigured: degrade to in-process.
+                Err(_) => {}
+            }
+        }
+        let incumbent = (self.vws[i].devices == expanded && self.vws[i].nm == nm)
+            .then(|| self.vws[i].plan.ranges.clone());
+        replan_vw_from_observed(
+            self.p.cluster,
+            self.p.graph,
+            expanded,
+            derate,
+            nm,
+            self.p.schedule,
+            self.p.recompute,
+            incumbent.as_deref(),
+        )
+    }
+
     /// Rebuilds every VW's plan from observed costs and surviving
     /// GPUs, lowering the common `Nm` only when the shrunk pipeline
     /// demands it. On total failure the old configuration is kept
@@ -557,18 +622,7 @@ impl<'a> Controller<'a> {
                     .iter()
                     .map(|d| self.applied_dev.get(&(i, *d)).copied().unwrap_or(1.0))
                     .collect();
-                let incumbent = (self.vws[i].devices == expanded && self.vws[i].nm == nm)
-                    .then(|| self.vws[i].plan.ranges.clone());
-                let plan = replan_vw_from_observed(
-                    self.p.cluster,
-                    self.p.graph,
-                    &expanded,
-                    &derate,
-                    nm,
-                    schedule,
-                    self.p.recompute,
-                    incumbent.as_deref(),
-                );
+                let plan = self.solve_replan(i, &expanded, &derate, nm);
                 match plan {
                     Ok(plan) => new_vws.push(VirtualWorker {
                         index: i,

@@ -21,7 +21,12 @@
 //!   composite per-GPU streams), and [`Policy::Replan`] (re-run the
 //!   fast planner with observed costs and surviving GPUs —
 //!   warm-started from the incumbent plan — and splice the new plan
-//!   at a wave boundary).
+//!   at a wave boundary). With [`RuntimeParams::planner`] set,
+//!   `Replan` routes through a `hetpipe-plansvc` plan service
+//!   instead: each reaction publishes a sequence-bumped,
+//!   cache-invalidating write, and the spliced plans stay
+//!   bit-identical to the in-process path (the service's warm starts
+//!   are answer-preserving).
 //!
 //! # The wave-boundary splice and WSP staleness
 //!

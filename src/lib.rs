@@ -21,6 +21,10 @@
 //! - [`train`] — a real (threaded, lock-based) WSP/SSP/BSP/ASP parameter
 //!   server and SGD trainer used for convergence experiments.
 //!
+//! - [`plansvc`] — planner-as-a-service: a concurrent typed
+//!   request/reply plan server over a sharded, sequence-versioned
+//!   plan cache with warm-start neighbor seeding; fault-driven
+//!   replans publish as cache-invalidating writes.
 //! - [`runtime`] — fault-aware *dynamic* execution: deterministic
 //!   fault/straggler injection scripts, a trace-fed runtime monitor
 //!   (per-stage EWMA of observed vs planned durations), and reactive
@@ -98,6 +102,7 @@ pub use hetpipe_core as core;
 pub use hetpipe_des as des;
 pub use hetpipe_model as model;
 pub use hetpipe_partition as partition;
+pub use hetpipe_plansvc as plansvc;
 pub use hetpipe_runtime as runtime;
 pub use hetpipe_schedule as schedule;
 pub use hetpipe_train as train;

@@ -1,0 +1,262 @@
+//! Plan-service integration tests: parity and cache coherence.
+//!
+//! (a) **Parity**: every reply — cold, cache hit, or warm miss — is
+//!     bit-identical to a cold `PartitionSolver::solve` of the same
+//!     instance (same oracle style as `tests/planner_parity.rs`),
+//!     across a model × schedule × `Nm` grid.
+//! (b) **Coherence**: racing replan publishes against concurrent
+//!     readers never serve a plan whose `seq` is older than the
+//!     latest published for that key (the `MatchSeq` guarantee).
+//! (c) **Warm-start policy**: a miss that differs from a cached
+//!     family member only in derates or `Nm` is answered as a
+//!     `WarmMiss` — and still matches the cold oracle exactly.
+
+use hetpipe::cluster::{Cluster, DeviceId, GpuKind};
+use hetpipe::core::plankey::{cluster_fingerprint, graph_fingerprint};
+use hetpipe::core::{RecomputePolicy, Schedule, VirtualWorker};
+use hetpipe::model::ModelGraph;
+use hetpipe::partition::{PartitionPlan, PartitionProblem, PartitionSolver};
+use hetpipe::plansvc::{Catalog, PlanRequest, PlanService, Provenance};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// The cold oracle: a from-scratch solve of exactly the instance the
+/// service builds from a request (derated specs, same link derivation).
+fn cold_oracle(
+    cluster: &Cluster,
+    graph: &ModelGraph,
+    devices: &[DeviceId],
+    derates: &[f64],
+    nm: usize,
+    schedule: Schedule,
+    recompute: RecomputePolicy,
+) -> PartitionPlan {
+    let gpus = devices
+        .iter()
+        .zip(derates)
+        .map(|(&d, &r)| cluster.spec_of(d).derated(r.max(1.0)))
+        .collect();
+    let links = VirtualWorker::links(cluster, devices);
+    PartitionSolver::solve(
+        &PartitionProblem::with_schedule(graph, gpus, links, nm, schedule)
+            .with_recompute(recompute),
+    )
+    .expect("oracle instance must be feasible")
+}
+
+fn assert_plan_eq(a: &PartitionPlan, b: &PartitionPlan, what: &str) {
+    assert_eq!(a.ranges, b.ranges, "{what}: ranges");
+    // Bit-identical, not approximately equal.
+    assert_eq!(a.stage_secs, b.stage_secs, "{what}: stage_secs");
+    assert_eq!(a.bottleneck_secs, b.bottleneck_secs, "{what}: bottleneck");
+}
+
+/// One GPU of each kind across the paper testbed's four nodes (the
+/// VRGQ heterogeneous pipeline the planner benches use).
+fn vrgq_devices() -> Vec<DeviceId> {
+    vec![DeviceId(0), DeviceId(4), DeviceId(8), DeviceId(12)]
+}
+
+#[test]
+fn every_reply_matches_the_cold_oracle_across_the_grid() {
+    let cluster = Cluster::paper_testbed();
+    let mut catalog = Catalog::new();
+    let cluster_fp = catalog.register_cluster(cluster.clone());
+    let models = [hetpipe::model::vgg19(32), hetpipe::model::resnet152(32)];
+    let fps: Vec<u64> = models
+        .iter()
+        .map(|m| catalog.register_model(m.clone()))
+        .collect();
+    let svc = PlanService::start(catalog, 2);
+    let client = svc.client();
+    for (graph, &model_fp) in models.iter().zip(&fps) {
+        for schedule in [Schedule::HetPipeWave, Schedule::OneFOneB] {
+            for nm in [1, 2, 4] {
+                let req = PlanRequest::nominal(
+                    model_fp,
+                    cluster_fp,
+                    vrgq_devices(),
+                    nm,
+                    schedule,
+                    RecomputePolicy::None,
+                );
+                let what = format!("{} {schedule:?} nm={nm}", graph.name);
+                let oracle = cold_oracle(
+                    &cluster,
+                    graph,
+                    &vrgq_devices(),
+                    &[1.0; 4],
+                    nm,
+                    schedule,
+                    RecomputePolicy::None,
+                );
+                // First ask solves (cold, or warm off a same-family
+                // lower-Nm sibling from an earlier grid step — either
+                // way the answer must be the oracle's, bit for bit).
+                let first = client.plan(&req).expect(&what);
+                assert_ne!(first.provenance, Provenance::CacheHit, "{what}: first ask");
+                assert_plan_eq(&first.plan, &oracle, &what);
+                assert_eq!(first.cost, oracle.bottleneck_secs, "{what}: cost");
+                // Second ask is a hit and bit-identical.
+                let second = client.plan(&req).expect(&what);
+                assert_eq!(second.provenance, Provenance::CacheHit, "{what}: hit");
+                assert_eq!(second.seq, first.seq, "{what}: hit seq");
+                assert_plan_eq(&second.plan, &oracle, &what);
+            }
+        }
+    }
+    drop(client);
+    svc.shutdown();
+}
+
+#[test]
+fn derate_and_nm_misses_warm_start_and_still_match_oracle() {
+    let cluster = Cluster::testbed_subset(&[GpuKind::Rtx2060; 4]);
+    let graph = hetpipe::model::resnet152(32);
+    let mut catalog = Catalog::new();
+    let cluster_fp = catalog.register_cluster(cluster.clone());
+    let model_fp = catalog.register_model(graph.clone());
+    let svc = PlanService::start(catalog, 2);
+    let client = svc.client();
+    let devices: Vec<DeviceId> = (0..4).map(DeviceId).collect();
+    let nominal = PlanRequest::nominal(
+        model_fp,
+        cluster_fp,
+        devices.clone(),
+        4,
+        Schedule::HetPipeWave,
+        RecomputePolicy::BoundaryOnly,
+    );
+    assert_eq!(
+        client.plan(&nominal).unwrap().provenance,
+        Provenance::Cold,
+        "fresh cache must solve cold"
+    );
+    // A straggler-style derate on stage 0: same family, new key.
+    let mut derated = nominal.clone();
+    derated.observed_derates = vec![1.3, 1.0, 1.0, 1.0];
+    let reply = client.plan(&derated).unwrap();
+    assert_eq!(reply.provenance, Provenance::WarmMiss, "derate neighbor");
+    let oracle = cold_oracle(
+        &cluster,
+        &graph,
+        &devices,
+        &derated.observed_derates,
+        4,
+        Schedule::HetPipeWave,
+        RecomputePolicy::BoundaryOnly,
+    );
+    assert_plan_eq(&reply.plan, &oracle, "derated warm miss");
+    // An Nm backoff: higher-Nm incumbent stays feasible at lower Nm.
+    let mut backoff = nominal.clone();
+    backoff.nm = 3;
+    let reply = client.plan(&backoff).unwrap();
+    assert_eq!(reply.provenance, Provenance::WarmMiss, "nm neighbor");
+    let oracle = cold_oracle(
+        &cluster,
+        &graph,
+        &devices,
+        &[1.0; 4],
+        3,
+        Schedule::HetPipeWave,
+        RecomputePolicy::BoundaryOnly,
+    );
+    assert_plan_eq(&reply.plan, &oracle, "nm-backoff warm miss");
+    drop(client);
+    svc.shutdown();
+}
+
+#[test]
+fn racing_replan_publishes_never_serve_stale_sequences() {
+    let cluster = Cluster::testbed_subset(&[GpuKind::Rtx2060; 4]);
+    let graph = hetpipe::model::resnet152(32);
+    let mut catalog = Catalog::new();
+    let cluster_fp = catalog.register_cluster(cluster.clone());
+    let model_fp = catalog.register_model(graph.clone());
+    let svc = PlanService::start(catalog, 2);
+    let req = PlanRequest::nominal(
+        model_fp,
+        cluster_fp,
+        (0..4).map(DeviceId).collect(),
+        2,
+        Schedule::HetPipeWave,
+        RecomputePolicy::None,
+    );
+    let oracle = cold_oracle(
+        &cluster,
+        &graph,
+        &(0..4).map(DeviceId).collect::<Vec<_>>(),
+        &[1.0; 4],
+        2,
+        Schedule::HetPipeWave,
+        RecomputePolicy::None,
+    );
+    const PUBLISHES: u64 = 100;
+    // The latest sequence a publish has *returned* for the key: once
+    // a reader observes this at n, a reply with seq < n is a
+    // coherence violation (a stale fault-era plan resurfacing).
+    let latest = AtomicU64::new(0);
+    let done = AtomicBool::new(false);
+    std::thread::scope(|s| {
+        let publisher = {
+            let client = svc.client();
+            let req = req.clone();
+            let (latest, done) = (&latest, &done);
+            s.spawn(move || {
+                for _ in 0..PUBLISHES {
+                    let reply = client.replan(&req).unwrap();
+                    latest.fetch_max(reply.seq, Ordering::SeqCst);
+                }
+                done.store(true, Ordering::SeqCst);
+            })
+        };
+        let readers: Vec<_> = (0..3)
+            .map(|_| {
+                let client = svc.client();
+                let req = req.clone();
+                let oracle = &oracle;
+                let (latest, done) = (&latest, &done);
+                s.spawn(move || {
+                    let mut reads = 0u64;
+                    while !done.load(Ordering::SeqCst) || reads == 0 {
+                        let floor = latest.load(Ordering::SeqCst);
+                        let reply = client.plan(&req).unwrap();
+                        assert!(
+                            reply.seq >= floor,
+                            "stale read: served seq {} after {} was published",
+                            reply.seq,
+                            floor
+                        );
+                        assert_plan_eq(&reply.plan, oracle, "racing read");
+                        reads += 1;
+                    }
+                    reads
+                })
+            })
+            .collect();
+        publisher.join().unwrap();
+        for r in readers {
+            assert!(r.join().unwrap() > 0);
+        }
+    });
+    // ≥, not ==: a reader's initial query miss may insert seq 1
+    // before the first publish, shifting every published seq up one.
+    assert!(latest.load(Ordering::SeqCst) >= PUBLISHES);
+    svc.shutdown();
+}
+
+#[test]
+fn catalog_fingerprints_are_the_plankey_fingerprints() {
+    // Requests are addressed by the same process-stable fingerprints
+    // `hetpipe_core::plankey` exposes — no service-private identity.
+    let cluster = Cluster::paper_testbed();
+    let graph = hetpipe::model::vgg19(32);
+    let mut catalog = Catalog::new();
+    assert_eq!(
+        catalog.register_model(graph.clone()),
+        graph_fingerprint(&graph)
+    );
+    assert_eq!(
+        catalog.register_cluster(cluster.clone()),
+        cluster_fingerprint(&cluster)
+    );
+}

@@ -95,6 +95,7 @@ fn runtime_params<'a>(
         policy,
         monitor: MonitorConfig::default(),
         max_reactions: 8,
+        planner: None,
     }
 }
 
@@ -453,4 +454,92 @@ fn replan_after_gpu_loss_is_certified_and_continues() {
         after > 10,
         "the shrunk pipeline must keep completing ({after})"
     );
+}
+
+/// Service-backed `Replan` equals the in-process replan path, bit for
+/// bit, on both canonical fault scripts: same spliced plans, same
+/// epochs, same completion instants. The plan service's warm starts
+/// are answer-preserving, so routing reactions through it must be
+/// behaviorally invisible — and each reaction must land in the cache
+/// as a sequence-bumped publish.
+#[test]
+fn service_backed_replan_matches_in_process_path() {
+    use hetpipe::plansvc::{Catalog, PlanService};
+    let (cluster, graph, _) = whimpy_resnet();
+    let recompute = RecomputePolicy::BoundaryOnly;
+    let nm = 4;
+    let horizon = SimTime::from_secs(40.0);
+    for script in [
+        FaultScript::canonical_straggler(0, 5.0),
+        FaultScript::canonical_gpu_loss(2, 8.0),
+    ] {
+        let vw = standalone_vw(
+            &cluster,
+            &graph,
+            (0..4).map(DeviceId).collect(),
+            nm,
+            Schedule::HetPipeWave,
+            recompute,
+        );
+        let in_process = runtime::run(
+            runtime_params(
+                &cluster,
+                &graph,
+                vec![vw.clone()],
+                nm,
+                Schedule::HetPipeWave,
+                recompute,
+                script.clone(),
+                Policy::Replan,
+            ),
+            horizon,
+        );
+        let mut catalog = Catalog::new();
+        catalog.register_model(graph.clone());
+        catalog.register_cluster(cluster.clone());
+        let svc = PlanService::start(catalog, 2);
+        let mut params = runtime_params(
+            &cluster,
+            &graph,
+            vec![vw],
+            nm,
+            Schedule::HetPipeWave,
+            recompute,
+            script.clone(),
+            Policy::Replan,
+        );
+        params.planner = Some(svc.client());
+        let serviced = runtime::run(params, horizon);
+        let name = &script.name;
+        assert_eq!(serviced.final_nm, in_process.final_nm, "{name}: spliced Nm");
+        assert_eq!(
+            serviced.final_vws.len(),
+            in_process.final_vws.len(),
+            "{name}: VW count"
+        );
+        for (a, b) in serviced.final_vws.iter().zip(&in_process.final_vws) {
+            assert_eq!(a.devices, b.devices, "{name}: spliced devices");
+            assert_eq!(a.plan.ranges, b.plan.ranges, "{name}: spliced ranges");
+            assert_eq!(
+                a.plan.stage_secs, b.plan.stage_secs,
+                "{name}: spliced stage costs"
+            );
+        }
+        assert_eq!(
+            serviced.completions, in_process.completions,
+            "{name}: completion instants"
+        );
+        assert_eq!(
+            serviced.epochs.len(),
+            in_process.epochs.len(),
+            "{name}: epochs"
+        );
+        // Every reaction published (replans are writes, not reads).
+        let (_, _, publishes) = svc.cache_stats();
+        assert!(
+            publishes > 0,
+            "{name}: reactions must publish through the service"
+        );
+        svc.shutdown();
+    }
 }
