@@ -205,6 +205,33 @@ impl OccupancyAudit {
         self.stages.iter().all(StageOccupancy::sound) && self.gpus.iter().all(GpuOccupancy::sound)
     }
 
+    /// Folds the audit's trace-measured peaks into matching
+    /// occupancy-bound triples by entity, completing the
+    /// `measured ≤ structural ≤ declared` chain when the triples came
+    /// from the static verifier's structural pass
+    /// (`hetpipe_des::check_bounds` then judges all three at once).
+    /// Entities the trace never observed are left untouched.
+    pub fn merge_measured(&self, bounds: &mut [hetpipe_des::OccupancyBound]) {
+        use hetpipe_des::BoundEntity;
+        for bound in bounds.iter_mut() {
+            let measured = match bound.entity {
+                BoundEntity::Stage { vw, stage } => self
+                    .stages
+                    .iter()
+                    .find(|s| s.vw == vw && s.stage == stage)
+                    .map(|s| s.measured),
+                BoundEntity::Gpu { vw, gpu } => self
+                    .gpus
+                    .iter()
+                    .find(|g| g.vw == vw && g.gpu == gpu)
+                    .map(|g| g.measured),
+            };
+            if let Some(measured) = measured {
+                bound.measured = Some(measured);
+            }
+        }
+    }
+
     /// Panics with the full violation list unless the audit is sound.
     pub fn assert_sound(&self, label: &str) {
         let violations = self.violations();

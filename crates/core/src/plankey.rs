@@ -18,12 +18,37 @@
 //!   simulated standalone rate, promoted out of `system.rs` so the
 //!   memo key is a public, documented contract.
 //! - [`ShardedCache`] — a `Mutex`-sharded concurrent map with hit/miss
-//!   accounting and an entry-style [`ShardedCache::update`] for
-//!   atomic read-modify-write (the plan cache's sequence-number
-//!   protocol lives on top of it). Unlike the thread-local memo it
-//!   replaces, entries are shared by *all* threads: scoped worker
-//!   threads and repeated builds on different threads hit the same
-//!   entries.
+//!   accounting, true-LRU eviction at capacity, and an entry-style
+//!   [`ShardedCache::update`] for atomic read-modify-write (the plan
+//!   cache's sequence-number protocol lives on top of it). Unlike the
+//!   thread-local memo it replaces, entries are shared by *all*
+//!   threads: scoped worker threads and repeated builds on different
+//!   threads hit the same entries.
+//!
+//! # The `MatchSeq` invariant and why `update` is the whole protocol
+//!
+//! The plan service (`hetpipe-plansvc`) layers a MatchSeq-style
+//! monotonic-sequence protocol on this cache: each key carries a
+//! sequence number, a *publish* replaces the entry with `seq = prior +
+//! 1` (1 when absent), an *insert-if-absent* installs `seq = 1` only
+//! when no entry exists (yielding to any racing publisher), and the
+//! invariant is
+//!
+//! > **MatchSeq**: once `seq = n` has been published for a key, no
+//! > reader of that key can ever be served a sequence older than `n`.
+//!
+//! The entire argument rests on one fact about *this* module: every
+//! read and every read-modify-write of a key runs as one critical
+//! section under the key's shard lock ([`ShardedCache::get`] /
+//! [`ShardedCache::update`]), so a concurrent history of cache ops is
+//! equivalent to some *sequential* interleaving of atomic steps. The
+//! [`shadow`] submodule reifies that atomic-step semantics as a pure
+//! state machine ([`shadow::SeqCell`], one method per critical
+//! section), and `hetpipe-verify`'s model checker enumerates **all**
+//! interleavings of 2–3 threads of publish / read / insert-if-absent
+//! steps over it, proving MatchSeq exhaustively rather than sampling
+//! it with a racing test. A parity test below pins the shadow to the
+//! real `update`-based implementation, so the proof transfers.
 
 use crate::pserver::Placement;
 use crate::system::SystemConfig;
@@ -187,11 +212,21 @@ impl RefineKey {
 /// hash's low bits).
 const SHARD_COUNT: usize = 16;
 
+/// One cached value with its last-touched recency stamp (drawn from
+/// the cache-wide monotone clock).
+#[derive(Debug)]
+struct Stamped<V> {
+    value: V,
+    touched: u64,
+}
+
 /// A concurrent map sharded across [`SHARD_COUNT`] `Mutex<HashMap>`
-/// shards, with hit/miss accounting and a bounded capacity (a shard
-/// that reaches its cap is cleared wholesale before the next insert —
-/// the same blunt-but-predictable policy the thread-local refine memo
-/// used).
+/// shards, with hit/miss accounting and a bounded capacity enforced
+/// by **true LRU eviction**: every `get`, `insert`, and `update`
+/// refreshes the entry's recency stamp, and an insert into a full
+/// shard evicts exactly the shard's least-recently-touched entry
+/// (replacing the earlier whole-shard dump, which threw away up to
+/// `cap` hot entries to admit one).
 ///
 /// Shard selection uses `DefaultHasher::new()` (fixed-key SipHash), so
 /// it is deterministic within and across processes; the `HashMap`s
@@ -199,10 +234,13 @@ const SHARD_COUNT: usize = 16;
 /// shard map is never serialized or compared across processes.
 #[derive(Debug)]
 pub struct ShardedCache<K, V> {
-    shards: Vec<Mutex<HashMap<K, V>>>,
+    shards: Vec<Mutex<HashMap<K, Stamped<V>>>>,
     cap_per_shard: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Monotone recency clock; stamps are unique, so LRU eviction is
+    /// total-ordered and deterministic for a given access history.
+    clock: AtomicU64,
 }
 
 impl<K: Hash + Eq, V: Clone> ShardedCache<K, V> {
@@ -216,25 +254,49 @@ impl<K: Hash + Eq, V: Clone> ShardedCache<K, V> {
             cap_per_shard: (capacity / SHARD_COUNT).max(1),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            clock: AtomicU64::new(0),
         }
     }
 
-    fn shard(&self, key: &K) -> &Mutex<HashMap<K, V>> {
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, Stamped<V>>> {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         key.hash(&mut h);
         &self.shards[(h.finish() as usize) & (SHARD_COUNT - 1)]
     }
 
-    fn lock(shard: &Mutex<HashMap<K, V>>) -> std::sync::MutexGuard<'_, HashMap<K, V>> {
+    fn lock(
+        shard: &Mutex<HashMap<K, Stamped<V>>>,
+    ) -> std::sync::MutexGuard<'_, HashMap<K, Stamped<V>>> {
         // A panicking holder must not poison the cache for everyone
         // else; the map itself is never left mid-mutation by the
         // operations below.
         shard.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
-    /// Looks up `key`, counting a hit or a miss.
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Evicts the least-recently-touched entry of `map`. Stamps are
+    /// unique (one monotone clock), so the victim is unambiguous.
+    /// Removal goes through `retain` rather than a key clone, keeping
+    /// `K: Clone` off the public bounds.
+    fn evict_lru(map: &mut HashMap<K, Stamped<V>>) {
+        if let Some(oldest) = map.values().map(|e| e.touched).min() {
+            map.retain(|_, e| e.touched != oldest);
+        }
+    }
+
+    /// Looks up `key`, counting a hit or a miss. A hit refreshes the
+    /// entry's LRU recency.
     pub fn get(&self, key: &K) -> Option<V> {
-        let found = Self::lock(self.shard(key)).get(key).cloned();
+        let found = {
+            let mut map = Self::lock(self.shard(key));
+            map.get_mut(key).map(|e| {
+                e.touched = self.clock.fetch_add(1, Ordering::Relaxed);
+                e.value.clone()
+            })
+        };
         match found {
             Some(v) => {
                 self.hits.fetch_add(1, Ordering::Relaxed);
@@ -247,14 +309,16 @@ impl<K: Hash + Eq, V: Clone> ShardedCache<K, V> {
         }
     }
 
-    /// Inserts `key → value`, clearing the shard first when it is at
-    /// capacity.
+    /// Inserts `key → value` as the most-recently-used entry, evicting
+    /// the shard's least-recently-touched entry first when the shard
+    /// is at capacity (replacing an existing key never evicts).
     pub fn insert(&self, key: K, value: V) {
+        let touched = self.tick();
         let mut map = Self::lock(self.shard(&key));
         if map.len() >= self.cap_per_shard && !map.contains_key(&key) {
-            map.clear();
+            Self::evict_lru(&mut map);
         }
-        map.insert(key, value);
+        map.insert(key, Stamped { value, touched });
     }
 
     /// Atomic read-modify-write of one entry under its shard lock:
@@ -263,16 +327,20 @@ impl<K: Hash + Eq, V: Clone> ShardedCache<K, V> {
     /// sequence-validated cache builds compare-and-publish on — two
     /// racing publishers serialize on the shard lock, so whatever `f`
     /// decides is atomic with respect to every other `get`/`update`
-    /// of that key. Not counted as a hit or a miss.
+    /// of that key (the critical section [`shadow::SeqCell`] models
+    /// as one step). Not counted as a hit or a miss; the written-back
+    /// entry becomes the most recently used, and filling a shard past
+    /// capacity evicts its LRU entry.
     pub fn update<R>(&self, key: K, f: impl FnOnce(&mut Option<V>) -> R) -> R {
         let mut map = Self::lock(self.shard(&key));
-        let mut slot = map.remove(&key);
+        let mut slot = map.remove(&key).map(|e| e.value);
         let r = f(&mut slot);
-        if let Some(v) = slot {
+        if let Some(value) = slot {
             if map.len() >= self.cap_per_shard {
-                map.clear();
+                Self::evict_lru(&mut map);
             }
-            map.insert(key, v);
+            let touched = self.tick();
+            map.insert(key, Stamped { value, touched });
         }
         r
     }
@@ -302,6 +370,76 @@ impl<K: Hash + Eq, V: Clone> ShardedCache<K, V> {
     /// Lifetime lookup misses.
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+}
+
+pub mod shadow {
+    //! Pure single-key shadow of the seq-publish protocol.
+    //!
+    //! Every sequence-protocol operation on a [`super::ShardedCache`]
+    //! key is one critical section under the key's shard lock, so a
+    //! concurrent history is equivalent to a sequential interleaving
+    //! of atomic steps. [`SeqCell`] is that step semantics as a pure
+    //! state machine — one method per critical section, no locks, no
+    //! heap — which is what makes exhaustive model checking feasible:
+    //! `hetpipe-verify`'s explorer clones the state at every branch
+    //! point and enumerates **all** interleavings of 2–3 threads of
+    //! these steps, checking the MatchSeq invariant ("a reader never
+    //! observes a seq older than the latest published") at every
+    //! reachable state. The parity test in this module pins each step
+    //! to the real `update`-based implementation, so the checker's
+    //! verdict is about the shipped protocol, not a lookalike.
+
+    /// One key's protocol state: its current sequence number, with
+    /// `0` meaning "absent" (real sequences start at 1).
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+    pub struct SeqCell {
+        seq: u64,
+    }
+
+    impl SeqCell {
+        /// An absent key.
+        pub fn new() -> SeqCell {
+            SeqCell::default()
+        }
+
+        /// The publish step (`PlanCache::publish`'s critical
+        /// section): install `seq = prior + 1`, or 1 when absent.
+        /// Returns the published sequence.
+        pub fn publish(&mut self) -> u64 {
+            self.seq += 1;
+            self.seq
+        }
+
+        /// The insert-if-absent step (`PlanCache::insert_if_absent`'s
+        /// critical section): install `seq = 1` only when no entry
+        /// exists; a present entry is returned untouched. Returns
+        /// `(seq, fresh)`.
+        pub fn insert_if_absent(&mut self) -> (u64, bool) {
+            if self.seq == 0 {
+                self.seq = 1;
+                (1, true)
+            } else {
+                (self.seq, false)
+            }
+        }
+
+        /// The read step: the entry's sequence, `None` when absent.
+        pub fn read(&self) -> Option<u64> {
+            (self.seq > 0).then_some(self.seq)
+        }
+
+        /// The **deliberately broken** insert the protocol exists to
+        /// forbid: a blind install of `seq = 1` that clobbers whatever
+        /// is there — the pre-protocol bug where a slow solver's
+        /// stale result overwrites a racing publisher's newer plan.
+        /// Kept so the model checker's gate can be demonstrated to
+        /// fail: swapping this step in for `insert_if_absent` must
+        /// produce a MatchSeq violation.
+        pub fn blind_insert(&mut self) -> u64 {
+            self.seq = 1;
+            1
+        }
     }
 }
 
@@ -442,6 +580,166 @@ mod tests {
             cache.insert(k, k);
         }
         assert!(cache.len() <= SHARD_COUNT, "cap must bound the cache");
+    }
+
+    /// The shard a key lands in, computed with the same fixed-key
+    /// SipHash the cache uses — lets tests steer keys into one shard.
+    fn shard_of(k: u64) -> usize {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        k.hash(&mut h);
+        (h.finish() as usize) & (SHARD_COUNT - 1)
+    }
+
+    /// `n` distinct keys that all hash to one shard.
+    fn same_shard_keys(n: usize) -> Vec<u64> {
+        (0u64..)
+            .filter(|&k| shard_of(k) == shard_of(0))
+            .take(n)
+            .collect()
+    }
+
+    #[test]
+    fn eviction_is_true_lru_not_shard_dump() {
+        // cap_per_shard == 2. Pin the eviction *order*: the entry that
+        // goes is exactly the least-recently-touched one, and the rest
+        // of the shard survives (the old policy dumped the whole
+        // shard).
+        let cache: ShardedCache<u64, u64> = ShardedCache::new(2 * SHARD_COUNT);
+        let keys = same_shard_keys(4);
+        let (a, b, c, d) = (keys[0], keys[1], keys[2], keys[3]);
+        cache.insert(a, 1);
+        cache.insert(b, 2);
+        // Touch `a`: now `b` is the LRU entry.
+        assert_eq!(cache.get(&a), Some(1));
+        cache.insert(c, 3);
+        assert_eq!(cache.get(&b), None, "the LRU entry is the victim");
+        assert_eq!(cache.get(&a), Some(1), "the refreshed entry survives");
+        assert_eq!(cache.get(&c), Some(3));
+        // The get(&c) above refreshed `c`... and get(&a) before it
+        // refreshed `a`, so now `a` is older. A fourth key evicts `a`.
+        cache.insert(d, 4);
+        assert_eq!(cache.get(&a), None, "eviction follows touch order");
+        assert_eq!(cache.get(&c), Some(3));
+        assert_eq!(cache.get(&d), Some(4));
+    }
+
+    #[test]
+    fn replacing_a_resident_key_never_evicts() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new(2 * SHARD_COUNT);
+        let keys = same_shard_keys(2);
+        cache.insert(keys[0], 1);
+        cache.insert(keys[1], 2);
+        // The shard is full; overwriting a resident key must not push
+        // anything out.
+        cache.insert(keys[0], 10);
+        assert_eq!(cache.get(&keys[0]), Some(10));
+        assert_eq!(cache.get(&keys[1]), Some(2));
+    }
+
+    #[test]
+    fn update_path_evicts_lru_too() {
+        let cache: ShardedCache<u64, u64> = ShardedCache::new(2 * SHARD_COUNT);
+        let keys = same_shard_keys(3);
+        cache.insert(keys[0], 1);
+        cache.insert(keys[1], 2);
+        assert_eq!(cache.get(&keys[0]), Some(1)); // keys[1] is LRU
+        cache.update(keys[2], |slot| *slot = Some(3));
+        assert_eq!(cache.get(&keys[1]), None, "update-insert evicts the LRU");
+        assert_eq!(cache.get(&keys[0]), Some(1));
+        assert_eq!(cache.get(&keys[2]), Some(3));
+        // An update of a *resident* key is a touch, not an eviction.
+        cache.update(keys[0], |slot| *slot = Some(11));
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&keys[0]), Some(11));
+    }
+
+    /// The protocol steps, as driven against either implementation.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    enum Step {
+        Publish,
+        InsertIfAbsent,
+        Read,
+    }
+
+    /// Applies one protocol step to the real cache via its
+    /// `update`/`get` critical sections — byte-for-byte the logic
+    /// `PlanCache` runs — returning the observed sequence.
+    fn real_step(cache: &ShardedCache<u64, u64>, step: Step) -> Option<u64> {
+        match step {
+            Step::Publish => Some(cache.update(7, |slot| {
+                let seq = slot.map(|s| s + 1).unwrap_or(1);
+                *slot = Some(seq);
+                seq
+            })),
+            Step::InsertIfAbsent => Some(cache.update(7, |slot| match slot {
+                Some(existing) => *existing,
+                None => {
+                    *slot = Some(1);
+                    1
+                }
+            })),
+            Step::Read => cache.get(&7),
+        }
+    }
+
+    fn shadow_step(cell: &mut shadow::SeqCell, step: Step) -> Option<u64> {
+        match step {
+            Step::Publish => Some(cell.publish()),
+            Step::InsertIfAbsent => Some(cell.insert_if_absent().0),
+            Step::Read => cell.read(),
+        }
+    }
+
+    #[test]
+    fn shadow_seqcell_matches_real_update_semantics() {
+        // Every ordering of a publish/publish/insert/read multiset
+        // produces identical step results and identical final state in
+        // the shadow and in the real `update`-based implementation —
+        // the parity that lets the model checker's exhaustive verdict
+        // transfer to the shipped cache. Orders are enumerated
+        // exhaustively (4! = 24, duplicates harmless).
+        use Step::*;
+        let base = [Publish, Publish, InsertIfAbsent, Read];
+        let mut orders = Vec::new();
+        permute(&mut base.to_vec(), 0, &mut orders);
+        assert_eq!(orders.len(), 24);
+        for order in orders {
+            let cache: ShardedCache<u64, u64> = ShardedCache::new(1024);
+            let mut cell = shadow::SeqCell::new();
+            for &step in &order {
+                assert_eq!(
+                    real_step(&cache, step),
+                    shadow_step(&mut cell, step),
+                    "step {step:?} diverged in order {order:?}"
+                );
+            }
+            assert_eq!(cache.get(&7), cell.read(), "final state diverged");
+        }
+    }
+
+    fn permute(items: &mut Vec<Step>, at: usize, out: &mut Vec<Vec<Step>>) {
+        if at == items.len() {
+            out.push(items.clone());
+            return;
+        }
+        for i in at..items.len() {
+            items.swap(at, i);
+            permute(items, at + 1, out);
+            items.swap(at, i);
+        }
+    }
+
+    #[test]
+    fn shadow_blind_insert_is_the_bug() {
+        // The broken step really does violate MatchSeq in one obvious
+        // sequential history — the checker's job is to find it in
+        // *every* concurrent one.
+        let mut cell = shadow::SeqCell::new();
+        cell.publish();
+        cell.publish();
+        assert_eq!(cell.read(), Some(2));
+        cell.blind_insert();
+        assert!(cell.read() < Some(2), "blind insert rewinds the sequence");
     }
 
     #[test]

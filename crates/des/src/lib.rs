@@ -17,13 +17,19 @@
 //! - [`trace`] — span recording for utilization and waiting/idle-time
 //!   reports (feeds the paper's Figure 3 GPU-utilization plots and the
 //!   Section 8.4 synchronization-overhead analysis).
+//! - [`bounds`] — the measured / structural / declared occupancy-bound
+//!   triple shared by the trace audit and the static schedule verifier
+//!   (`hetpipe-verify`), with the `measured ≤ structural ≤ declared`
+//!   soundness predicate.
 
+pub mod bounds;
 pub mod engine;
 pub mod event;
 pub mod resource;
 pub mod time;
 pub mod trace;
 
+pub use bounds::{check_bounds, BoundEntity, OccupancyBound};
 pub use engine::Engine;
 pub use event::EventQueue;
 pub use resource::{Resource, ResourceId, ResourcePool};

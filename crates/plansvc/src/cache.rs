@@ -250,6 +250,52 @@ mod tests {
     }
 
     #[test]
+    fn family_index_is_cap8_most_recent_first() {
+        // Publish 10 family members (distinct Nm); the neighbor index
+        // must hold exactly FAMILY_NEIGHBOR_CAP of them, newest first —
+        // the two oldest fall off the end.
+        let cache = PlanCache::new(1024);
+        for nm in 1..=10usize {
+            cache.publish(&key(nm, 1.0), plan(nm as f64), nm as f64);
+        }
+        let list = cache.families.get(&key(1, 1.0).family()).unwrap();
+        assert_eq!(list.len(), FAMILY_NEIGHBOR_CAP);
+        let order: Vec<usize> = list.iter().map(|k| k.nm).collect();
+        assert_eq!(order, vec![10, 9, 8, 7, 6, 5, 4, 3], "most recent first");
+        // Re-publishing an old member moves it to the front without
+        // growing the list.
+        cache.publish(&key(5, 1.0), plan(5.0), 5.0);
+        let list = cache.families.get(&key(1, 1.0).family()).unwrap();
+        let order: Vec<usize> = list.iter().map(|k| k.nm).collect();
+        assert_eq!(order, vec![5, 10, 9, 8, 7, 6, 4, 3]);
+        // And neighbor() serves the head of the list (skipping self).
+        assert_eq!(cache.neighbor(&key(4, 1.0)).unwrap().cost, 5.0);
+        assert_eq!(cache.neighbor(&key(5, 1.0)).unwrap().cost, 10.0);
+    }
+
+    #[test]
+    fn plan_entries_evict_in_lru_order() {
+        // cap 2 per shard: under insert pressure, a plan that is read
+        // (touched) after every insert is always its shard's freshest
+        // entry, so eviction — now true LRU, not a whole-shard dump —
+        // must never pick it, while cold entries do get evicted.
+        let cache = PlanCache::new(32);
+        cache.publish(&key(1, 1.0), plan(1.0), 1.0);
+        for nm in 2..=64usize {
+            cache.publish(&key(nm, 1.0), plan(nm as f64), nm as f64);
+            assert!(
+                cache.get(&key(1, 1.0)).is_some(),
+                "the hot entry must survive eviction (lost after nm={nm})"
+            );
+        }
+        assert!(cache.len() <= 32, "capacity still bounds the cache");
+        assert!(
+            (2..=64).any(|nm| cache.entries.get(&key(nm, 1.0)).is_none()),
+            "cold entries are the ones evicted"
+        );
+    }
+
+    #[test]
     fn neighbor_finds_family_members_most_recent_first() {
         let cache = PlanCache::new(1024);
         assert!(cache.neighbor(&key(4, 1.5)).is_none());

@@ -65,12 +65,26 @@
 //! cache hits directly against the shared cache (no queue round-trip)
 //! and enqueues misses/replans as blocking request/reply jobs.
 //!
+//! # Verification
+//!
+//! The sequence protocol above is not just tested by racing threads:
+//! [`shadow`] reifies its atomic steps as a pure state machine, and
+//! `hetpipe-verify`'s in-tree model checker drives that shadow through
+//! *every* interleaving of 2–3 virtual threads of publish / read /
+//! insert-if-absent steps, proving the MatchSeq invariant exhaustively
+//! (and demonstrably catching a deliberately broken blind-insert
+//! variant). The underlying cache also evicts in true LRU order —
+//! pinned by unit tests here and in `hetpipe-core` — rather than the
+//! whole-shard dump of early versions.
+//!
 //! [`PartitionSolver::incumbent_bound_secs`]: hetpipe_partition::PartitionSolver::incumbent_bound_secs
 
 pub mod cache;
 pub mod service;
+pub mod shadow;
 
 pub use cache::{CachedPlan, PlanCache, PlanKey};
 pub use service::{
     Catalog, PlanClient, PlanError, PlanReply, PlanRequest, PlanService, Provenance,
 };
+pub use shadow::{CacheOp, ShadowPlanCache, SHADOW_KEYS};

@@ -1,0 +1,152 @@
+//! A pure, clonable shadow of the [`crate::PlanCache`] seq protocol,
+//! for exhaustive model checking.
+//!
+//! The real cache's protocol steps — publish, read, insert-if-absent —
+//! each run as one critical section under a shard lock (see
+//! [`hetpipe_core::plankey`]'s module docs), so any concurrent history
+//! is equivalent to a sequential interleaving of atomic steps. This
+//! module reifies that step semantics over a small fixed key space as
+//! a pure state machine: no locks, no heap beyond the state itself,
+//! `Clone` everywhere — exactly what a deterministic-scheduler
+//! explorer needs to fork the world at every branch point.
+//! `hetpipe-verify`'s checker drives [`ShadowPlanCache`] through
+//! **all** interleavings of 2–3 virtual threads of [`CacheOp`] steps
+//! and checks [`ShadowPlanCache::check`] at every reachable state,
+//! proving the MatchSeq invariant rather than sampling it.
+//!
+//! The shadow is faithful to [`crate::PlanCache::publish`] /
+//! [`crate::PlanCache::insert_if_absent`] via
+//! [`hetpipe_core::plankey::shadow::SeqCell`], whose steps are pinned
+//! to the real `ShardedCache::update` semantics by a parity test in
+//! `hetpipe-core`. One deliberate simplification: the shadow has no
+//! eviction. LRU eviction resets an evicted key's sequence history, so
+//! MatchSeq holds *per cache residency* — a key evicted and
+//! re-inserted restarts at `seq = 1`, which callers already treat as a
+//! fresh instance (the plan service sizes its cache so hot keys stay
+//! resident).
+
+use hetpipe_core::plankey::shadow::SeqCell;
+
+/// Number of distinct keys the shadow models. Two suffices to exhibit
+/// every cross-key phenomenon the protocol has (there are none — keys
+/// are independent — which the checker confirms by proving the
+/// invariant key-wise).
+pub const SHADOW_KEYS: usize = 2;
+
+/// One protocol step against one key of the shadow cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOp {
+    /// A replan publishing `seq = prior + 1` for the key.
+    Publish(usize),
+    /// A reader observing the key's current entry (or its absence).
+    Read(usize),
+    /// A query miss installing `seq = 1` iff the key is absent,
+    /// yielding to any racing publisher.
+    InsertIfAbsent(usize),
+    /// The **deliberately broken** step: a blind insert that installs
+    /// `seq = 1` unconditionally, clobbering newer entries — the bug
+    /// `insert_if_absent` exists to prevent. Interleavings containing
+    /// it must be flagged by the checker.
+    BlindInsert(usize),
+}
+
+/// The shadow cache: per-key protocol state plus the per-key
+/// published-sequence watermark the MatchSeq invariant is judged
+/// against.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShadowPlanCache {
+    cells: [SeqCell; SHADOW_KEYS],
+    /// Highest sequence ever *published* per key — monotone by
+    /// construction, updated only by [`CacheOp::Publish`].
+    published: [u64; SHADOW_KEYS],
+}
+
+impl ShadowPlanCache {
+    /// An empty cache.
+    pub fn new() -> ShadowPlanCache {
+        ShadowPlanCache::default()
+    }
+
+    /// Applies one atomic protocol step.
+    pub fn apply(&mut self, op: CacheOp) {
+        match op {
+            CacheOp::Publish(k) => {
+                let seq = self.cells[k].publish();
+                self.published[k] = self.published[k].max(seq);
+            }
+            CacheOp::Read(k) => {
+                // Reads mutate nothing; the invariant below judges
+                // what any read at this state would observe.
+                let _ = self.cells[k].read();
+            }
+            CacheOp::InsertIfAbsent(k) => {
+                let _ = self.cells[k].insert_if_absent();
+            }
+            CacheOp::BlindInsert(k) => {
+                let _ = self.cells[k].blind_insert();
+            }
+        }
+    }
+
+    /// The MatchSeq invariant, judged at the current state: for every
+    /// key, a read right now observes a sequence at least as new as
+    /// the latest published one. `Err` names the offending key.
+    pub fn check(&self) -> Result<(), String> {
+        for k in 0..SHADOW_KEYS {
+            let observed = self.cells[k].read().unwrap_or(0);
+            if observed < self.published[k] {
+                return Err(format!(
+                    "MatchSeq violated on key {k}: a reader observes seq {observed} \
+                     but seq {} was published",
+                    self.published[k]
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn correct_steps_preserve_matchseq_sequentially() {
+        let mut c = ShadowPlanCache::new();
+        for op in [
+            CacheOp::InsertIfAbsent(0),
+            CacheOp::Publish(0),
+            CacheOp::Read(0),
+            CacheOp::Publish(1),
+            CacheOp::InsertIfAbsent(1),
+            CacheOp::Publish(0),
+            CacheOp::Read(1),
+        ] {
+            c.apply(op);
+            c.check().unwrap();
+        }
+    }
+
+    #[test]
+    fn blind_insert_breaks_matchseq() {
+        let mut c = ShadowPlanCache::new();
+        c.apply(CacheOp::Publish(0));
+        c.apply(CacheOp::Publish(0));
+        c.check().unwrap();
+        c.apply(CacheOp::BlindInsert(0));
+        let err = c.check().unwrap_err();
+        assert!(err.contains("MatchSeq violated"), "{err}");
+        // The other key is unaffected.
+        assert!(err.contains("key 0"), "{err}");
+    }
+
+    #[test]
+    fn keys_are_independent() {
+        let mut c = ShadowPlanCache::new();
+        c.apply(CacheOp::Publish(0));
+        c.apply(CacheOp::BlindInsert(1));
+        // Key 1 never published, so a blind insert there is merely a
+        // fresh entry — no violation.
+        c.check().unwrap();
+    }
+}

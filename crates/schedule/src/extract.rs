@@ -1,0 +1,350 @@
+//! Committed-queue extraction: a schedule's static execution
+//! structure, reified for offline analysis.
+//!
+//! Every schedule ultimately commits each execution unit — a virtual
+//! stage (flat and depth-expanded schedules) or a physical GPU
+//! (composite schedules) — to a queue of ops. The executor consumes
+//! those queues live; the static verifier (`hetpipe-verify`) instead
+//! needs them *as data*, truncated to a finite horizon, so it can
+//! build the dependency DAG, prove deadlock-freedom, and compute
+//! structural occupancy bounds without running the DES. This module is
+//! that extraction hook.
+//!
+//! The `ordered` flag records how strong the commitment is:
+//! stream-order and composite schedules commit to the exact total
+//! order of each queue, while arrival-FIFO schedules (the paper's
+//! wave schedule) commit only to the per-kind subsequences — forwards
+//! in minibatch order, backwards in minibatch order — and leave the
+//! interleaving to dependency-arrival times. Analyses must not assume
+//! more order than the executor enforces.
+
+use crate::ops::{Dispatch, GpuOp, ScheduleOp};
+use crate::recompute::RecomputePolicy;
+use crate::schedules::PipelineSchedule;
+use crate::wsp::WspParams;
+
+/// Which execution unit a committed queue belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueueKind {
+    /// One executor (virtual) stage's stream.
+    Stage(usize),
+    /// One physical GPU's composite stream (co-located chunks merged
+    /// in schedule order).
+    Gpu(usize),
+}
+
+/// One statically committed execution queue: the finite op prefix one
+/// execution unit will perform, covering a verification horizon.
+#[derive(Debug, Clone)]
+pub struct CommittedQueue {
+    /// The execution unit.
+    pub kind: QueueKind,
+    /// True when the executor commits to this exact total order
+    /// (stream-order / composite dispatch); false when only the
+    /// per-kind subsequences are committed (arrival-FIFO dispatch).
+    pub ordered: bool,
+    /// The ops, each tagged with its executor stage.
+    pub ops: Vec<GpuOp>,
+}
+
+/// True when `op` is retained within a horizon of `max_mb`
+/// minibatches: compute ops of minibatches `1..=max_mb`, plus the wave
+/// decorations whose wave completes within the horizon (so every
+/// retained gate's matching push is also retained — the queue set is
+/// dependency-closed).
+fn retained(op: &ScheduleOp, wsp: WspParams, max_mb: u64) -> bool {
+    match *op {
+        ScheduleOp::Forward { mb }
+        | ScheduleOp::Backward { mb }
+        | ScheduleOp::FusedFwdBwd { mb }
+        | ScheduleOp::Recompute { mb } => mb <= max_mb,
+        ScheduleOp::Push { wave } | ScheduleOp::PullGate { wave } => {
+            wsp.last_of_wave(wave) <= max_mb
+        }
+    }
+}
+
+/// Pulls ops from `next` until the horizon is fully covered: every
+/// stage in `stages` has emitted the backward of minibatch `max_mb`,
+/// and (when virtual stage 0 is among them) every push of a wave
+/// completing within the horizon has appeared. Returns the retained
+/// ops. `budget` bounds the pull so a malformed stream cannot hang the
+/// caller; the streams' own invariants keep real schedules far below
+/// it.
+fn pull_horizon(
+    mut next: impl FnMut() -> GpuOp,
+    stages: &[usize],
+    wsp: WspParams,
+    max_mb: u64,
+    budget: usize,
+) -> Vec<GpuOp> {
+    let full_waves = max_mb / wsp.nm as u64;
+    let mut bwd_done = vec![0u64; stages.len()];
+    let mut pushes = 0u64;
+    let decorated = stages.contains(&0);
+    let mut ops = Vec::new();
+    for _ in 0..budget {
+        let done = bwd_done.iter().all(|&b| b >= max_mb) && (!decorated || pushes >= full_waves);
+        if done {
+            break;
+        }
+        let gop = next();
+        match gop.op {
+            ScheduleOp::Backward { mb } | ScheduleOp::FusedFwdBwd { mb } => {
+                if let Some(slot) = stages.iter().position(|&s| s == gop.stage) {
+                    bwd_done[slot] = bwd_done[slot].max(mb);
+                }
+            }
+            ScheduleOp::Push { wave } if retained(&gop.op, wsp, max_mb) => {
+                pushes = pushes.max(wave + 1);
+            }
+            _ => {}
+        }
+        if retained(&gop.op, wsp, max_mb) {
+            ops.push(gop);
+        }
+    }
+    ops
+}
+
+/// Extracts the committed queues of `sched` on a `k_gpus`-GPU virtual
+/// worker, covering every compute op of minibatches `1..=max_mb` and
+/// every wave decoration of the waves completing within that horizon.
+///
+/// Composite schedules ([`Dispatch::GpuStreamOrder`]) yield one
+/// ordered queue per physical GPU; all other schedules yield one
+/// queue per virtual stage, ordered iff the dispatch is
+/// [`Dispatch::StreamOrder`]. Recompute placement follows
+/// [`PipelineSchedule::recomputes_at`], exactly as the executor and
+/// the validators apply it.
+pub fn committed_queues(
+    sched: &dyn PipelineSchedule,
+    k_gpus: usize,
+    wsp: WspParams,
+    recompute: RecomputePolicy,
+    max_mb: u64,
+) -> Vec<CommittedQueue> {
+    let k = sched.virtual_stages(k_gpus);
+    // Worst case per minibatch per stage: forward + recompute +
+    // backward, plus two decorations per wave and stream warmup slack.
+    let per_stage_budget = (max_mb as usize) * 4 + 4 * wsp.nm + 64;
+    match sched.dispatch() {
+        Dispatch::GpuStreamOrder => {
+            let streams = sched
+                .gpu_streams_with(k_gpus, wsp, recompute)
+                .expect("GpuStreamOrder schedules declare composite streams");
+            streams
+                .into_iter()
+                .enumerate()
+                .map(|(gpu, mut stream)| {
+                    let stages: Vec<usize> = (0..k).filter(|s| s % k_gpus == gpu).collect();
+                    let budget = per_stage_budget * stages.len();
+                    let ops = pull_horizon(
+                        || stream.next().expect("composite streams are infinite"),
+                        &stages,
+                        wsp,
+                        max_mb,
+                        budget,
+                    );
+                    CommittedQueue {
+                        kind: QueueKind::Gpu(gpu),
+                        ordered: true,
+                        ops,
+                    }
+                })
+                .collect()
+        }
+        dispatch => {
+            let ordered = dispatch == Dispatch::StreamOrder;
+            (0..k)
+                .map(|stage| {
+                    let effective = if sched.recomputes_at(stage, k, wsp.nm, recompute) {
+                        recompute
+                    } else {
+                        RecomputePolicy::None
+                    };
+                    let mut stream = sched.stream(stage, k, wsp).with_recompute(effective);
+                    let ops = pull_horizon(
+                        || GpuOp {
+                            stage,
+                            op: stream.next().expect("schedule streams are infinite"),
+                        },
+                        &[stage],
+                        wsp,
+                        max_mb,
+                        per_stage_budget,
+                    );
+                    CommittedQueue {
+                        kind: QueueKind::Stage(stage),
+                        ordered,
+                        ops,
+                    }
+                })
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedules::{FillDrain, HetPipeWave, Interleaved1F1B, OneFOneB};
+    use std::collections::HashSet;
+
+    fn schedules() -> Vec<Box<dyn PipelineSchedule>> {
+        vec![
+            Box::new(HetPipeWave),
+            Box::new(FillDrain),
+            Box::new(OneFOneB),
+            Box::new(Interleaved1F1B {
+                chunks: 2,
+                composite: false,
+            }),
+            Box::new(Interleaved1F1B {
+                chunks: 2,
+                composite: true,
+            }),
+        ]
+    }
+
+    #[test]
+    fn queues_cover_the_horizon_exactly_once() {
+        // Every compute op of every minibatch in the horizon appears
+        // exactly once across the queue set, on its own stage; nothing
+        // beyond the horizon leaks in.
+        for sched in schedules() {
+            for k_gpus in [2usize, 4] {
+                let k = sched.virtual_stages(k_gpus);
+                let wsp = WspParams::new(4, 1);
+                let max_mb = 12u64;
+                for recompute in RecomputePolicy::ALL {
+                    let queues = committed_queues(sched.as_ref(), k_gpus, wsp, recompute, max_mb);
+                    let mut fwd: HashSet<(usize, u64)> = HashSet::new();
+                    let mut bwd: HashSet<(usize, u64)> = HashSet::new();
+                    for q in &queues {
+                        for gop in &q.ops {
+                            if let Some(mb) = gop.op.minibatch() {
+                                assert!(mb <= max_mb, "{}: {gop:?} beyond horizon", sched.name());
+                            }
+                            if gop.op.has_forward() {
+                                assert!(
+                                    fwd.insert((gop.stage, gop.op.minibatch().unwrap())),
+                                    "{}: duplicate forward {gop:?}",
+                                    sched.name()
+                                );
+                            }
+                            if gop.op.has_backward() {
+                                assert!(
+                                    bwd.insert((gop.stage, gop.op.minibatch().unwrap())),
+                                    "{}: duplicate backward {gop:?}",
+                                    sched.name()
+                                );
+                            }
+                        }
+                    }
+                    for stage in 0..k {
+                        for mb in 1..=max_mb {
+                            assert!(
+                                fwd.contains(&(stage, mb)),
+                                "{}: forward of mb {mb} missing at stage {stage} \
+                                 (k_gpus={k_gpus}, {recompute})",
+                                sched.name()
+                            );
+                            assert!(
+                                bwd.contains(&(stage, mb)),
+                                "{}: backward of mb {mb} missing at stage {stage} \
+                                 (k_gpus={k_gpus}, {recompute})",
+                                sched.name()
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn queue_set_is_dependency_closed_on_waves() {
+        // Every retained pull gate's wave has its push retained too —
+        // the closure the DAG builder relies on.
+        for sched in schedules() {
+            let wsp = WspParams::new(4, 0);
+            let queues = committed_queues(sched.as_ref(), 4, wsp, RecomputePolicy::None, 16);
+            let pushes: HashSet<u64> = queues
+                .iter()
+                .flat_map(|q| q.ops.iter())
+                .filter_map(|g| match g.op {
+                    ScheduleOp::Push { wave } => Some(wave),
+                    _ => None,
+                })
+                .collect();
+            for q in &queues {
+                for gop in &q.ops {
+                    if let ScheduleOp::PullGate { wave } = gop.op {
+                        assert!(
+                            pushes.contains(&wave),
+                            "{}: gate of wave {wave} without its push",
+                            sched.name()
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ordered_flag_tracks_dispatch() {
+        let wsp = WspParams::new(4, 0);
+        let wave = committed_queues(&HetPipeWave, 4, wsp, RecomputePolicy::None, 8);
+        assert!(wave.iter().all(|q| !q.ordered), "arrival-FIFO is unordered");
+        assert_eq!(wave.len(), 4);
+        let flat = committed_queues(&OneFOneB, 4, wsp, RecomputePolicy::None, 8);
+        assert!(flat.iter().all(|q| q.ordered));
+        assert!(flat
+            .iter()
+            .enumerate()
+            .all(|(i, q)| q.kind == QueueKind::Stage(i)));
+        let comp = committed_queues(
+            &Interleaved1F1B {
+                chunks: 2,
+                composite: true,
+            },
+            4,
+            wsp,
+            RecomputePolicy::None,
+            8,
+        );
+        assert_eq!(comp.len(), 4, "one composite queue per GPU");
+        assert!(comp
+            .iter()
+            .enumerate()
+            .all(|(g, q)| q.ordered && q.kind == QueueKind::Gpu(g)));
+        // Composite queues carry only their own GPU's stages.
+        for (g, q) in comp.iter().enumerate() {
+            assert!(q.ops.iter().all(|op| op.stage % 4 == g));
+        }
+    }
+
+    #[test]
+    fn extraction_matches_raw_streams() {
+        // The per-stage extraction is the stream itself, filtered to
+        // the horizon — no reordering, no loss.
+        let wsp = WspParams::new(4, 1);
+        let queues = committed_queues(&OneFOneB, 4, wsp, RecomputePolicy::BoundaryOnly, 10);
+        for (stage, q) in queues.iter().enumerate() {
+            let effective = if OneFOneB.recomputes_at(stage, 4, 4, RecomputePolicy::BoundaryOnly) {
+                RecomputePolicy::BoundaryOnly
+            } else {
+                RecomputePolicy::None
+            };
+            let want: Vec<ScheduleOp> = OneFOneB
+                .stream(stage, 4, wsp)
+                .with_recompute(effective)
+                .take(200)
+                .filter(|op| retained(op, wsp, 10))
+                .collect();
+            let got: Vec<ScheduleOp> = q.ops.iter().map(|g| g.op).collect();
+            assert_eq!(got, want[..got.len()], "stage {stage}");
+        }
+    }
+}

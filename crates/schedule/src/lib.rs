@@ -87,12 +87,14 @@
 //! assert_eq!(ops[5], ScheduleOp::Forward { mb: 5 });
 //! ```
 
+pub mod extract;
 pub mod ops;
 pub mod recompute;
 pub mod schedules;
 pub mod stream;
 pub mod wsp;
 
+pub use extract::{committed_queues, CommittedQueue, QueueKind};
 pub use ops::{Dispatch, GpuOp, ScheduleOp};
 pub use recompute::RecomputePolicy;
 pub use schedules::{

@@ -1,0 +1,58 @@
+//! Static verification for the HetPipe reproduction: proofs about
+//! schedules and the plan caches that hold *before any simulation
+//! runs*.
+//!
+//! The rest of the workspace checks its invariants dynamically — the
+//! DES audits occupancy on traces, `tests/staleness_props.rs` samples
+//! the WSP algebra, stress tests race the plan cache. Each of those
+//! observes *some* executions. This crate closes the gap to *all*
+//! executions, for small configurations, along three axes:
+//!
+//! - [`graph`] — the committed op queues of every schedule become an
+//!   explicit dependency DAG (program order + data edges + cross-worker
+//!   WSP push/gate coupling); a topological sort is a machine-checked
+//!   **deadlock-freedom certificate** per configuration, replacing the
+//!   "by construction" argument, and prefix walks of the same queues
+//!   give **structural occupancy bounds** completing the
+//!   `measured ≤ structural ≤ declared` chain of
+//!   [`hetpipe_des::OccupancyBound`].
+//! - [`staleness`] — the WSP staleness algebra is checked at **every**
+//!   minibatch of a warmup-covering horizon, with a wave-shift
+//!   invariance witness as the induction step extending the finite
+//!   check to the infinite stream.
+//! - [`checker`] / [`cachecheck`] — an in-tree, loom-style
+//!   **exhaustive-interleaving model checker**: pure shadow state
+//!   machines (one atomic step per real critical section) are driven
+//!   through *every* interleaving of 2–3 virtual threads, proving the
+//!   plan caches' `MatchSeq` invariant — a reader never observes a
+//!   sequence older than the latest published one — rather than
+//!   sampling it with racing threads. A deliberately broken protocol
+//!   step is kept in-tree as the negative control: the checker must
+//!   find its counterexample, which is what makes the green run on
+//!   the real protocol evidence instead of vacuity.
+//!
+//! Every pass here consumes the same artifacts the executor runs —
+//! [`hetpipe_schedule::committed_queues`] extraction, the real
+//! [`hetpipe_schedule::WspParams`] algebra, shadows pinned to the real
+//! cache by parity tests — so a proof about the model is a proof
+//! about the code paths, not about a drawing of them.
+//!
+//! The `verify_all` binary (in `hetpipe-bench`) sweeps the standing
+//! model/cluster/schedule matrix through all three axes and exits
+//! non-zero on any violation; CI runs it next to the benchmark gates.
+
+pub mod cachecheck;
+pub mod checker;
+pub mod graph;
+pub mod staleness;
+
+pub use cachecheck::{check_broken_protocol, check_seq_protocol, ProtocolReport, SeqProtocol};
+pub use checker::{explore, interleaving_count, Explored, ShadowSpec, Violation};
+pub use graph::{
+    structural_occupancy, verify_deadlock_free, verify_queues, CycleError, DagProof,
+    OccupancyReport,
+};
+pub use staleness::{
+    interleaved_chunk_versions, verify_version_rule, verify_wsp_bound, ChunkVersionDemand,
+    StalenessProof,
+};

@@ -37,6 +37,13 @@
 //!   memory accounting that the executor *enforces* at dispatch time
 //!   (trace-audited measured ≤ declared), plus boundary-only
 //!   activation recomputation as an explicit compute-vs-memory knob.
+//! - [`verify`] — static verification: machine-checked
+//!   deadlock-freedom certificates and structural occupancy bounds
+//!   from the schedules' committed op queues, exhaustive WSP
+//!   staleness proofs, and an in-tree exhaustive-interleaving model
+//!   checker proving the plan caches' MatchSeq invariant (the
+//!   `verify_all` CI gate sweeps the standing matrix through all
+//!   three).
 //!
 //! # Quickstart
 //!
@@ -106,6 +113,7 @@ pub use hetpipe_plansvc as plansvc;
 pub use hetpipe_runtime as runtime;
 pub use hetpipe_schedule as schedule;
 pub use hetpipe_train as train;
+pub use hetpipe_verify as verify;
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
