@@ -1,9 +1,9 @@
 //! The static-verification gate: sweeps the standing configuration
-//! matrix through `hetpipe-verify`'s three proof passes and exits
-//! non-zero on any violation. CI runs it next to the planner and
-//! plan-service benchmark gates.
+//! matrix through `hetpipe-verify`'s proof passes and exits non-zero
+//! on any violation. CI runs it next to the planner and plan-service
+//! benchmark gates.
 //!
-//! Three passes, none of which executes the DES:
+//! Five passes, none of which executes the DES:
 //!
 //! 1. **Deadlock freedom** — every schedule × pipeline depth × WSP
 //!    config × recompute policy gets a machine-checked certificate:
@@ -14,46 +14,118 @@
 //! 2. **Occupancy soundness** — the structural peak implied by the
 //!    committed op order satisfies `structural ≤ declared` per stage
 //!    and per GPU; over-reservations looser than 2× are reported as
-//!    lints (non-fatal).
-//! 3. **Staleness** — the WSP start condition and the 2BW version rule
+//!    lints (non-fatal), and the full declared/structural ratio table
+//!    is ranked in the report artifact.
+//! 3. **VW isolation + lookahead** — every dependency edge is
+//!    explained by its endpoints' declared footprints, cross-VW
+//!    traffic is confined to the PS push→gate coupling
+//!    (`IsolationCertificate` per config, with the canonical fault
+//!    scripts composed in as environment rate edges), and every gate
+//!    and push sits exactly where the closed-form lookahead bound
+//!    `(warmup (D+2)·Nm−1, steady Nm)` says.
+//! 4. **Staleness** — the WSP start condition and the 2BW version rule
 //!    are checked at every minibatch of a warmup-covering horizon for
 //!    each (Nm, D), plus the interleaved per-chunk 2BW version-demand
 //!    proof.
+//! 5. **Model checking** — the plan-cache MatchSeq invariant over
+//!    every interleaving of the standing 2- and 3-thread scenarios
+//!    (pinned to the multinomials), and the per-VW gate protocol over
+//!    3 engines in full plus 4 engines under sleep-set POR (63M
+//!    unreduced interleavings; the POR trace count is pinned). Both
+//!    checkers run their deliberately broken variants as negative
+//!    controls — if a checker *fails to find* that counterexample,
+//!    the gate fails.
 //!
-//! Then the **model checker** proves the plan-cache MatchSeq invariant
-//! over every interleaving of the standing 2- and 3-thread scenarios
-//! (counts reported and pinned to the multinomials), and runs the
-//! deliberately broken blind-insert protocol as a negative control —
-//! if the checker *fails to find* that counterexample, the gate fails.
+//! Flags: `--report <path>` writes the full output (including the
+//! complete ranked ratio table) as a CI artifact; `--budget-secs <s>`
+//! fails the gate when the whole sweep exceeds the pinned wall-clock
+//! budget, so the static gate cannot silently grow unbounded.
 //!
 //! The pipeline depths swept (3 and 4 stages) are the standing
 //! instance shapes of the benchmark suite (the paper testbed's VRGQ
 //! pipeline and the whimpy 4-GPU / 3-survivor replan configurations).
 //! The certificates are model-independent by construction: the
-//! dependency DAG and the staleness algebra depend only on the
-//! schedule shape (depth, Nm, D, recompute), not on which zoo model's
-//! layers fill the stages — one proof per shape covers every model.
+//! dependency DAG, the footprint model, and the staleness algebra
+//! depend only on the schedule shape (depth, Nm, D, recompute), not
+//! on which zoo model's layers fill the stages — one proof per shape
+//! covers every model.
 
 use hetpipe_des::check_bounds;
+use hetpipe_runtime::FaultScript;
 use hetpipe_schedule::{PipelineSchedule, RecomputePolicy, Schedule, WspParams};
 use hetpipe_verify::{
-    check_broken_protocol, check_seq_protocol, interleaved_chunk_versions, structural_occupancy,
-    verify_deadlock_free, verify_version_rule, verify_wsp_bound,
+    check_broken_gate_protocol, check_broken_protocol, check_gate_protocol, check_seq_protocol,
+    interleaved_chunk_versions, structural_occupancy, verify_deadlock_free, verify_lookahead,
+    verify_script_isolation, verify_version_rule, verify_vw_isolation, verify_wsp_bound,
 };
+use std::time::Instant;
+
+/// Collected gate output: mirrored to stdout and, under `--report`,
+/// to the artifact file.
+#[derive(Default)]
+struct Gate {
+    out: Vec<String>,
+    violations: Vec<String>,
+    lints: Vec<String>,
+}
+
+impl Gate {
+    fn say(&mut self, line: String) {
+        println!("{line}");
+        self.out.push(line);
+    }
+    /// Artifact-only detail: written to `--report`, not stdout.
+    fn artifact(&mut self, line: String) {
+        self.out.push(line);
+    }
+}
 
 fn main() {
-    let mut violations: Vec<String> = Vec::new();
-    let mut lints: Vec<String> = Vec::new();
+    let started = Instant::now();
+    let mut report_path: Option<String> = None;
+    let mut budget_secs: Option<f64> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--report" => report_path = args.next(),
+            "--budget-secs" => {
+                budget_secs = args.next().and_then(|v| v.parse().ok());
+            }
+            other => {
+                eprintln!("verify_all: unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let mut gate = Gate::default();
+
+    // The canonical fault scripts composed into every isolation
+    // certificate: environment rate edges must stay write-only and
+    // External-owned (replicable to every engine without coupling).
+    let scripts = [
+        FaultScript::canonical_straggler(0, 5.0),
+        FaultScript::canonical_gpu_loss(0, 5.0),
+    ];
 
     // ------------------------------------------------------------------
-    // Pass 1 + 2: deadlock certificates and occupancy soundness across
-    // the standing schedule matrix.
+    // Passes 1–3: deadlock certificates, occupancy soundness, and the
+    // VW-isolation + lookahead certificates across the standing
+    // schedule matrix.
     // ------------------------------------------------------------------
     let depths = [3usize, 4];
     let wsp_configs = [(2usize, 0usize), (4, 0), (4, 1)];
     let mut certificates = 0usize;
     let mut total_nodes = 0usize;
     let mut total_edges = 0usize;
+    let mut iso_certs = 0usize;
+    let mut iso_cross = 0usize;
+    let mut iso_fault_edges = 0usize;
+    let mut la_gates = 0usize;
+    let mut la_pushes = 0usize;
+    // (worst declared/structural ratio, entity, label) per config, for
+    // the ranked table.
+    let mut ratios: Vec<(f64, String, String)> = Vec::new();
     for &schedule in Schedule::ALL.iter() {
         for &k_gpus in &depths {
             for &(nm, d) in &wsp_configs {
@@ -70,34 +142,114 @@ fn main() {
                             total_nodes += proof.nodes;
                             total_edges += proof.edges;
                             if proof.wave_period.is_none() {
-                                violations.push(format!(
+                                gate.violations.push(format!(
                                     "{label}: no steady-state wave period found — finite \
                                      proof does not extend to the infinite stream"
                                 ));
                             }
                         }
-                        Err(cycle) => violations.push(format!("{label}: {cycle}")),
+                        Err(cycle) => gate.violations.push(format!("{label}: {cycle}")),
                     }
                     let report = structural_occupancy(&schedule, k_gpus, wsp, recompute, max_mb);
                     if let Err(errs) = check_bounds(&report.bounds) {
                         for e in errs {
-                            violations.push(format!("{label}: {e}"));
+                            gate.violations.push(format!("{label}: {e}"));
                         }
                     }
                     for lint in &report.lints {
-                        lints.push(format!("{label}: {lint}"));
+                        gate.lints.push(format!("{label}: {lint}"));
+                    }
+                    if let Some((ratio, entity)) = report
+                        .bounds
+                        .iter()
+                        .filter_map(|b| {
+                            let s = b.structural?;
+                            (s > 0).then(|| (b.declared as f64 / s as f64, format!("{}", b.entity)))
+                        })
+                        .max_by(|a, b| a.0.total_cmp(&b.0))
+                    {
+                        ratios.push((ratio, entity, label.clone()));
+                    }
+
+                    // VW isolation: the fault-free certificate, then
+                    // the canonical scripts composed in.
+                    match verify_vw_isolation(&schedule, k_gpus, wsp, recompute, max_mb, 2) {
+                        Ok(cert) => {
+                            iso_certs += 1;
+                            iso_cross += cert.cross_vw_edges;
+                            for script in &scripts {
+                                match verify_script_isolation(
+                                    cert.clone(),
+                                    &script.name,
+                                    &script.edge_footprints(),
+                                ) {
+                                    Ok(faulted) => {
+                                        iso_certs += 1;
+                                        iso_fault_edges += faulted.fault_edges;
+                                    }
+                                    Err(v) => gate
+                                        .violations
+                                        .push(format!("{label} faults={}: {v}", script.name)),
+                                }
+                            }
+                        }
+                        Err(v) => gate.violations.push(format!("{label}: {v}")),
+                    }
+
+                    // Lookahead: committed gates/pushes against the
+                    // closed form.
+                    match verify_lookahead(&schedule, k_gpus, wsp, recompute, max_mb) {
+                        Ok(w) => {
+                            la_gates += w.gates;
+                            la_pushes += w.pushes;
+                        }
+                        Err(e) => gate.violations.push(format!("{label}: {e}")),
                     }
                 }
             }
         }
     }
-    println!(
+    gate.say(format!(
         "deadlock     {certificates} certificates ({total_nodes} ops, {total_edges} dependency \
          edges), all acyclic and wave-periodic"
-    );
+    ));
+    gate.say(format!(
+        "isolation    {iso_certs} certificates: every dependency edge footprint-explained, \
+         {iso_cross} cross-VW edges all PS push→gate, {iso_fault_edges} fault rate-edges \
+         composed (write-only, environment-owned)"
+    ));
+    gate.say(format!(
+        "lookahead    {la_gates} gates + {la_pushes} pushes match the closed form: warmup \
+         (D+2)·Nm−1 stage-0 forwards, then exactly Nm per gate-to-gate segment"
+    ));
+
+    // Ranked declared/structural table: top of the table to stdout,
+    // the full ranking to the artifact.
+    ratios.sort_by(|a, b| b.0.total_cmp(&a.0));
+    gate.say(format!(
+        "occupancy    declared/structural ratios ranked across {} configs (loosest first):",
+        ratios.len()
+    ));
+    for (i, (ratio, entity, label)) in ratios.iter().enumerate() {
+        let line = format!(
+            "occupancy      #{:<3} {ratio:>5.2}x  {entity:<12} {label}",
+            i + 1
+        );
+        if i < 8 {
+            gate.say(line);
+        } else {
+            gate.artifact(line);
+        }
+    }
+    if ratios.len() > 8 {
+        gate.say(format!(
+            "occupancy      … {} more rows in the report artifact",
+            ratios.len() - 8
+        ));
+    }
 
     // ------------------------------------------------------------------
-    // Pass 3: exhaustive staleness proofs.
+    // Pass 4: exhaustive staleness proofs.
     // ------------------------------------------------------------------
     let mut staleness_checked = 0u64;
     for nm in [1usize, 2, 4, 8] {
@@ -107,22 +259,22 @@ fn main() {
                 Ok(proof) => {
                     staleness_checked += proof.horizon;
                     if !proof.shift_invariant {
-                        violations
+                        gate.violations
                             .push(format!("nm={nm} d={d}: required_wave not shift-invariant"));
                     }
                 }
-                Err(e) => violations.push(format!("nm={nm} d={d}: {e}")),
+                Err(e) => gate.violations.push(format!("nm={nm} d={d}: {e}")),
             }
             match verify_version_rule(wsp, |p| wsp.two_bw_version(p)) {
                 Ok(proof) => {
                     staleness_checked += proof.horizon;
                     if !proof.shift_invariant {
-                        violations.push(format!(
+                        gate.violations.push(format!(
                             "nm={nm} d={d}: 2BW version rule not shift-invariant"
                         ));
                     }
                 }
-                Err(e) => violations.push(format!("nm={nm} d={d} 2BW: {e}")),
+                Err(e) => gate.violations.push(format!("nm={nm} d={d} 2BW: {e}")),
             }
         }
     }
@@ -134,46 +286,83 @@ fn main() {
         let wsp = WspParams::new(4, 0);
         match interleaved_chunk_versions(&sched, 4, wsp) {
             Ok(demand) => {
-                println!(
+                gate.say(format!(
                     "staleness    interleaved chunks={chunks}: per-chunk 2BW pins ≤1 extra \
                      version/stage, saves {} copies vs w_p stashing (proof horizon {})",
                     demand.versions_saved, demand.proof.horizon
-                );
+                ));
             }
-            Err(e) => violations.push(format!("interleaved chunks={chunks}: {e}")),
+            Err(e) => gate
+                .violations
+                .push(format!("interleaved chunks={chunks}: {e}")),
         }
     }
-    println!(
+    gate.say(format!(
         "staleness    WSP bound + 2BW rule proven exhaustively at {staleness_checked} \
          minibatch positions (12 configs, all shift-invariant)"
-    );
+    ));
 
     // ------------------------------------------------------------------
-    // Model checker: MatchSeq over all interleavings, plus the broken
-    // protocol as the negative control.
+    // Pass 5: model checking — MatchSeq and the gate protocol, each
+    // with its negative control.
     // ------------------------------------------------------------------
     match check_seq_protocol() {
         Ok(reports) => {
             for r in &reports {
-                println!(
+                gate.say(format!(
                     "matchseq     {:<52} {} threads, {} ops: {} interleavings, all hold",
                     r.scenario, r.threads, r.ops, r.interleavings
-                );
+                ));
             }
         }
-        Err(e) => violations.push(format!("MatchSeq: {e}")),
+        Err(e) => gate.violations.push(format!("MatchSeq: {e}")),
     }
     match check_broken_protocol() {
         Some(counterexample) => {
             let steps = counterexample.schedule.len();
-            println!(
+            gate.say(format!(
                 "matchseq     negative control: blind-insert protocol refuted in {steps} steps \
                  (checker is not vacuous)"
-            );
+            ));
         }
-        None => violations.push(
+        None => gate.violations.push(
             "negative control FAILED: the checker passed the deliberately broken \
              blind-insert protocol — exploration is vacuous"
+                .into(),
+        ),
+    }
+    match check_gate_protocol() {
+        Ok(reports) => {
+            for r in &reports {
+                let how = if r.por {
+                    format!(
+                        "{} POR traces of {} unreduced ({:.0}x reduction)",
+                        r.explored,
+                        r.unreduced,
+                        r.unreduced as f64 / r.explored as f64
+                    )
+                } else {
+                    format!("{} interleavings, pinned to the multinomial", r.explored)
+                };
+                gate.say(format!(
+                    "gate         {:<52} {} engines, {} ops: {how}, invariant holds",
+                    r.scenario, r.vws, r.ops
+                ));
+            }
+        }
+        Err(e) => gate.violations.push(format!("gate protocol: {e}")),
+    }
+    match check_broken_gate_protocol() {
+        Some(counterexample) => {
+            let steps = counterexample.schedule.len();
+            gate.say(format!(
+                "gate         negative control: advance-past-gate engine refuted in {steps} \
+                 steps under POR (reduction preserves the counterexample)"
+            ));
+        }
+        None => gate.violations.push(
+            "negative control FAILED: the checker passed the deliberately broken \
+             advance-past-gate engine — the POR exploration is vacuous"
                 .into(),
         ),
     }
@@ -181,19 +370,50 @@ fn main() {
     // ------------------------------------------------------------------
     // Verdict.
     // ------------------------------------------------------------------
+    let lints = std::mem::take(&mut gate.lints);
     for lint in &lints {
-        println!("lint         {lint}");
+        gate.say(format!("lint         {lint}"));
     }
-    if violations.is_empty() {
-        println!(
-            "\nverify_all: all static proofs hold ({} lints)",
-            lints.len()
-        );
-    } else {
-        eprintln!("\nverify_all: {} VIOLATIONS:", violations.len());
-        for v in &violations {
-            eprintln!("  {v}");
+    let elapsed = started.elapsed().as_secs_f64();
+    if let Some(budget) = budget_secs {
+        if elapsed > budget {
+            gate.violations.push(format!(
+                "wall-clock budget exceeded: {elapsed:.1}s > {budget:.1}s — the static gate \
+                 grew past its pinned budget; speed it up or re-pin deliberately"
+            ));
         }
+    }
+    let verdict = if gate.violations.is_empty() {
+        format!(
+            "\nverify_all: all static proofs hold ({} lints, {elapsed:.1}s{})",
+            lints.len(),
+            budget_secs
+                .map(|b| format!(" of {b:.0}s budget"))
+                .unwrap_or_default()
+        )
+    } else {
+        let mut v = format!("\nverify_all: {} VIOLATIONS:", gate.violations.len());
+        for violation in &gate.violations {
+            v.push_str(&format!("\n  {violation}"));
+        }
+        v
+    };
+    let failed = !gate.violations.is_empty();
+    if failed {
+        eprintln!("{verdict}");
+        gate.out.push(verdict);
+    } else {
+        gate.say(verdict);
+    }
+    if let Some(path) = report_path {
+        let body = gate.out.join("\n") + "\n";
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("verify_all: could not write report {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("verify_all: report written to {path}");
+    }
+    if failed {
         std::process::exit(1);
     }
 }

@@ -273,6 +273,37 @@ impl FaultScript {
         edges
     }
 
+    /// The declared footprint of every rate edge of the script, in
+    /// edge order — the fault runtime's contribution to the static
+    /// VW-isolation pass. Each edge writes exactly one
+    /// environment-owned [`hetpipe_des::FootprintResource::Rate`]
+    /// register (the GPU's or NIC's service rate) and reads nothing,
+    /// so `hetpipe-verify` can certify that fault scripts never
+    /// create a VW-to-VW dependence: replicating a script into every
+    /// per-VW engine leaves the dependency DAG untouched.
+    pub fn edge_footprints(&self) -> Vec<hetpipe_des::Footprint> {
+        use hetpipe_des::{Footprint, FootprintResource, RateKind};
+        self.edges()
+            .into_iter()
+            .map(|(_, target, _)| {
+                let resource = match target {
+                    RateTarget::Gpu(index) => FootprintResource::Rate {
+                        kind: RateKind::Gpu,
+                        index,
+                    },
+                    RateTarget::Nic(index) => FootprintResource::Rate {
+                        kind: RateKind::Nic,
+                        index,
+                    },
+                };
+                Footprint {
+                    reads: Vec::new(),
+                    writes: vec![resource],
+                }
+            })
+            .collect()
+    }
+
     /// Compiles the script for a segment starting at global time
     /// `offset`: the rates already in effect at the splice (latest
     /// edge per resource at or before `offset`) and the future edges
@@ -480,6 +511,48 @@ mod tests {
         assert_eq!(edges.len(), 2);
         assert_eq!(edges[0], (SimTime::from_secs(1.0), RateTarget::Gpu(2), 0.5));
         assert_eq!(edges[1], (SimTime::from_secs(3.0), RateTarget::Gpu(2), 1.0));
+    }
+
+    #[test]
+    fn edge_footprints_are_external_write_only() {
+        use hetpipe_des::{FootprintResource, Owner, RateKind};
+        let s = FaultScript {
+            name: "mixed".into(),
+            faults: vec![
+                Fault::GpuSlowdown {
+                    gpu: 2,
+                    factor: 2.0,
+                    from_secs: 1.0,
+                    until_secs: Some(3.0),
+                },
+                Fault::LinkDegrade {
+                    node: 1,
+                    factor: 4.0,
+                    from_secs: 2.0,
+                    until_secs: None,
+                },
+            ],
+        };
+        let fps = s.edge_footprints();
+        assert_eq!(fps.len(), s.edges().len(), "one footprint per edge");
+        for fp in &fps {
+            assert!(fp.reads.is_empty(), "rate edges read nothing");
+            assert_eq!(fp.writes.len(), 1, "exactly one rate register");
+            assert_eq!(fp.writes[0].owner(), Owner::External);
+        }
+        // The GPU slowdown window contributes its onset+restore edges
+        // on gpu2's register; the open-ended link fault one edge on
+        // nic1's.
+        assert!(fps.iter().any(|fp| fp.writes[0]
+            == FootprintResource::Rate {
+                kind: RateKind::Gpu,
+                index: 2
+            }));
+        assert!(fps.iter().any(|fp| fp.writes[0]
+            == FootprintResource::Rate {
+                kind: RateKind::Nic,
+                index: 1
+            }));
     }
 
     #[test]

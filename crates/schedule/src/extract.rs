@@ -185,6 +185,83 @@ pub fn committed_queues(
     }
 }
 
+/// One pull gate's position in the stage-0 stream: how many stage-0
+/// forwards the schedule commits to performing before blocking on the
+/// parameter server for `wave`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GatePoint {
+    /// The wave the gate waits for.
+    pub wave: u64,
+    /// Stage-0 forwards committed before the gate. This is the VW's
+    /// lookahead window: a per-VW engine may execute exactly this many
+    /// stage-0 forwards (and everything they enable downstream) before
+    /// it must synchronize with other VWs' pushes.
+    pub forwards_before: u64,
+}
+
+/// One push's position in the stage-0 stream: how many stage-0
+/// backwards precede the publication of `wave`'s aggregated update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PushPoint {
+    /// The wave being pushed.
+    pub wave: u64,
+    /// Stage-0 backwards committed before the push.
+    pub backwards_before: u64,
+}
+
+/// The parameter-server interaction points of one VW's committed
+/// queue set: every gate and push, positioned against the stage-0
+/// compute stream. This is the raw material of `hetpipe-verify`'s
+/// lookahead prover — the only places the future per-VW engine may
+/// block on or signal other VWs.
+#[derive(Debug, Clone, Default)]
+pub struct PsInteractions {
+    /// Pull gates in stream order.
+    pub gates: Vec<GatePoint>,
+    /// Pushes in stream order.
+    pub pushes: Vec<PushPoint>,
+}
+
+/// Extracts the PS interaction points from a committed queue set. Wave
+/// decorations live on the queue hosting virtual stage 0 (the
+/// `Stage(0)` queue, or `Gpu(0)` for composite schedules); positions
+/// count that queue's stage-0 forwards and backwards in committed
+/// order — the order the executor consults when it blocks on a gate.
+pub fn ps_interaction_points(queues: &[CommittedQueue]) -> PsInteractions {
+    let mut out = PsInteractions::default();
+    let Some(host) = queues
+        .iter()
+        .find(|q| matches!(q.kind, QueueKind::Stage(0) | QueueKind::Gpu(0)))
+    else {
+        return out;
+    };
+    let mut fwds = 0u64;
+    let mut bwds = 0u64;
+    for gop in &host.ops {
+        match gop.op {
+            ScheduleOp::PullGate { wave } => out.gates.push(GatePoint {
+                wave,
+                forwards_before: fwds,
+            }),
+            ScheduleOp::Push { wave } => out.pushes.push(PushPoint {
+                wave,
+                backwards_before: bwds,
+            }),
+            _ => {
+                if gop.stage == 0 {
+                    if gop.op.has_forward() {
+                        fwds += 1;
+                    }
+                    if gop.op.has_backward() {
+                        bwds += 1;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -322,6 +399,48 @@ mod tests {
         // Composite queues carry only their own GPU's stages.
         for (g, q) in comp.iter().enumerate() {
             assert!(q.ops.iter().all(|op| op.stage % 4 == g));
+        }
+    }
+
+    #[test]
+    fn ps_points_follow_the_wsp_closed_form() {
+        // Every schedule places gate(w) exactly before the first
+        // stage-0 forward requiring wave w, and push(w) exactly after
+        // the last backward of wave w — so the interaction points are
+        // a closed-form function of (Nm, D), independent of schedule.
+        for sched in schedules() {
+            for (nm, d) in [(2usize, 0usize), (4, 1)] {
+                let wsp = WspParams::new(nm, d);
+                let max_mb = (nm as u64) * 8;
+                let queues =
+                    committed_queues(sched.as_ref(), 4, wsp, RecomputePolicy::None, max_mb);
+                let pts = ps_interaction_points(&queues);
+                assert!(
+                    !pts.gates.is_empty(),
+                    "{}: no gates extracted",
+                    sched.name()
+                );
+                for (i, g) in pts.gates.iter().enumerate() {
+                    assert_eq!(g.wave, i as u64, "{}: gates in wave order", sched.name());
+                    assert_eq!(
+                        g.forwards_before,
+                        g.wave * nm as u64 + wsp.s_global() as u64 + 1,
+                        "{}: gate({}) lookahead (nm={nm}, d={d})",
+                        sched.name(),
+                        g.wave
+                    );
+                }
+                for (i, p) in pts.pushes.iter().enumerate() {
+                    assert_eq!(p.wave, i as u64, "{}: pushes in wave order", sched.name());
+                    assert_eq!(
+                        p.backwards_before,
+                        wsp.last_of_wave(p.wave),
+                        "{}: push({}) position (nm={nm}, d={d})",
+                        sched.name(),
+                        p.wave
+                    );
+                }
+            }
         }
     }
 

@@ -94,7 +94,10 @@ pub mod schedules;
 pub mod stream;
 pub mod wsp;
 
-pub use extract::{committed_queues, CommittedQueue, QueueKind};
+pub use extract::{
+    committed_queues, ps_interaction_points, CommittedQueue, GatePoint, PsInteractions, PushPoint,
+    QueueKind,
+};
 pub use ops::{Dispatch, GpuOp, ScheduleOp};
 pub use recompute::RecomputePolicy;
 pub use schedules::{

@@ -435,6 +435,20 @@ impl PipelineSchedule for Interleaved1F1B {
         nm.min(k - stage)
     }
 
+    /// Per-chunk PipeDream-2BW double buffering, the same rule
+    /// [`OneFOneB::extra_weight_versions`] uses: each *virtual stage*
+    /// keeps the freshest buffer plus at most one previous buffer,
+    /// instead of stashing the injection-time `w_p` of every in-flight
+    /// minibatch. `verify::interleaved_chunk_versions` proves this
+    /// WSP-sound chunk by chunk (the previous buffer is never older
+    /// than the start gate requires, at any depth), so the declared
+    /// memory charge drops from `in_flight − 1` to at most 1 extra
+    /// copy per busy chunk — the saving the whimpy `Max_m` cells in
+    /// `schedule_compare` inherit.
+    fn extra_weight_versions(&self, stage: usize, k: usize, nm: usize) -> u64 {
+        (self.max_in_flight(stage, k, nm) > 1) as u64
+    }
+
     fn colocated_stages(&self) -> usize {
         self.chunks.max(1)
     }
@@ -1056,6 +1070,31 @@ mod tests {
                     assert!(extra <= 1, "2BW pins at most one shadow copy, got {extra}");
                     let pipelining = OneFOneB.max_in_flight(stage, k, nm) > 1;
                     assert_eq!(extra == 1, pipelining, "k={k} nm={nm} stage={stage}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn interleaved_uses_per_chunk_two_bw_versions() {
+        // Both interleaved forms declare the per-chunk 2BW rule that
+        // `verify::interleaved_chunk_versions` proved WSP-sound: at
+        // most one shadow copy per virtual stage, exactly where the
+        // stage's window pipelines — never the old `w_p` stash of
+        // `in_flight − 1` copies.
+        for chunks in [2usize, 4] {
+            for composite in [false, true] {
+                let s = Interleaved1F1B { chunks, composite };
+                for k_gpus in [2usize, 4] {
+                    let k = s.virtual_stages(k_gpus);
+                    for nm in [1usize, 4, 8] {
+                        for stage in 0..k {
+                            let extra = s.extra_weight_versions(stage, k, nm);
+                            assert!(extra <= 1, "chunks={chunks} stage={stage}: got {extra}");
+                            let pipelining = s.max_in_flight(stage, k, nm) > 1;
+                            assert_eq!(extra == 1, pipelining, "chunks={chunks} stage={stage}");
+                        }
+                    }
                 }
             }
         }

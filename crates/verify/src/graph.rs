@@ -66,49 +66,154 @@ use hetpipe_schedule::{
 };
 use std::collections::HashMap;
 
-/// Node identity inside the dependency graph.
+/// Node identity inside the dependency graph. Public since PR 8: the
+/// VW-isolation pass judges every edge against its endpoints' declared
+/// footprints, so node identity is part of the verifier's vocabulary,
+/// not an implementation detail.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
-enum NodeKey {
-    Fwd { vw: usize, stage: usize, mb: u64 },
-    Bwd { vw: usize, stage: usize, mb: u64 },
-    Rec { vw: usize, stage: usize, mb: u64 },
-    Push { vw: usize, wave: u64 },
-    Gate { vw: usize, wave: u64 },
+pub enum DepNode {
+    /// Forward of minibatch `mb` at `stage`.
+    Fwd {
+        /// Virtual worker.
+        vw: usize,
+        /// Virtual stage.
+        stage: usize,
+        /// Minibatch (1-indexed).
+        mb: u64,
+    },
+    /// Backward of minibatch `mb` at `stage`.
+    Bwd {
+        /// Virtual worker.
+        vw: usize,
+        /// Virtual stage.
+        stage: usize,
+        /// Minibatch (1-indexed).
+        mb: u64,
+    },
+    /// Fused forward+backward (the wave schedule's last stage): one
+    /// node acting as both the forward and the backward of its
+    /// minibatch — dependency lookups resolve either role to it, and
+    /// its footprint is the union of the two.
+    Fused {
+        /// Virtual worker.
+        vw: usize,
+        /// Virtual stage.
+        stage: usize,
+        /// Minibatch (1-indexed).
+        mb: u64,
+    },
+    /// Recompute of minibatch `mb`'s activations at `stage`.
+    Rec {
+        /// Virtual worker.
+        vw: usize,
+        /// Virtual stage.
+        stage: usize,
+        /// Minibatch (1-indexed).
+        mb: u64,
+    },
+    /// Push of wave `wave`'s aggregated update to the parameter server.
+    Push {
+        /// Virtual worker.
+        vw: usize,
+        /// WSP wave.
+        wave: u64,
+    },
+    /// Pull gate waiting for every worker's push of wave `wave`.
+    Gate {
+        /// Virtual worker.
+        vw: usize,
+        /// WSP wave.
+        wave: u64,
+    },
+}
+
+impl DepNode {
+    /// The virtual worker the op belongs to.
+    pub fn vw(&self) -> usize {
+        match *self {
+            DepNode::Fwd { vw, .. }
+            | DepNode::Bwd { vw, .. }
+            | DepNode::Fused { vw, .. }
+            | DepNode::Rec { vw, .. }
+            | DepNode::Push { vw, .. }
+            | DepNode::Gate { vw, .. } => vw,
+        }
+    }
+}
+
+/// Why an edge exists — which commitment of the schedule it encodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EdgeKind {
+    /// Committed execution order of one queue (total order for
+    /// ordered queues, per-kind subsequences for arrival-FIFO).
+    Program,
+    /// Dataflow within one virtual worker: boundary activations /
+    /// gradients, the stash, recompute.
+    Data,
+    /// WSP coupling: backward→push, push→gate (the only cross-VW
+    /// edges), gate→first-gated-forward.
+    Wsp,
+}
+
+/// One dependency edge, by node index into [`DepGraphData::nodes`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DepEdge {
+    /// Source node index.
+    pub from: usize,
+    /// Target node index.
+    pub to: usize,
+    /// The commitment the edge encodes.
+    pub kind: EdgeKind,
+}
+
+/// The dependency graph as data: what [`verify_queues`] proves acyclic,
+/// exposed for the isolation pass to judge edge by edge.
+#[derive(Debug, Clone)]
+pub struct DepGraphData {
+    /// Node identities, indexed by the edge endpoints.
+    pub nodes: Vec<DepNode>,
+    /// Human-readable node labels (counterexample rendering).
+    pub labels: Vec<String>,
+    /// Every dependency edge, tagged with its kind.
+    pub edges: Vec<DepEdge>,
 }
 
 struct Graph {
     labels: Vec<String>,
+    keys: Vec<DepNode>,
     succs: Vec<Vec<usize>>,
-    edges: usize,
-    index: HashMap<NodeKey, usize>,
+    edge_list: Vec<DepEdge>,
+    index: HashMap<DepNode, usize>,
 }
 
 impl Graph {
     fn new() -> Graph {
         Graph {
             labels: Vec::new(),
+            keys: Vec::new(),
             succs: Vec::new(),
-            edges: 0,
+            edge_list: Vec::new(),
             index: HashMap::new(),
         }
     }
 
-    fn add_node(&mut self, label: String) -> usize {
+    fn add_node(&mut self, label: String, key: DepNode) -> usize {
         self.labels.push(label);
+        self.keys.push(key);
         self.succs.push(Vec::new());
         self.labels.len() - 1
     }
 
-    fn add_edge(&mut self, from: usize, to: usize) {
+    fn add_edge(&mut self, from: usize, to: usize, kind: EdgeKind) {
         if from != to && !self.succs[from].contains(&to) {
             self.succs[from].push(to);
-            self.edges += 1;
+            self.edge_list.push(DepEdge { from, to, kind });
         }
     }
 
-    fn edge_by_key(&mut self, from: NodeKey, to: usize) {
+    fn edge_by_key(&mut self, from: DepNode, to: usize, kind: EdgeKind) {
         if let Some(&f) = self.index.get(&from) {
-            self.add_edge(f, to);
+            self.add_edge(f, to, kind);
         }
     }
 }
@@ -170,18 +275,10 @@ fn op_label(vw: usize, stage: usize, op: &ScheduleOp) -> String {
     }
 }
 
-/// Builds the dependency graph of `vws` mirrored copies of
-/// `queue_sets[vw]` and proves it acyclic. This is the raw layer under
-/// [`verify_deadlock_free`]: it accepts hand-built queue sets, so
-/// tests can feed it deliberately broken structures (a backward before
-/// its forward, a gate whose push never happens before it, ...) and
-/// assert the cycle is caught and named. Returns `(nodes, edges)` on
-/// success.
-pub fn verify_queues(
-    queue_sets: &[Vec<CommittedQueue>],
-    k: usize,
-    wsp: WspParams,
-) -> Result<(usize, usize), CycleError> {
+/// The two-pass graph construction shared by [`verify_queues`] (which
+/// then proves it acyclic) and [`dependency_graph`] (which exposes it
+/// as data for the isolation pass).
+fn build_graph(queue_sets: &[Vec<CommittedQueue>], k: usize, wsp: WspParams) -> Graph {
     let vws = queue_sets.len();
     let mut g = Graph::new();
 
@@ -194,43 +291,30 @@ pub fn verify_queues(
             let mut kind_tail: HashMap<(usize, u8), usize> = HashMap::new();
             for gop in &queue.ops {
                 let stage = gop.stage;
-                let idx = g.add_node(op_label(vw, stage, &gop.op));
-                let kind = match gop.op {
-                    ScheduleOp::Forward { mb } => {
-                        g.index.insert(NodeKey::Fwd { vw, stage, mb }, idx);
-                        0u8
-                    }
-                    ScheduleOp::Backward { mb } => {
-                        g.index.insert(NodeKey::Bwd { vw, stage, mb }, idx);
-                        1
-                    }
-                    ScheduleOp::FusedFwdBwd { mb } => {
-                        // A fused op is both the forward and the
-                        // backward of its minibatch at this stage.
-                        g.index.insert(NodeKey::Fwd { vw, stage, mb }, idx);
-                        g.index.insert(NodeKey::Bwd { vw, stage, mb }, idx);
-                        2
-                    }
-                    ScheduleOp::Recompute { mb } => {
-                        g.index.insert(NodeKey::Rec { vw, stage, mb }, idx);
-                        3
-                    }
-                    ScheduleOp::Push { wave } => {
-                        g.index.insert(NodeKey::Push { vw, wave }, idx);
-                        4
-                    }
-                    ScheduleOp::PullGate { wave } => {
-                        g.index.insert(NodeKey::Gate { vw, wave }, idx);
-                        5
-                    }
+                let (key, kind) = match gop.op {
+                    ScheduleOp::Forward { mb } => (DepNode::Fwd { vw, stage, mb }, 0u8),
+                    ScheduleOp::Backward { mb } => (DepNode::Bwd { vw, stage, mb }, 1),
+                    ScheduleOp::FusedFwdBwd { mb } => (DepNode::Fused { vw, stage, mb }, 2),
+                    ScheduleOp::Recompute { mb } => (DepNode::Rec { vw, stage, mb }, 3),
+                    ScheduleOp::Push { wave } => (DepNode::Push { vw, wave }, 4),
+                    ScheduleOp::PullGate { wave } => (DepNode::Gate { vw, wave }, 5),
                 };
+                let idx = g.add_node(op_label(vw, stage, &gop.op), key);
+                if let DepNode::Fused { vw, stage, mb } = key {
+                    // A fused op is both the forward and the backward
+                    // of its minibatch at this stage.
+                    g.index.insert(DepNode::Fwd { vw, stage, mb }, idx);
+                    g.index.insert(DepNode::Bwd { vw, stage, mb }, idx);
+                } else {
+                    g.index.insert(key, idx);
+                }
                 if queue.ordered {
                     if let Some(p) = prev {
-                        g.add_edge(p, idx);
+                        g.add_edge(p, idx, EdgeKind::Program);
                     }
                     prev = Some(idx);
                 } else if let Some(&tail) = kind_tail.get(&(stage, kind)) {
-                    g.add_edge(tail, idx);
+                    g.add_edge(tail, idx, EdgeKind::Program);
                     kind_tail.insert((stage, kind), idx);
                 } else {
                     kind_tail.insert((stage, kind), idx);
@@ -247,75 +331,79 @@ pub fn verify_queues(
                 let stage = gop.stage;
                 match gop.op {
                     ScheduleOp::Forward { mb } | ScheduleOp::FusedFwdBwd { mb } => {
-                        let idx = g.index[&NodeKey::Fwd { vw, stage, mb }];
+                        let idx = g.index[&DepNode::Fwd { vw, stage, mb }];
                         if stage > 0 {
                             g.edge_by_key(
-                                NodeKey::Fwd {
+                                DepNode::Fwd {
                                     vw,
                                     stage: stage - 1,
                                     mb,
                                 },
                                 idx,
+                                EdgeKind::Data,
                             );
                         }
                         if gop.op.has_backward() && stage + 1 < k {
                             g.edge_by_key(
-                                NodeKey::Bwd {
+                                DepNode::Bwd {
                                     vw,
                                     stage: stage + 1,
                                     mb,
                                 },
                                 idx,
+                                EdgeKind::Data,
                             );
                         }
                     }
                     ScheduleOp::Backward { mb } => {
-                        let idx = g.index[&NodeKey::Bwd { vw, stage, mb }];
-                        g.edge_by_key(NodeKey::Fwd { vw, stage, mb }, idx);
+                        let idx = g.index[&DepNode::Bwd { vw, stage, mb }];
+                        g.edge_by_key(DepNode::Fwd { vw, stage, mb }, idx, EdgeKind::Data);
                         if stage + 1 < k {
                             g.edge_by_key(
-                                NodeKey::Bwd {
+                                DepNode::Bwd {
                                     vw,
                                     stage: stage + 1,
                                     mb,
                                 },
                                 idx,
+                                EdgeKind::Data,
                             );
                         }
-                        g.edge_by_key(NodeKey::Rec { vw, stage, mb }, idx);
+                        g.edge_by_key(DepNode::Rec { vw, stage, mb }, idx, EdgeKind::Data);
                     }
                     ScheduleOp::Recompute { mb } => {
-                        let idx = g.index[&NodeKey::Rec { vw, stage, mb }];
-                        g.edge_by_key(NodeKey::Fwd { vw, stage, mb }, idx);
+                        let idx = g.index[&DepNode::Rec { vw, stage, mb }];
+                        g.edge_by_key(DepNode::Fwd { vw, stage, mb }, idx, EdgeKind::Data);
                     }
                     ScheduleOp::Push { wave } => {
-                        let idx = g.index[&NodeKey::Push { vw, wave }];
+                        let idx = g.index[&DepNode::Push { vw, wave }];
                         g.edge_by_key(
-                            NodeKey::Bwd {
+                            DepNode::Bwd {
                                 vw,
                                 stage: 0,
                                 mb: wsp.last_of_wave(wave),
                             },
                             idx,
+                            EdgeKind::Wsp,
                         );
                     }
                     ScheduleOp::PullGate { wave } => {
-                        let idx = g.index[&NodeKey::Gate { vw, wave }];
+                        let idx = g.index[&DepNode::Gate { vw, wave }];
                         // The cross-worker coupling: every worker's
                         // push of the wave precedes every worker's
                         // gate on it.
                         for u in 0..vws {
-                            g.edge_by_key(NodeKey::Push { vw: u, wave }, idx);
+                            g.edge_by_key(DepNode::Push { vw: u, wave }, idx, EdgeKind::Wsp);
                         }
                         // The gate precedes the first forward that
                         // requires the wave (direction: gate → fwd).
                         let first_gated = wsp.first_of_wave(wave) + sg + 1;
-                        if let Some(&fwd) = g.index.get(&NodeKey::Fwd {
+                        if let Some(&fwd) = g.index.get(&DepNode::Fwd {
                             vw,
                             stage: 0,
                             mb: first_gated,
                         }) {
-                            g.add_edge(idx, fwd);
+                            g.add_edge(idx, fwd, EdgeKind::Wsp);
                         }
                     }
                 }
@@ -323,7 +411,40 @@ pub fn verify_queues(
         }
     }
 
-    kahn(&g)
+    g
+}
+
+/// Builds the dependency graph of `vws` mirrored copies of
+/// `queue_sets[vw]` and proves it acyclic. This is the raw layer under
+/// [`verify_deadlock_free`]: it accepts hand-built queue sets, so
+/// tests can feed it deliberately broken structures (a backward before
+/// its forward, a gate whose push never happens before it, ...) and
+/// assert the cycle is caught and named. Returns `(nodes, edges)` on
+/// success.
+pub fn verify_queues(
+    queue_sets: &[Vec<CommittedQueue>],
+    k: usize,
+    wsp: WspParams,
+) -> Result<(usize, usize), CycleError> {
+    kahn(&build_graph(queue_sets, k, wsp))
+}
+
+/// Builds the same dependency graph [`verify_queues`] proves acyclic
+/// and returns it *as data* — node identities, labels, and
+/// kind-tagged edges — for analyses that judge the graph edge by edge
+/// (the VW-isolation pass). Does not require acyclicity: cycle
+/// detection stays the deadlock pass's job.
+pub fn dependency_graph(
+    queue_sets: &[Vec<CommittedQueue>],
+    k: usize,
+    wsp: WspParams,
+) -> DepGraphData {
+    let g = build_graph(queue_sets, k, wsp);
+    DepGraphData {
+        nodes: g.keys,
+        labels: g.labels,
+        edges: g.edge_list,
+    }
 }
 
 /// Kahn's algorithm; on failure extracts and names one cycle.
@@ -347,7 +468,7 @@ fn kahn(g: &Graph) -> Result<(usize, usize), CycleError> {
         }
     }
     if done == n {
-        return Ok((n, g.edges));
+        return Ok((n, g.edge_list.len()));
     }
     // Nodes with indeg > 0 at this point sit on or behind a cycle.
     // Walk predecessors within the remaining set until a repeat.

@@ -20,16 +20,43 @@
 //!   minibatch of a warmup-covering horizon, with a wave-shift
 //!   invariance witness as the induction step extending the finite
 //!   check to the infinite stream.
-//! - [`checker`] / [`cachecheck`] — an in-tree, loom-style
-//!   **exhaustive-interleaving model checker**: pure shadow state
-//!   machines (one atomic step per real critical section) are driven
-//!   through *every* interleaving of 2–3 virtual threads, proving the
-//!   plan caches' `MatchSeq` invariant — a reader never observes a
-//!   sequence older than the latest published one — rather than
-//!   sampling it with racing threads. A deliberately broken protocol
-//!   step is kept in-tree as the negative control: the checker must
-//!   find its counterexample, which is what makes the green run on
-//!   the real protocol evidence instead of vacuity.
+//! - [`isolation`] / [`lookahead`] — the **fleet-decomposition
+//!   certificates** (the contract the parallel per-VW engine refactor
+//!   is built against). Every dependency-graph node declares a
+//!   read/write footprint in the [`hetpipe_des::footprint`]
+//!   vocabulary, whose resources are owned by one VW, by the
+//!   parameter server, or by the environment. The isolation pass
+//!   proves, edge by edge, that (1) every committed dependence is
+//!   *explained* by its endpoints' footprints — an unexplained edge
+//!   means an event class under-declares what it touches — and
+//!   (2) every cross-VW dependence is the WSP push→gate coupling on
+//!   PS-owned state, emitting an [`isolation::IsolationCertificate`]
+//!   per configuration (fault scripts compose in as write-only
+//!   environment rate edges). The lookahead pass then proves each
+//!   VW's gate cadence matches the closed form in `(Nm, D)` —
+//!   `s_global + 1 = (D + 2)·Nm − 1` stage-0 forwards of warmup, then
+//!   exactly `Nm` per gate-to-gate segment — the conservative-sync
+//!   window ([`lookahead::LookaheadWitness`]) the engines will
+//!   advance by.
+//! - [`staleness`] — the WSP staleness algebra is checked at **every**
+//!   minibatch of a warmup-covering horizon, with a wave-shift
+//!   invariance witness as the induction step extending the finite
+//!   check to the infinite stream.
+//! - [`checker`] / [`cachecheck`] / [`gatecheck`] — an in-tree,
+//!   loom-style **exhaustive-interleaving model checker**: pure shadow
+//!   state machines (one atomic step per real critical section) are
+//!   driven through *every* interleaving of the scenario programs,
+//!   proving the plan caches' `MatchSeq` invariant and the per-VW
+//!   **gate protocol** (no engine ever reads a push it shouldn't see
+//!   under bound `D`). Sleep-set partial-order reduction
+//!   ([`checker::explore_por`]) collapses provably-commuting
+//!   reorderings so 4-engine scenarios (63M unreduced interleavings)
+//!   stay enumerable; 3-thread scenarios are still pinned to their
+//!   unreduced multinomials as the exhaustiveness check. Deliberately
+//!   broken variants (a blind cache insert, an engine advancing past
+//!   a closed gate) are kept in-tree as negative controls: the
+//!   checker must find their counterexamples, which is what makes the
+//!   green runs on the real protocols evidence instead of vacuity.
 //!
 //! Every pass here consumes the same artifacts the executor runs —
 //! [`hetpipe_schedule::committed_queues`] extraction, the real
@@ -38,20 +65,32 @@
 //! about the code paths, not about a drawing of them.
 //!
 //! The `verify_all` binary (in `hetpipe-bench`) sweeps the standing
-//! model/cluster/schedule matrix through all three axes and exits
+//! model/cluster/schedule matrix through all of these axes and exits
 //! non-zero on any violation; CI runs it next to the benchmark gates.
 
 pub mod cachecheck;
 pub mod checker;
+pub mod gatecheck;
 pub mod graph;
+pub mod isolation;
+pub mod lookahead;
 pub mod staleness;
 
 pub use cachecheck::{check_broken_protocol, check_seq_protocol, ProtocolReport, SeqProtocol};
-pub use checker::{explore, interleaving_count, Explored, ShadowSpec, Violation};
-pub use graph::{
-    structural_occupancy, verify_deadlock_free, verify_queues, CycleError, DagProof,
-    OccupancyReport,
+pub use checker::{explore, explore_por, interleaving_count, Explored, ShadowSpec, Violation};
+pub use gatecheck::{
+    check_broken_gate_protocol, check_gate_protocol, GateOp, GateReport, GateState,
+    ShadowGateProtocol,
 };
+pub use graph::{
+    dependency_graph, structural_occupancy, verify_deadlock_free, verify_queues, CycleError,
+    DagProof, DepEdge, DepGraphData, DepNode, EdgeKind, OccupancyReport,
+};
+pub use isolation::{
+    verify_isolation, verify_isolation_with, verify_script_isolation, verify_vw_isolation,
+    FootprintModel, IsolationCertificate, IsolationViolation, IsolationViolationClass,
+};
+pub use lookahead::{lookahead_bound, verify_lookahead, LookaheadWitness};
 pub use staleness::{
     interleaved_chunk_versions, verify_version_rule, verify_wsp_bound, ChunkVersionDemand,
     StalenessProof,

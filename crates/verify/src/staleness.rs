@@ -212,8 +212,14 @@ pub fn interleaved_chunk_versions(
     let per_stage_two_bw: Vec<u64> = (0..k)
         .map(|s| (sched.max_in_flight(s, k, wsp.nm) > 1) as u64)
         .collect();
+    // The historical `w_p` baseline: one stashed injection-time copy
+    // per extra in-flight minibatch. Computed explicitly (not via
+    // `extra_weight_versions`) because the interleaved schedules'
+    // *declared* accounting now uses the per-chunk 2BW rule this very
+    // analysis proved sound — the demand report keeps quantifying the
+    // saving against what HetPipe's Section-4 stashing would charge.
     let per_stage_wp: Vec<u64> = (0..k)
-        .map(|s| sched.extra_weight_versions(s, k, wsp.nm))
+        .map(|s| sched.max_in_flight(s, k, wsp.nm).saturating_sub(1) as u64)
         .collect();
     let versions_saved = per_stage_wp
         .iter()
