@@ -110,7 +110,7 @@ fn main() {
                     sync_transfers: false,
                     schedule,
                     recompute,
-                    script: script.clone(),
+                    script: script.clone().into(),
                     policy,
                     monitor: MonitorConfig::default(),
                     max_reactions: 8,

@@ -44,7 +44,7 @@ use hetpipe_core::{
 };
 use hetpipe_des::SimTime;
 use hetpipe_model::{resnet152, vgg19, ModelGraph};
-use hetpipe_runtime::{FaultScript, MonitorConfig, Policy, RuntimeParams};
+use hetpipe_runtime::{FaultScript, MonitorConfig, Policy, RuntimeParams, ScenarioScript};
 use serde_json::json;
 
 fn arg_value(name: &str) -> Option<String> {
@@ -103,22 +103,25 @@ fn whimpy_testbed() -> Cluster {
 }
 
 /// Resolves the `--faults` spec: a named canonical script, a seeded
-/// generator, or a JSON file path.
-fn load_script(spec: &str, horizon_secs: f64) -> FaultScript {
+/// generator, or a JSON file path (scenario or legacy fault form).
+fn load_script(spec: &str, horizon_secs: f64) -> ScenarioScript {
     // Canonical onsets land 10% into the run (capped at the acceptance
     // scenario's 5 s) so short CI horizons still see the perturbation.
     let onset = (horizon_secs * 0.1).min(5.0);
     match spec {
-        "canonical-straggler" => FaultScript::canonical_straggler(0, onset),
-        "canonical-gpu-loss" => FaultScript::canonical_gpu_loss(0, onset),
+        "canonical-straggler" => FaultScript::canonical_straggler(0, onset).into(),
+        "canonical-gpu-loss" => FaultScript::canonical_gpu_loss(0, onset).into(),
+        // Preempt GPU 0 a tenth into the run, re-grant at 60% of the
+        // horizon: the elastic acceptance scenario's lease shape.
+        "canonical-lease" => ScenarioScript::canonical_lease(0, onset, horizon_secs * 0.6),
         other => {
             if let Some(seed) = other.strip_prefix("seeded:") {
                 let seed: u64 = seed.parse().expect("--faults seeded:<n> needs an integer");
-                return FaultScript::seeded(seed, horizon_secs, 16, 4, 4);
+                return FaultScript::seeded(seed, horizon_secs, 16, 4, 4).into();
             }
             let text = std::fs::read_to_string(other)
                 .unwrap_or_else(|e| panic!("cannot read fault script {other}: {e}"));
-            FaultScript::from_json(&text)
+            ScenarioScript::from_json(&text)
                 .unwrap_or_else(|e| panic!("cannot parse fault script {other}: {e}"))
         }
     }

@@ -51,7 +51,7 @@
 //! covers every model.
 
 use hetpipe_des::check_bounds;
-use hetpipe_runtime::FaultScript;
+use hetpipe_runtime::{FaultScript, ScenarioScript};
 use hetpipe_schedule::{PipelineSchedule, RecomputePolicy, Schedule, WspParams};
 use hetpipe_verify::{
     check_broken_gate_protocol, check_broken_protocol, check_gate_protocol, check_seq_protocol,
@@ -100,12 +100,20 @@ fn main() {
 
     let mut gate = Gate::default();
 
-    // The canonical fault scripts composed into every isolation
-    // certificate: environment rate edges must stay write-only and
-    // External-owned (replicable to every engine without coupling).
-    let scripts = [
-        FaultScript::canonical_straggler(0, 5.0),
-        FaultScript::canonical_gpu_loss(0, 5.0),
+    // The canonical fault and scenario scripts composed into every
+    // isolation certificate: environment rate edges must stay
+    // write-only and External-owned (replicable to every engine
+    // without coupling). The lease script exercises the full
+    // grant → preempt → re-grant edge shape the elastic controller
+    // splices around, so its footprints are certified by the same
+    // gate as the pure-fault ones.
+    let straggler = FaultScript::canonical_straggler(0, 5.0);
+    let gpu_loss = FaultScript::canonical_gpu_loss(0, 5.0);
+    let lease = ScenarioScript::canonical_lease(0, 5.0, 12.0);
+    let scripts: [(&str, Vec<hetpipe_des::Footprint>); 3] = [
+        (&straggler.name, straggler.edge_footprints()),
+        (&gpu_loss.name, gpu_loss.edge_footprints()),
+        (&lease.name, lease.edge_footprints()),
     ];
 
     // ------------------------------------------------------------------
@@ -177,19 +185,15 @@ fn main() {
                         Ok(cert) => {
                             iso_certs += 1;
                             iso_cross += cert.cross_vw_edges;
-                            for script in &scripts {
-                                match verify_script_isolation(
-                                    cert.clone(),
-                                    &script.name,
-                                    &script.edge_footprints(),
-                                ) {
+                            for (name, footprints) in &scripts {
+                                match verify_script_isolation(cert.clone(), name, footprints) {
                                     Ok(faulted) => {
                                         iso_certs += 1;
                                         iso_fault_edges += faulted.fault_edges;
                                     }
-                                    Err(v) => gate
-                                        .violations
-                                        .push(format!("{label} faults={}: {v}", script.name)),
+                                    Err(v) => {
+                                        gate.violations.push(format!("{label} faults={name}: {v}"))
+                                    }
                                 }
                             }
                         }

@@ -603,19 +603,25 @@ impl<'a> Exec<'a> {
         }
     }
 
-    /// Applies the rate change of `rate_events[idx]`. Reservations made
-    /// from now on are scaled by the new rate; in-flight work keeps the
-    /// duration it was granted with.
+    /// Applies the rate change of `rate_events[idx]` to the resource's
+    /// current-rate knob (the full timeline was installed up front, so
+    /// reservations already integrate across this edge; the knob keeps
+    /// `Resource::rate` — and the slower-endpoint choice in
+    /// [`Exec::transfer`] — in step with the fired edges).
     fn apply_fault(&mut self, idx: usize) {
         let ev = self.opts.rate_events[idx];
         let res = self.fault_resource(ev.target);
         self.pool.get_mut(res).set_rate(ev.rate);
     }
 
-    /// A compute duration scaled by its GPU's current fault rate
-    /// (exact identity at the nominal rate — the golden path).
-    fn gpu_scaled(&self, gpu: ResourceId, dur: SimTime) -> SimTime {
-        self.pool.get(gpu).scaled(dur)
+    /// Reserves `nominal` GPU work starting no earlier than `now`,
+    /// integrated over the GPU's installed rate timeline (exact
+    /// identity on the nominal-rate golden path). Work that spans a
+    /// rate edge is split across the windows it covers, so an outage
+    /// with a later recovery delays the task instead of wedging it.
+    fn gpu_reserve(&mut self, gpu: ResourceId, nominal: SimTime) -> (SimTime, SimTime) {
+        let now = self.engine.now();
+        self.pool.get_mut(gpu).reserve_work(now, nominal)
     }
 
     /// True when injection (or op execution) of `mb` is past the
@@ -643,10 +649,10 @@ impl<'a> Exec<'a> {
             } else {
                 b
             };
-            let dur = self.pool.get(slower).scaled(dur);
             let start = now
                 .max(self.pool.get(a).free_at())
                 .max(self.pool.get(b).free_at());
+            let dur = self.pool.get(slower).duration_from(start, dur);
             let (s1, e1) = self.pool.get_mut(a).reserve(start, dur);
             let (s2, e2) = self.pool.get_mut(b).reserve(start, dur);
             debug_assert_eq!((s1, e1), (s2, e2), "paired NIC slots must align");
@@ -767,13 +773,11 @@ impl<'a> Exec<'a> {
     /// Reserves the GPU slot(s) for `mb`'s forward (or fused
     /// forward+backward at the last stage) and schedules completion.
     fn dispatch_forward(&mut self, vw: usize, stage: usize, mb: u64) {
-        let now = self.engine.now();
         let k = self.p.vws[vw].stages();
         let gpu = self.gpu_of(vw, stage);
         if stage == k - 1 {
             // Fused forward+backward at the last stage (Section 4).
-            let dur = self.gpu_scaled(gpu, self.fwd[vw][stage] + self.bwd[vw][stage]);
-            let (s, e) = self.pool.get_mut(gpu).reserve(now, dur);
+            let (s, e) = self.gpu_reserve(gpu, self.fwd[vw][stage] + self.bwd[vw][stage]);
             self.trace.record(
                 gpu,
                 s,
@@ -793,8 +797,7 @@ impl<'a> Exec<'a> {
                 },
             );
         } else {
-            let dur = self.gpu_scaled(gpu, self.fwd[vw][stage]);
-            let (s, e) = self.pool.get_mut(gpu).reserve(now, dur);
+            let (s, e) = self.gpu_reserve(gpu, self.fwd[vw][stage]);
             self.trace.record(
                 gpu,
                 s,
@@ -844,7 +847,6 @@ impl<'a> Exec<'a> {
     }
 
     fn bwd_arrive(&mut self, vw: usize, stage: usize, mb: u64) {
-        let now = self.engine.now();
         let gpu = self.gpu_of(vw, stage);
         let k = self.p.vws[vw].stages();
         if self
@@ -855,8 +857,7 @@ impl<'a> Exec<'a> {
             // Rematerialize the stage's activations from the stashed
             // boundary input: one forward re-run reserved directly
             // ahead of the backward on the same FIFO timeline.
-            let dur = self.gpu_scaled(gpu, self.fwd[vw][stage]);
-            let (s, e) = self.pool.get_mut(gpu).reserve(now, dur);
+            let (s, e) = self.gpu_reserve(gpu, self.fwd[vw][stage]);
             self.trace.record(
                 gpu,
                 s,
@@ -868,8 +869,7 @@ impl<'a> Exec<'a> {
                 },
             );
         }
-        let dur = self.gpu_scaled(gpu, self.bwd[vw][stage]);
-        let (s, e) = self.pool.get_mut(gpu).reserve(now, dur);
+        let (s, e) = self.gpu_reserve(gpu, self.bwd[vw][stage]);
         self.trace.record(
             gpu,
             s,
@@ -1433,7 +1433,6 @@ impl<'a> Exec<'a> {
     /// horizon (stops eager reservation — the caller must then leave
     /// its cursor parked on the op, and clear the cursor on success).
     fn reserve_compute(&mut self, vw: usize, stage: usize, mb: u64, task: StreamTask) -> bool {
-        let now = self.engine.now();
         let gpu = self.gpu_of(vw, stage);
         if self.pool.get(gpu).free_at() >= self.horizon {
             return false;
@@ -1443,8 +1442,7 @@ impl<'a> Exec<'a> {
             StreamTask::Backward => self.bwd[vw][stage],
             StreamTask::Fused => self.fwd[vw][stage] + self.bwd[vw][stage],
         };
-        let dur = self.gpu_scaled(gpu, dur);
-        let (s, e) = self.pool.get_mut(gpu).reserve(now, dur);
+        let (s, e) = self.gpu_reserve(gpu, dur);
         let (vw32, stage32) = (vw as u32, stage as u32);
         let (tag, done) = match task {
             StreamTask::Forward => (
@@ -1678,6 +1676,27 @@ impl<'a> Exec<'a> {
         for (i, ev) in self.opts.rate_events.iter().enumerate() {
             self.engine.schedule_at(ev.at, Ev::Fault { idx: i as u32 });
         }
+        // Install each resource's full piecewise rate timeline up
+        // front so reservations integrate across windows: a task that
+        // spans an outage with a later recovery is delayed, not wedged
+        // at the outage rate forever. Fault-free resources keep an
+        // empty timeline and take the exact legacy scaling path.
+        let mut timelines: std::collections::BTreeMap<ResourceId, Vec<(SimTime, f64)>> =
+            std::collections::BTreeMap::new();
+        for &(target, rate) in self.opts.initial_rates.iter() {
+            let res = self.fault_resource(target);
+            timelines
+                .entry(res)
+                .or_default()
+                .push((SimTime::ZERO, rate));
+        }
+        for ev in self.opts.rate_events.iter() {
+            let res = self.fault_resource(ev.target);
+            timelines.entry(res).or_default().push((ev.at, ev.rate));
+        }
+        for (res, edges) in timelines {
+            self.pool.get_mut(res).set_rate_schedule(edges);
+        }
         for vw in 0..self.p.vws.len() {
             self.engine
                 .schedule_at(SimTime::ZERO, Ev::TryInject { vw: vw as u32 });
@@ -1686,9 +1705,25 @@ impl<'a> Exec<'a> {
         while let Some(ev) = self.engine.next_event_until(horizon) {
             self.handle(ev);
         }
+        // A drained segment ends when its last span of work does, not
+        // at engine quiescence: scheduled rate edges are first-class
+        // events, so a recovery edge far past the splice boundary
+        // would otherwise inflate the epoch and ride out the whole
+        // outage the splice was meant to dodge.
+        let end = if self.opts.stop_after_mb.is_some() {
+            self.trace
+                .spans()
+                .iter()
+                .map(|s| s.end)
+                .max()
+                .unwrap_or(SimTime::ZERO)
+                .min(self.engine.now())
+        } else {
+            self.engine.now()
+        };
         RunStats {
             horizon,
-            end: self.engine.now(),
+            end,
             vws: self.states.into_iter().map(|s| s.stats).collect(),
             trace: self.trace,
             gpu_resources: self.gpu_res,

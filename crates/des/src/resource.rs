@@ -30,6 +30,16 @@ pub struct Resource {
     /// reserving. The rate applies at *reservation time*: work already
     /// on the timeline keeps the duration it was granted with.
     rate: f64,
+    /// The known piecewise-constant rate timeline (sorted rate edges),
+    /// when the caller can declare it up front
+    /// ([`Resource::set_rate_schedule`]). With a timeline installed,
+    /// [`Resource::duration_from`] *integrates* nominal work across
+    /// the windows the reservation actually spans — the rate-edge
+    /// lifecycle appearing/disappearing resources need: a resource
+    /// that is out (rate 0) for a window and then returns delays the
+    /// work by the outage instead of freezing a reservation-time
+    /// duration forever. Before the first edge the rate is nominal.
+    edges: Vec<(SimTime, f64)>,
 }
 
 impl Resource {
@@ -41,6 +51,7 @@ impl Resource {
             busy: SimTime::ZERO,
             reservations: 0,
             rate: 1.0,
+            edges: Vec::new(),
         }
     }
 
@@ -71,6 +82,105 @@ impl Resource {
         }
         let ns = (nominal.as_nanos() as f64 / self.rate).min(u64::MAX as f64 / 4.0);
         SimTime::from_nanos(ns as u64)
+    }
+
+    /// Installs the full known rate timeline: sorted `(at, rate)`
+    /// edges, each in effect from its instant until the next edge
+    /// (nominal 1.0 before the first). Replaces any prior schedule.
+    ///
+    /// This is the declaration half of the rate-edge *lifecycle* for
+    /// appearing and disappearing resources: a GPU leased away and
+    /// later re-granted is a `(t_out, 0.0)` / `(t_back, 1.0)` edge
+    /// pair, and work reserved across the outage ends after the
+    /// resource returns ([`Resource::duration_from`]) instead of
+    /// keeping a reservation-time duration that never completes.
+    pub fn set_rate_schedule(&mut self, mut edges: Vec<(SimTime, f64)>) {
+        edges.sort_by_key(|&(at, _)| at);
+        // Same-instant edges: the last one wins.
+        edges.dedup_by(|later, earlier| {
+            if later.0 == earlier.0 {
+                earlier.1 = later.1;
+                true
+            } else {
+                false
+            }
+        });
+        self.edges = edges;
+    }
+
+    /// The scheduled rate in effect at `t` (nominal before the first
+    /// edge; [`Resource::rate`] when no schedule is installed).
+    pub fn rate_at(&self, t: SimTime) -> f64 {
+        match self.edges.iter().rev().find(|&&(at, _)| at <= t) {
+            Some(&(_, rate)) => rate,
+            None if self.edges.is_empty() => self.rate,
+            None => 1.0,
+        }
+    }
+
+    /// How long `nominal` work starting at `start` takes under the
+    /// installed rate schedule: nominal work is *integrated* over the
+    /// piecewise-constant rate windows the job actually spans. A
+    /// rate-0 window contributes pure delay; work that never meets a
+    /// positive window again clamps to a quarter of [`SimTime::MAX`]
+    /// (saturating downstream, like [`Resource::scaled`]). Without a
+    /// schedule this falls back to reservation-time scaling. Work
+    /// confined to nominal-rate windows is an exact identity (the
+    /// nanosecond counts stay below 2^53, so the f64 walk is exact).
+    pub fn duration_from(&self, start: SimTime, nominal: SimTime) -> SimTime {
+        if self.edges.is_empty() {
+            return self.scaled(nominal);
+        }
+        const DEAD: u64 = u64::MAX / 4;
+        let start_ns = start.as_nanos() as f64;
+        let mut work = nominal.as_nanos() as f64;
+        if work <= 0.0 {
+            return SimTime::ZERO;
+        }
+        let mut t = start_ns;
+        let mut next_i = self
+            .edges
+            .iter()
+            .rposition(|&(at, _)| (at.as_nanos() as f64) <= t)
+            .map_or(0, |i| i + 1);
+        loop {
+            let rate = if next_i == 0 {
+                1.0
+            } else {
+                self.edges[next_i - 1].1
+            };
+            let next = self.edges.get(next_i).map(|&(at, _)| at.as_nanos() as f64);
+            if rate > 0.0 {
+                let fits = match next {
+                    Some(n) => work <= (n - t) * rate,
+                    None => true,
+                };
+                if fits {
+                    let dur = (t + work / rate - start_ns).min(DEAD as f64);
+                    return SimTime::from_nanos(dur as u64);
+                }
+                let n = next.expect("unfit work implies a next edge");
+                work -= (n - t) * rate;
+                t = n;
+            } else {
+                match next {
+                    Some(n) => t = n,
+                    // Dead with no later edge: never completes.
+                    None => return SimTime::from_nanos(DEAD),
+                }
+            }
+            next_i += 1;
+        }
+    }
+
+    /// Reserves `nominal` work starting no earlier than `earliest`,
+    /// with the duration derived from the granted start through
+    /// [`Resource::duration_from`] — the schedule-aware form of
+    /// [`Resource::reserve`]. Returns `(start, end)`.
+    pub fn reserve_work(&mut self, earliest: SimTime, nominal: SimTime) -> (SimTime, SimTime) {
+        let start = self.free_at.max(earliest);
+        let duration = self.duration_from(start, nominal);
+        self.reserve(start, duration)
     }
 
     /// Reserves the resource for `duration`, starting no earlier than
@@ -225,6 +335,84 @@ mod tests {
         // Recovery restores the identity.
         gpu.set_rate(1.0);
         assert_eq!(gpu.scaled(d), d);
+    }
+
+    #[test]
+    fn schedule_integration_spans_rate_windows() {
+        let mut gpu = Resource::new("gpu0");
+        // x2 slowdown over [100, 200), nominal elsewhere.
+        gpu.set_rate_schedule(vec![
+            (SimTime::from_nanos(100), 0.5),
+            (SimTime::from_nanos(200), 1.0),
+        ]);
+        // Entirely inside a nominal window: exact identity.
+        assert_eq!(
+            gpu.duration_from(SimTime::ZERO, SimTime::from_nanos(50)),
+            SimTime::from_nanos(50)
+        );
+        // Entirely inside the slow window: plain scaling.
+        assert_eq!(
+            gpu.duration_from(SimTime::from_nanos(100), SimTime::from_nanos(40)),
+            SimTime::from_nanos(80)
+        );
+        // Spanning the onset: 60 ns of work at rate 1, the remaining
+        // 40 ns at rate 0.5 → 60 + 80 = 140 ns.
+        assert_eq!(
+            gpu.duration_from(SimTime::from_nanos(40), SimTime::from_nanos(100)),
+            SimTime::from_nanos(140)
+        );
+        // Spanning the restore edge: 25 ns of nominal work done in the
+        // slow window's last 50 ns, the remaining 75 at rate 1.
+        assert_eq!(
+            gpu.duration_from(SimTime::from_nanos(150), SimTime::from_nanos(100)),
+            SimTime::from_nanos(125)
+        );
+    }
+
+    #[test]
+    fn outage_window_delays_instead_of_wedging() {
+        let mut gpu = Resource::new("gpu0");
+        // Leased away over [100, 300), granted back after.
+        gpu.set_rate_schedule(vec![
+            (SimTime::from_nanos(100), 0.0),
+            (SimTime::from_nanos(300), 1.0),
+        ]);
+        // Work starting inside the outage waits it out, then runs.
+        assert_eq!(
+            gpu.duration_from(SimTime::from_nanos(150), SimTime::from_nanos(40)),
+            SimTime::from_nanos(190)
+        );
+        // Work crossing into the outage is split around it.
+        assert_eq!(
+            gpu.duration_from(SimTime::from_nanos(80), SimTime::from_nanos(40)),
+            SimTime::from_nanos(240)
+        );
+        // The paired reservation form agrees and keeps FCFS.
+        let (s, e) = gpu.reserve_work(SimTime::from_nanos(150), SimTime::from_nanos(40));
+        assert_eq!((s, e), (SimTime::from_nanos(150), SimTime::from_nanos(340)));
+        // An outage with no recovery edge never completes (saturating).
+        let mut dead = Resource::new("gpu1");
+        dead.set_rate_schedule(vec![(SimTime::from_nanos(100), 0.0)]);
+        let d = dead.duration_from(SimTime::from_nanos(150), SimTime::from_nanos(1));
+        assert!(d > SimTime::from_secs(1e9));
+        assert!(SimTime::MAX + d == SimTime::MAX);
+        // rate_at reads the schedule; without one it reads the knob.
+        assert_eq!(dead.rate_at(SimTime::from_nanos(50)), 1.0);
+        assert_eq!(dead.rate_at(SimTime::from_nanos(100)), 0.0);
+        let plain = Resource::new("gpu2");
+        assert_eq!(plain.rate_at(SimTime::from_nanos(5)), 1.0);
+    }
+
+    #[test]
+    fn empty_schedule_falls_back_to_reservation_time_rate() {
+        let mut gpu = Resource::new("gpu0");
+        gpu.set_rate(0.5);
+        assert_eq!(
+            gpu.duration_from(SimTime::ZERO, SimTime::from_nanos(100)),
+            SimTime::from_nanos(200)
+        );
+        let (s, e) = gpu.reserve_work(SimTime::ZERO, SimTime::from_nanos(100));
+        assert_eq!((s, e), (SimTime::ZERO, SimTime::from_nanos(200)));
     }
 
     #[test]

@@ -65,6 +65,21 @@
 //! cache hits directly against the shared cache (no queue round-trip)
 //! and enqueues misses/replans as blocking request/reply jobs.
 //!
+//! # Degraded mode: deadlines, bounded retry, certified fallback
+//!
+//! A service that is *slow* (congested pool, long solve ahead of you in
+//! the queue) is worse than one that is dead: a dead queue fails fast,
+//! a slow one can stall a latency-critical caller indefinitely. Clients
+//! built with [`PlanClient::with_deadline`] / [`PlanClient::with_retry`]
+//! bound each attempt with a reply deadline, retry with exponential
+//! backoff, and surface [`PlanError::DeadlineExceeded`] once the budget
+//! is spent. The runtime controller treats that exactly like any other
+//! service error: it falls back to the in-process solver, whose replans
+//! are bit-identical to the service path (pinned by test), so degraded
+//! mode loses latency headroom but never plan fidelity. A late reply
+//! from an abandoned attempt is dropped by the worker — it can never be
+//! mistaken for the answer to a newer request.
+//!
 //! # Verification
 //!
 //! The sequence protocol above is not just tested by racing threads:

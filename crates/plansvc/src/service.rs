@@ -177,6 +177,11 @@ pub enum PlanError {
     Partition(PartitionError),
     /// The service shut down while the request was in flight.
     ServiceStopped,
+    /// The service did not answer within the client's deadline across
+    /// every retry — it is slow, not provably dead. Callers with a
+    /// local solver (the runtime controller) fall back in-process so
+    /// a congested service cannot stall a wave-boundary splice.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for PlanError {
@@ -187,18 +192,29 @@ impl fmt::Display for PlanError {
             PlanError::BadRequest(why) => write!(f, "bad request: {why}"),
             PlanError::Partition(e) => write!(f, "partition failed: {e}"),
             PlanError::ServiceStopped => write!(f, "plan service stopped"),
+            PlanError::DeadlineExceeded => write!(f, "plan service deadline exceeded"),
         }
     }
 }
 
 impl std::error::Error for PlanError {}
 
-/// One queued request (`publish` distinguishes replan writes from
-/// query reads).
+/// What a queued job asks of a worker.
+#[derive(Debug)]
+enum JobKind {
+    /// Solve a request (`publish` distinguishes replan writes from
+    /// query reads).
+    Solve { req: PlanRequest, publish: bool },
+    /// Occupy the worker for the duration without answering — the
+    /// test hook behind [`PlanService::stall_workers`], simulating a
+    /// service that is slow (congested, GC-paused) rather than dead.
+    Stall(std::time::Duration),
+}
+
+/// One queued request.
 #[derive(Debug)]
 struct Job {
-    req: PlanRequest,
-    publish: bool,
+    kind: JobKind,
     reply: mpsc::Sender<Result<PlanReply, PlanError>>,
 }
 
@@ -240,11 +256,17 @@ impl PlanService {
                         // never while solving.
                         let job = rx.lock().unwrap_or_else(PoisonError::into_inner).recv();
                         match job {
-                            Ok(job) => {
-                                let result = serve(&shared, &job.req, job.publish);
-                                // A client that gave up waiting is fine.
-                                let _ = job.reply.send(result);
-                            }
+                            Ok(job) => match job.kind {
+                                JobKind::Solve { req, publish } => {
+                                    let result = serve(&shared, &req, publish);
+                                    // A client that gave up waiting is fine.
+                                    let _ = job.reply.send(result);
+                                }
+                                JobKind::Stall(d) => {
+                                    std::thread::sleep(d);
+                                    let _ = job.reply.send(Err(PlanError::DeadlineExceeded));
+                                }
+                            },
                             // Queue closed: service shut down.
                             Err(_) => break,
                         }
@@ -259,11 +281,30 @@ impl PlanService {
         }
     }
 
-    /// A new client handle (cheap; clients are also `Clone`).
+    /// A new client handle (cheap; clients are also `Clone`). The
+    /// default client blocks indefinitely — bound it with
+    /// [`PlanClient::with_deadline`] / [`PlanClient::with_retry`].
     pub fn client(&self) -> PlanClient {
         PlanClient {
             shared: Arc::clone(&self.shared),
             tx: self.tx.as_ref().expect("service running").clone(),
+            deadline: None,
+            retries: 0,
+            backoff: std::time::Duration::from_millis(10),
+        }
+    }
+
+    /// Test hook: enqueue one [`JobKind::Stall`] per worker so the
+    /// whole pool is busy (slow, not dead) for `d`. Queued solve jobs
+    /// behind the stalls still complete once the stalls drain.
+    pub fn stall_workers(&self, d: std::time::Duration) {
+        let tx = self.tx.as_ref().expect("service running");
+        for _ in 0..self.workers.len() {
+            let (reply, _rx) = mpsc::channel();
+            let _ = tx.send(Job {
+                kind: JobKind::Stall(d),
+                reply,
+            });
         }
     }
 
@@ -309,13 +350,40 @@ impl Drop for PlanService {
 /// A clonable client handle: cache hits resolve directly against the
 /// shared cache (no queue round-trip); misses and replans are blocking
 /// request/reply jobs through the worker pool.
+///
+/// By default a client waits indefinitely for its reply. Latency-bound
+/// callers (the runtime controller splicing at a wave boundary) set a
+/// per-attempt deadline and a bounded retry budget with exponential
+/// backoff; exhausting both yields [`PlanError::DeadlineExceeded`],
+/// which such callers treat as "service slow — solve in-process". An
+/// abandoned attempt's late reply is simply dropped by the worker.
 #[derive(Debug, Clone)]
 pub struct PlanClient {
     shared: Arc<Shared>,
     tx: mpsc::Sender<Job>,
+    /// Per-attempt reply deadline (`None` = block forever).
+    deadline: Option<std::time::Duration>,
+    /// Extra attempts after the first deadline miss.
+    retries: u32,
+    /// Sleep before retry `n` is `backoff << n` (exponential).
+    backoff: std::time::Duration,
 }
 
 impl PlanClient {
+    /// Returns this client with a per-attempt reply deadline.
+    pub fn with_deadline(mut self, deadline: std::time::Duration) -> PlanClient {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Returns this client with `retries` extra attempts after a
+    /// deadline miss, sleeping `backoff`, `2·backoff`, `4·backoff`, …
+    /// between attempts. Meaningless without a deadline.
+    pub fn with_retry(mut self, retries: u32, backoff: std::time::Duration) -> PlanClient {
+        self.retries = retries;
+        self.backoff = backoff;
+        self
+    }
     /// Read path: serve `req` from the cache when present (a
     /// [`Provenance::CacheHit`], bit-identical to the solve that
     /// populated the entry), otherwise solve it on the worker pool —
@@ -339,15 +407,39 @@ impl PlanClient {
     }
 
     fn call(&self, req: PlanRequest, publish: bool) -> Result<PlanReply, PlanError> {
-        let (reply_tx, reply_rx) = mpsc::channel();
-        self.tx
-            .send(Job {
-                req,
-                publish,
-                reply: reply_tx,
-            })
-            .map_err(|_| PlanError::ServiceStopped)?;
-        reply_rx.recv().map_err(|_| PlanError::ServiceStopped)?
+        let attempts = 1 + self.retries;
+        for attempt in 0..attempts {
+            let (reply_tx, reply_rx) = mpsc::channel();
+            self.tx
+                .send(Job {
+                    kind: JobKind::Solve {
+                        req: req.clone(),
+                        publish,
+                    },
+                    reply: reply_tx,
+                })
+                .map_err(|_| PlanError::ServiceStopped)?;
+            match self.deadline {
+                None => return reply_rx.recv().map_err(|_| PlanError::ServiceStopped)?,
+                Some(d) => match reply_rx.recv_timeout(d) {
+                    Ok(result) => return result,
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        return Err(PlanError::ServiceStopped)
+                    }
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        if attempt + 1 < attempts {
+                            // Exponential backoff between attempts; the
+                            // abandoned attempt's reply channel is
+                            // dropped, so its late answer is discarded.
+                            std::thread::sleep(
+                                self.backoff.saturating_mul(1u32 << attempt.min(20)),
+                            );
+                        }
+                    }
+                },
+            }
+        }
+        Err(PlanError::DeadlineExceeded)
     }
 }
 
@@ -589,6 +681,40 @@ mod tests {
             PlanError::BadRequest(_)
         ));
         drop(client);
+        svc.shutdown();
+    }
+
+    #[test]
+    fn stalled_pool_times_out_then_recovers() {
+        use std::time::Duration;
+        let (svc, model_fp, cluster_fp) = service();
+        let client = svc
+            .client()
+            .with_deadline(Duration::from_millis(20))
+            .with_retry(1, Duration::from_millis(5));
+        let req = PlanRequest::nominal(
+            model_fp,
+            cluster_fp,
+            devices(),
+            2,
+            Schedule::HetPipeWave,
+            RecomputePolicy::None,
+        );
+        // Both workers busy for longer than deadline x (1 + retries):
+        // the bounded client gives up instead of stalling its caller.
+        svc.stall_workers(Duration::from_millis(300));
+        assert_eq!(
+            client.replan(&req).unwrap_err(),
+            PlanError::DeadlineExceeded
+        );
+        // Once the stall drains, the same client is served normally —
+        // slow is a transient condition, not a poisoned handle.
+        let patient = svc.client();
+        let reply = patient.replan(&req).unwrap();
+        assert!(reply.seq >= 1);
+        assert!(reply.cost > 0.0);
+        drop(client);
+        drop(patient);
         svc.shutdown();
     }
 

@@ -45,9 +45,27 @@
 //!   observed speed, and with lost GPUs dropped from the pipeline
 //!   (shrinking `Nm` when the smaller pipeline demands it); splice
 //!   the new plan in at the boundary.
+//!
+//! # Elastic leases
+//!
+//! Under a [`ScenarioScript`], lease transitions are a *control
+//! plane*: the lease manager tells the controller when a GPU is
+//! preempted or (re-)granted, so reacting to them reads the script —
+//! unlike fault detection, which stays purely observational. A
+//! transition is actionable only when it is **stable** (no opposite
+//! transition on the same GPU within the lease hysteresis window —
+//! a flapping lease produces zero splices) and its detection instant
+//! is the end of that window. A stable preemption marks the device
+//! dead (converging with the monitor's observational `GpuLost`, which
+//! the executor's rate-timeline integration keeps flap-safe); a
+//! stable grant revives it — or admits a brand-new device — and the
+//! replan runs over the *grown* roster, re-raising `Nm` up to its
+//! initial value when the widened pipeline allows it. Both reshapes
+//! splice at a drained wave boundary, so the WSP soundness argument
+//! is direction-independent (see the crate docs).
 
-use crate::fault::FaultScript;
 use crate::monitor::{Monitor, MonitorConfig, Signal};
+use crate::scenario::ScenarioScript;
 use hetpipe_cluster::{Cluster, DeviceId};
 use hetpipe_core::exec::{self, ExecParams, RunStats, SegmentOpts, SpanTag};
 use hetpipe_core::pserver::{Placement, ShardMap};
@@ -121,8 +139,9 @@ pub struct RuntimeParams<'a> {
     pub schedule: Schedule,
     /// Activation recomputation policy.
     pub recompute: RecomputePolicy,
-    /// The fault script to inject.
-    pub script: FaultScript,
+    /// The scenario script to inject (fault scripts convert with
+    /// `.into()`).
+    pub script: ScenarioScript,
     /// The reactive policy.
     pub policy: Policy,
     /// Monitor tuning.
@@ -238,10 +257,43 @@ impl RuntimeReport {
     }
 }
 
+/// A stable, actionable lease transition — the control-plane side of
+/// the feedback loop (the lease manager tells us; the monitor only
+/// observes).
+#[derive(Debug, Clone, PartialEq)]
+enum LeaseSignal {
+    /// `device` is leased to the job (a revival or a new admission).
+    Granted { device: DeviceId, at: SimTime },
+    /// `device`'s lease was revoked.
+    Preempted { device: DeviceId, at: SimTime },
+}
+
+impl LeaseSignal {
+    /// Segment-local detection time (transition + hysteresis).
+    fn at(&self) -> SimTime {
+        match self {
+            LeaseSignal::Granted { at, .. } | LeaseSignal::Preempted { at, .. } => *at,
+        }
+    }
+
+    fn label(&self) -> String {
+        match self {
+            LeaseSignal::Granted { device, .. } => format!("lease granted: gpu{}", device.0),
+            LeaseSignal::Preempted { device, .. } => format!("lease preempted: gpu{}", device.0),
+        }
+    }
+}
+
 /// The action a policy chose for one probe.
 enum Action {
-    EnableReorder { window: usize, trigger: Signal },
-    Replan { signals: Vec<Signal> },
+    EnableReorder {
+        window: usize,
+        trigger: Signal,
+    },
+    Replan {
+        signals: Vec<Signal>,
+        lease: Vec<LeaseSignal>,
+    },
 }
 
 impl Action {
@@ -250,8 +302,12 @@ impl Action {
             Action::EnableReorder { window, trigger } => {
                 format!("enable reorder window {window} on [{}]", trigger.label())
             }
-            Action::Replan { signals } => {
-                let parts: Vec<String> = signals.iter().map(Signal::label).collect();
+            Action::Replan { signals, lease } => {
+                let parts: Vec<String> = signals
+                    .iter()
+                    .map(Signal::label)
+                    .chain(lease.iter().map(LeaseSignal::label))
+                    .collect();
                 format!("replan on [{}]", parts.join(", "))
             }
         }
@@ -260,10 +316,10 @@ impl Action {
     /// The signals that caused this action — what the reaction branch
     /// commits to the report (the rest of the probe's observations
     /// belong to a discarded timeline).
-    fn triggers(&self) -> Vec<Signal> {
+    fn triggers(&self) -> (Vec<Signal>, Vec<LeaseSignal>) {
         match self {
-            Action::EnableReorder { trigger, .. } => vec![trigger.clone()],
-            Action::Replan { signals } => signals.clone(),
+            Action::EnableReorder { trigger, .. } => (vec![trigger.clone()], Vec::new()),
+            Action::Replan { signals, lease } => (signals.clone(), lease.clone()),
         }
     }
 }
@@ -280,6 +336,14 @@ struct Controller<'a> {
     applied: BTreeMap<(usize, usize), f64>,
     applied_dev: BTreeMap<(usize, DeviceId), f64>,
     dead: BTreeSet<DeviceId>,
+    /// The initial common `Nm` — the ceiling a grow-splice may
+    /// re-raise to after a shrink lowered `self.nm`.
+    initial_nm: usize,
+    /// Per-VW device roster: every physical device that has ever been
+    /// part of (or granted to) the VW, in pipeline order. Replans
+    /// draw survivors from here rather than from the current plan, so
+    /// a dropped GPU keeps its position and can be re-admitted.
+    roster: Vec<Vec<DeviceId>>,
     reorder: usize,
     // Global accumulators.
     offset: SimTime,
@@ -322,6 +386,18 @@ impl<'a> Controller<'a> {
                 hetpipe_core::plankey::cluster_fingerprint(p.cluster),
             )
         });
+        let roster = vws
+            .iter()
+            .map(|vw| {
+                let mut phys: Vec<DeviceId> = Vec::new();
+                for &d in &vw.devices {
+                    if !phys.contains(&d) {
+                        phys.push(d);
+                    }
+                }
+                phys
+            })
+            .collect();
         Controller {
             monitor,
             vws,
@@ -329,6 +405,8 @@ impl<'a> Controller<'a> {
             applied: BTreeMap::new(),
             applied_dev: BTreeMap::new(),
             dead: BTreeSet::new(),
+            initial_nm: nm,
+            roster,
             reorder: 0,
             offset: SimTime::ZERO,
             mb_offset: 0,
@@ -435,8 +513,88 @@ impl<'a> Controller<'a> {
         }
     }
 
+    /// Logs acted-on lease signals (global times) into the report.
+    fn log_lease(&mut self, lease: &[LeaseSignal]) {
+        for s in lease {
+            let at = s.at() + self.offset;
+            self.report.signals.push((at, s.label()));
+            self.report.instants.push((at, s.label(), "signal"));
+        }
+    }
+
+    /// The stable, actionable lease transitions visible to this
+    /// probe, in segment-local detection time.
+    ///
+    /// A transition at global `t` is **stable** iff no opposite
+    /// transition of the same GPU falls within `(t, t + hysteresis]`;
+    /// its detection instant is `t + hysteresis` (the controller
+    /// waits the window out before believing the lease manager), so
+    /// a flapping lease is never acted on at all.
+    ///
+    /// Only transitions whose detection instant falls *after* the
+    /// current segment started are considered: older ones were either
+    /// acted on or deliberately suppressed by an earlier segment's
+    /// decision, and re-arming them once the device state flips back
+    /// would ping-pong the controller between a stale grant and a
+    /// stale preemption forever. On top of that, conditions
+    /// self-suppress: a preemption is actionable only while the
+    /// device is active, a grant only while the device is dead or not
+    /// yet admitted.
+    fn lease_signals(&self, probe_end: SimTime) -> Vec<LeaseSignal> {
+        let transitions = self.p.script.lease_transitions();
+        if transitions.is_empty() {
+            return Vec::new();
+        }
+        let hysteresis = SimTime::from_secs(self.p.monitor.lease_hysteresis_secs);
+        let devices = self.p.cluster.devices().count();
+        let active: BTreeSet<DeviceId> = self
+            .vws
+            .iter()
+            .flat_map(|vw| vw.devices.iter().copied())
+            .collect();
+        let mut out = Vec::new();
+        for t in &transitions {
+            if t.gpu >= devices {
+                continue; // Not a device of this cluster.
+            }
+            let stable = !transitions.iter().any(|o| {
+                o.gpu == t.gpu
+                    && o.available != t.available
+                    && o.at > t.at
+                    && o.at - t.at <= hysteresis
+            });
+            if !stable {
+                continue;
+            }
+            let detect = t.at + hysteresis;
+            let end = self.offset + probe_end;
+            if detect > end {
+                continue; // Not yet detected within this run.
+            }
+            if detect <= self.offset {
+                // Settled by an earlier segment (acted on or
+                // suppressed); never re-armed.
+                continue;
+            }
+            let local = detect - self.offset;
+            let device = DeviceId(t.gpu);
+            if t.available {
+                if self.dead.contains(&device) || !active.contains(&device) {
+                    out.push(LeaseSignal::Granted { device, at: local });
+                }
+            } else if active.contains(&device) && !self.dead.contains(&device) {
+                out.push(LeaseSignal::Preempted { device, at: local });
+            }
+        }
+        out.sort_by_key(LeaseSignal::at);
+        out
+    }
+
     /// What, if anything, the policy does with this probe's signals.
-    fn decide(&self, signals: &[Signal]) -> Option<(SimTime, Action)> {
+    /// Lease transitions are actionable by [`Policy::Replan`] only —
+    /// the static and reorder policies keep today's behaviour, which
+    /// is what makes them honest baselines under lease scenarios.
+    fn decide(&self, signals: &[Signal], lease: &[LeaseSignal]) -> Option<(SimTime, Action)> {
         if self.reactions >= self.p.max_reactions {
             return None;
         }
@@ -472,11 +630,17 @@ impl<'a> Controller<'a> {
                     })
                     .cloned()
                     .collect();
-                let first = actionable.first()?.at();
+                let first = actionable
+                    .first()
+                    .map(Signal::at)
+                    .into_iter()
+                    .chain(lease.first().map(LeaseSignal::at))
+                    .min()?;
                 Some((
                     first,
                     Action::Replan {
                         signals: actionable,
+                        lease: lease.to_vec(),
                     },
                 ))
             }
@@ -490,6 +654,16 @@ impl<'a> Controller<'a> {
     /// splice epoch) when no wave completed at all; the 0 case cannot
     /// loop because every action changes the configuration and the
     /// reaction budget bounds it regardless.
+    ///
+    /// One guard: under the executor's rate-timeline integration, a
+    /// wave whose task *crosses* an outage window completes only when
+    /// the outage lifts, so the first boundary at/after the signal
+    /// can sit far beyond it — draining there would ride out the
+    /// whole outage under the old plan and make the reaction
+    /// worthless. When the chosen boundary lies more than two typical
+    /// wave periods past the signal, splice at the *previous* (last
+    /// pre-outage) boundary instead: any drained boundary is fully
+    /// synchronized, so an earlier one is just as sound.
     fn splice_boundary(&self, probe: &RunStats, t_sig: SimTime) -> u64 {
         let nm = self.nm as u64;
         let full_waves = probe
@@ -501,15 +675,30 @@ impl<'a> Controller<'a> {
         if full_waves == 0 {
             return 0;
         }
-        for w in 0..full_waves {
-            let last_mb = ((w + 1) * nm - 1) as usize;
-            let boundary = probe
-                .vws
-                .iter()
-                .map(|v| v.completions[last_mb])
-                .max()
-                .expect("at least one VW");
+        // Boundary instant of each whole wave (max across VWs).
+        let times: Vec<SimTime> = (0..full_waves)
+            .map(|w| {
+                let last_mb = ((w + 1) * nm - 1) as usize;
+                probe
+                    .vws
+                    .iter()
+                    .map(|v| v.completions[last_mb])
+                    .max()
+                    .expect("at least one VW")
+            })
+            .collect();
+        // Typical inter-boundary gap: the median is robust to the
+        // few outage-inflated waves.
+        let mut gaps: Vec<SimTime> = times.windows(2).map(|w| w[1] - w[0]).collect();
+        gaps.sort();
+        let period = gaps.get(gaps.len() / 2).copied().unwrap_or(times[0]);
+        for (w, &boundary) in times.iter().enumerate() {
             if boundary >= t_sig {
+                let w = w as u64;
+                if boundary - t_sig > period + period {
+                    // Outage-inflated boundary: take the previous one.
+                    return w * nm;
+                }
                 return (w + 1) * nm;
             }
         }
@@ -524,7 +713,7 @@ impl<'a> Controller<'a> {
             Action::EnableReorder { window, .. } => {
                 self.reorder = window;
             }
-            Action::Replan { signals } => {
+            Action::Replan { signals, lease } => {
                 for s in &signals {
                     let (vw, stage) = s.stage_key();
                     let device = self.vws[vw].devices[stage];
@@ -540,7 +729,41 @@ impl<'a> Controller<'a> {
                         }
                     }
                 }
-                self.replan();
+                let mut grew = false;
+                for s in &lease {
+                    match *s {
+                        LeaseSignal::Preempted { device, .. } => {
+                            // Converges with the monitor's
+                            // observational GpuLost (idempotent).
+                            self.dead.insert(device);
+                        }
+                        LeaseSignal::Granted { device, .. } => {
+                            grew = true;
+                            self.dead.remove(&device);
+                            // A re-admitted GPU starts at nominal:
+                            // stale derates belong to its old lease.
+                            for i in 0..self.vws.len() {
+                                self.applied_dev.remove(&(i, device));
+                            }
+                            if !self.roster.iter().any(|r| r.contains(&device)) {
+                                // A brand-new grant joins the
+                                // narrowest pipeline.
+                                if let Some(r) = self.roster.iter_mut().min_by_key(|r| r.len()) {
+                                    r.push(device);
+                                }
+                            }
+                        }
+                    }
+                }
+                // A grow-splice may re-raise Nm up to the initial
+                // value: the widened pipeline restored the memory
+                // headroom the shrink had taken away.
+                let ceiling = if grew {
+                    self.initial_nm.max(self.nm)
+                } else {
+                    self.nm
+                };
+                self.replan(ceiling);
             }
         }
     }
@@ -551,9 +774,11 @@ impl<'a> Controller<'a> {
     /// answer-preserving, so both paths return bit-identical plans for
     /// the same observed costs; a partition error (infeasible `nm`)
     /// surfaces either way so the caller can lower `nm`, while
-    /// service-transport failures (stopped service, stale catalog)
-    /// fall back to the in-process solve rather than killing the
-    /// reaction.
+    /// service-transport failures (stopped service, stale catalog, a
+    /// deadline-bounded client reporting `DeadlineExceeded` on a slow
+    /// pool) fall back to the in-process solve rather than killing the
+    /// reaction — degraded mode costs latency headroom, never plan
+    /// fidelity, because both paths are bit-identical by construction.
     fn solve_replan(
         &self,
         i: usize,
@@ -593,27 +818,30 @@ impl<'a> Controller<'a> {
     }
 
     /// Rebuilds every VW's plan from observed costs and surviving
-    /// GPUs, lowering the common `Nm` only when the shrunk pipeline
-    /// demands it. On total failure the old configuration is kept
-    /// (the reaction budget stops the loop).
-    fn replan(&mut self) {
+    /// GPUs, starting at `ceiling` and lowering the common `Nm` until
+    /// the pipeline solves (`ceiling` exceeds the current `Nm` only
+    /// for a grow-splice). Survivors come from the *roster*, not the
+    /// current plan, so a GPU dropped by an earlier shrink keeps its
+    /// pipeline position and is re-admitted the moment it leaves the
+    /// dead set. On total failure the old configuration is kept (the
+    /// reaction budget stops the loop).
+    fn replan(&mut self, ceiling: usize) {
         let schedule = self.p.schedule;
-        // Per VW: surviving physical devices (order preserved).
+        // Per VW: surviving physical devices (roster order preserved).
         let mut survivors: Vec<Vec<DeviceId>> = Vec::with_capacity(self.vws.len());
-        for vw in &self.vws {
-            let mut phys: Vec<DeviceId> = Vec::new();
-            for &d in &vw.devices {
-                if !phys.contains(&d) && !self.dead.contains(&d) {
-                    phys.push(d);
-                }
-            }
+        for roster in &self.roster {
+            let phys: Vec<DeviceId> = roster
+                .iter()
+                .copied()
+                .filter(|d| !self.dead.contains(d))
+                .collect();
             if phys.is_empty() {
                 return; // Nothing left to run on; keep the old config.
             }
             survivors.push(phys);
         }
-        // Try the current Nm first, lowering until every VW solves.
-        'nm: for nm in (1..=self.nm).rev() {
+        // Try the highest Nm first, lowering until every VW solves.
+        'nm: for nm in (1..=ceiling).rev() {
             let mut new_vws = Vec::with_capacity(self.vws.len());
             for (i, phys) in survivors.iter().enumerate() {
                 let vk = schedule.virtual_stages(phys.len());
@@ -661,7 +889,8 @@ impl<'a> Controller<'a> {
             let signals = self
                 .monitor
                 .analyze(&probe, &self.vws, self.p.schedule, &self.applied);
-            match self.decide(&signals) {
+            let lease = self.lease_signals(probe.end);
+            match self.decide(&signals, &lease) {
                 None => {
                     // Nothing to react to: the probe is the final
                     // epoch (for a zero-fault script this is exactly
@@ -678,7 +907,9 @@ impl<'a> Controller<'a> {
                     // everything else the probe observed belongs to a
                     // discarded timeline and would leave phantom
                     // markers in the report.
-                    self.log_signals(&action.triggers());
+                    let (sig_triggers, lease_triggers) = action.triggers();
+                    self.log_signals(&sig_triggers);
+                    self.log_lease(&lease_triggers);
                     self.commit(&stats, Some(action.label()));
                     self.offset += stats.end;
                     self.mb_offset += stop;

@@ -84,7 +84,109 @@ impl Fault {
 /// One fault's effect compiled to a resource key (`(0, i)` = GPU `i`,
 /// `(1, i)` = NIC `i`), a closed-open time window (`None` end =
 /// open-ended), and the service rate it imposes while active.
-type RateWindow = ((u8, usize), SimTime, Option<SimTime>, f64);
+pub(crate) type RateWindow = ((u8, usize), SimTime, Option<SimTime>, f64);
+
+/// Compiles rate windows to effective rate edges, sorted by time.
+/// Windows *compose*: at any instant a resource runs at the
+/// **minimum** rate over all of its active windows (the worst active
+/// perturbation dominates), so a window closing while another is
+/// still open restores the surviving window's rate — never a blanket
+/// 1.0 — and a lost GPU stays lost until its own recovery even if a
+/// slowdown window on it expires in between. Shared by
+/// [`FaultScript`] and [`crate::ScenarioScript`].
+pub(crate) fn compile_edges(windows: &[RateWindow]) -> Vec<(SimTime, RateTarget, f64)> {
+    // Boundary instants per resource.
+    let mut boundaries: BTreeMap<(u8, usize), Vec<SimTime>> = BTreeMap::new();
+    for &(key, from, until, _) in windows {
+        let b = boundaries.entry(key).or_default();
+        b.push(from);
+        if let Some(until) = until {
+            b.push(until);
+        }
+    }
+    let mut edges = Vec::new();
+    for (key, mut times) in boundaries {
+        times.sort();
+        times.dedup();
+        let target = match key {
+            (0, i) => RateTarget::Gpu(i),
+            (_, i) => RateTarget::Nic(i),
+        };
+        let mut prev = 1.0f64;
+        for t in times {
+            let rate = windows
+                .iter()
+                .filter(|&&(k, from, until, _)| {
+                    k == key && from <= t && until.is_none_or(|u| t < u)
+                })
+                .map(|&(_, _, _, r)| r)
+                .fold(1.0f64, f64::min);
+            if rate != prev {
+                edges.push((t, target, rate));
+                prev = rate;
+            }
+        }
+    }
+    edges.sort_by_key(|&(at, _, _)| at);
+    edges
+}
+
+/// The declared footprint of each rate edge, in edge order: every
+/// edge writes exactly one environment-owned
+/// [`hetpipe_des::FootprintResource::Rate`] register and reads
+/// nothing (see [`FaultScript::edge_footprints`]).
+pub(crate) fn footprints_from_edges(
+    edges: &[(SimTime, RateTarget, f64)],
+) -> Vec<hetpipe_des::Footprint> {
+    use hetpipe_des::{Footprint, FootprintResource, RateKind};
+    edges
+        .iter()
+        .map(|&(_, target, _)| {
+            let resource = match target {
+                RateTarget::Gpu(index) => FootprintResource::Rate {
+                    kind: RateKind::Gpu,
+                    index,
+                },
+                RateTarget::Nic(index) => FootprintResource::Rate {
+                    kind: RateKind::Nic,
+                    index,
+                },
+            };
+            Footprint {
+                reads: Vec::new(),
+                writes: vec![resource],
+            }
+        })
+        .collect()
+}
+
+/// Splits compiled edges for a segment starting at global `offset`:
+/// the rates already in effect at the splice (latest edge per
+/// resource at or before `offset`) and the future edges rebased to
+/// segment-local time (see [`FaultScript::segment_rates`]).
+pub(crate) fn split_segment_rates(
+    edges: Vec<(SimTime, RateTarget, f64)>,
+    offset: SimTime,
+) -> (Vec<(RateTarget, f64)>, Vec<RateEvent>) {
+    let mut initial: BTreeMap<(u8, usize), (RateTarget, f64)> = BTreeMap::new();
+    let mut future = Vec::new();
+    for (at, target, rate) in edges {
+        let key = match target {
+            RateTarget::Gpu(i) => (0u8, i),
+            RateTarget::Nic(i) => (1u8, i),
+        };
+        if at <= offset {
+            initial.insert(key, (target, rate));
+        } else {
+            future.push(RateEvent {
+                at: at - offset,
+                target,
+                rate,
+            });
+        }
+    }
+    (initial.into_values().collect(), future)
+}
 
 /// A named, deterministic sequence of [`Fault`]s.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -176,7 +278,7 @@ impl FaultScript {
     /// A [`Fault::GpuLoss`] is a rate-0 window closed by the earliest
     /// later [`Fault::GpuRecovery`] on the same GPU (which itself
     /// contributes no window).
-    fn windows(&self) -> Vec<RateWindow> {
+    pub(crate) fn windows(&self) -> Vec<RateWindow> {
         let mut windows = Vec::with_capacity(self.faults.len());
         for fault in &self.faults {
             match *fault {
@@ -236,41 +338,7 @@ impl FaultScript {
     /// and a lost GPU stays lost until its own recovery even if a
     /// slowdown window on it expires in between.
     pub fn edges(&self) -> Vec<(SimTime, RateTarget, f64)> {
-        let windows = self.windows();
-        // Boundary instants per resource.
-        let mut boundaries: BTreeMap<(u8, usize), Vec<SimTime>> = BTreeMap::new();
-        for &(key, from, until, _) in &windows {
-            let b = boundaries.entry(key).or_default();
-            b.push(from);
-            if let Some(until) = until {
-                b.push(until);
-            }
-        }
-        let mut edges = Vec::new();
-        for (key, mut times) in boundaries {
-            times.sort();
-            times.dedup();
-            let target = match key {
-                (0, i) => RateTarget::Gpu(i),
-                (_, i) => RateTarget::Nic(i),
-            };
-            let mut prev = 1.0f64;
-            for t in times {
-                let rate = windows
-                    .iter()
-                    .filter(|&&(k, from, until, _)| {
-                        k == key && from <= t && until.is_none_or(|u| t < u)
-                    })
-                    .map(|&(_, _, _, r)| r)
-                    .fold(1.0f64, f64::min);
-                if rate != prev {
-                    edges.push((t, target, rate));
-                    prev = rate;
-                }
-            }
-        }
-        edges.sort_by_key(|&(at, _, _)| at);
-        edges
+        compile_edges(&self.windows())
     }
 
     /// The declared footprint of every rate edge of the script, in
@@ -282,26 +350,7 @@ impl FaultScript {
     /// create a VW-to-VW dependence: replicating a script into every
     /// per-VW engine leaves the dependency DAG untouched.
     pub fn edge_footprints(&self) -> Vec<hetpipe_des::Footprint> {
-        use hetpipe_des::{Footprint, FootprintResource, RateKind};
-        self.edges()
-            .into_iter()
-            .map(|(_, target, _)| {
-                let resource = match target {
-                    RateTarget::Gpu(index) => FootprintResource::Rate {
-                        kind: RateKind::Gpu,
-                        index,
-                    },
-                    RateTarget::Nic(index) => FootprintResource::Rate {
-                        kind: RateKind::Nic,
-                        index,
-                    },
-                };
-                Footprint {
-                    reads: Vec::new(),
-                    writes: vec![resource],
-                }
-            })
-            .collect()
+        footprints_from_edges(&self.edges())
     }
 
     /// Compiles the script for a segment starting at global time
@@ -309,24 +358,7 @@ impl FaultScript {
     /// edge per resource at or before `offset`) and the future edges
     /// rebased to segment-local time.
     pub fn segment_rates(&self, offset: SimTime) -> (Vec<(RateTarget, f64)>, Vec<RateEvent>) {
-        let mut initial: BTreeMap<(u8, usize), (RateTarget, f64)> = BTreeMap::new();
-        let mut future = Vec::new();
-        for (at, target, rate) in self.edges() {
-            let key = match target {
-                RateTarget::Gpu(i) => (0u8, i),
-                RateTarget::Nic(i) => (1u8, i),
-            };
-            if at <= offset {
-                initial.insert(key, (target, rate));
-            } else {
-                future.push(RateEvent {
-                    at: at - offset,
-                    target,
-                    rate,
-                });
-            }
-        }
-        (initial.into_values().collect(), future)
+        split_segment_rates(self.edges(), offset)
     }
 
     /// Trace markers (global time + label) for every fault onset and
@@ -365,46 +397,7 @@ impl FaultScript {
 
     /// Serializes the script as JSON.
     pub fn to_json(&self) -> Value {
-        let faults: Vec<Value> = self
-            .faults
-            .iter()
-            .map(|f| match *f {
-                Fault::GpuSlowdown {
-                    gpu,
-                    factor,
-                    from_secs,
-                    until_secs,
-                } => json!({
-                    "kind": "gpu-slowdown",
-                    "gpu": gpu as u64,
-                    "factor": factor,
-                    "from": from_secs,
-                    "until": until_secs.map(Value::Number).unwrap_or(Value::Null),
-                }),
-                Fault::LinkDegrade {
-                    node,
-                    factor,
-                    from_secs,
-                    until_secs,
-                } => json!({
-                    "kind": "link-degrade",
-                    "node": node as u64,
-                    "factor": factor,
-                    "from": from_secs,
-                    "until": until_secs.map(Value::Number).unwrap_or(Value::Null),
-                }),
-                Fault::GpuLoss { gpu, at_secs } => json!({
-                    "kind": "gpu-loss",
-                    "gpu": gpu as u64,
-                    "at": at_secs,
-                }),
-                Fault::GpuRecovery { gpu, at_secs } => json!({
-                    "kind": "gpu-recovery",
-                    "gpu": gpu as u64,
-                    "at": at_secs,
-                }),
-            })
-            .collect();
+        let faults: Vec<Value> = self.faults.iter().map(fault_to_json).collect();
         json!({ "name": self.name.clone(), "faults": faults })
     }
 
@@ -423,73 +416,118 @@ impl FaultScript {
         let Some(Value::Array(items)) = map.get("faults") else {
             return Err("'faults' must be an array".into());
         };
-        let num = |m: &serde_json::Map, key: &str| -> Result<f64, String> {
-            match m.get(key) {
-                Some(Value::Number(n)) => Ok(*n),
-                _ => Err(format!("'{key}' must be a number")),
-            }
-        };
-        // A factor below 1 would compile to a rate above nominal — a
-        // mistyped script (0.13 for 1.3) must fail loudly, not run
-        // unperturbed.
-        let factor = |m: &serde_json::Map| -> Result<f64, String> {
-            let f = num(m, "factor")?;
-            if f < 1.0 {
-                return Err(format!(
-                    "'factor' must be >= 1 (a x{f} slowdown is a speedup)"
-                ));
-            }
-            Ok(f)
-        };
-        let idx = |m: &serde_json::Map, key: &str| -> Result<usize, String> {
-            let n = num(m, key)?;
-            if n < 0.0 || n.fract() != 0.0 {
-                return Err(format!("'{key}' must be a non-negative integer"));
-            }
-            Ok(n as usize)
-        };
-        let until = |m: &serde_json::Map| -> Result<Option<f64>, String> {
-            match m.get("until") {
-                None | Some(Value::Null) => Ok(None),
-                Some(Value::Number(n)) => Ok(Some(*n)),
-                _ => Err("'until' must be a number or null".into()),
-            }
-        };
         let mut faults = Vec::with_capacity(items.len());
         for item in items {
-            let Value::Object(m) = item else {
-                return Err("each fault must be an object".into());
-            };
-            let kind = match m.get("kind") {
-                Some(Value::String(s)) => s.as_str(),
-                _ => return Err("each fault needs a string 'kind'".into()),
-            };
-            faults.push(match kind {
-                "gpu-slowdown" => Fault::GpuSlowdown {
-                    gpu: idx(m, "gpu")?,
-                    factor: factor(m)?,
-                    from_secs: num(m, "from")?,
-                    until_secs: until(m)?,
-                },
-                "link-degrade" => Fault::LinkDegrade {
-                    node: idx(m, "node")?,
-                    factor: factor(m)?,
-                    from_secs: num(m, "from")?,
-                    until_secs: until(m)?,
-                },
-                "gpu-loss" => Fault::GpuLoss {
-                    gpu: idx(m, "gpu")?,
-                    at_secs: num(m, "at")?,
-                },
-                "gpu-recovery" => Fault::GpuRecovery {
-                    gpu: idx(m, "gpu")?,
-                    at_secs: num(m, "at")?,
-                },
-                other => return Err(format!("unknown fault kind '{other}'")),
-            });
+            faults.push(fault_from_json(item)?);
         }
         Ok(FaultScript { name, faults })
     }
+}
+
+/// Serializes one fault (shared with the scenario encoder).
+pub(crate) fn fault_to_json(f: &Fault) -> Value {
+    match *f {
+        Fault::GpuSlowdown {
+            gpu,
+            factor,
+            from_secs,
+            until_secs,
+        } => json!({
+            "kind": "gpu-slowdown",
+            "gpu": gpu as u64,
+            "factor": factor,
+            "from": from_secs,
+            "until": until_secs.map(Value::Number).unwrap_or(Value::Null),
+        }),
+        Fault::LinkDegrade {
+            node,
+            factor,
+            from_secs,
+            until_secs,
+        } => json!({
+            "kind": "link-degrade",
+            "node": node as u64,
+            "factor": factor,
+            "from": from_secs,
+            "until": until_secs.map(Value::Number).unwrap_or(Value::Null),
+        }),
+        Fault::GpuLoss { gpu, at_secs } => json!({
+            "kind": "gpu-loss",
+            "gpu": gpu as u64,
+            "at": at_secs,
+        }),
+        Fault::GpuRecovery { gpu, at_secs } => json!({
+            "kind": "gpu-recovery",
+            "gpu": gpu as u64,
+            "at": at_secs,
+        }),
+    }
+}
+
+/// Parses one fault object (shared with the scenario parser).
+pub(crate) fn fault_from_json(item: &Value) -> Result<Fault, String> {
+    let Value::Object(m) = item else {
+        return Err("each fault must be an object".into());
+    };
+    let num = |key: &str| -> Result<f64, String> {
+        match m.get(key) {
+            Some(Value::Number(n)) => Ok(*n),
+            _ => Err(format!("'{key}' must be a number")),
+        }
+    };
+    // A factor below 1 would compile to a rate above nominal — a
+    // mistyped script (0.13 for 1.3) must fail loudly, not run
+    // unperturbed.
+    let factor = || -> Result<f64, String> {
+        let f = num("factor")?;
+        if f < 1.0 {
+            return Err(format!(
+                "'factor' must be >= 1 (a x{f} slowdown is a speedup)"
+            ));
+        }
+        Ok(f)
+    };
+    let idx = |key: &str| -> Result<usize, String> {
+        let n = num(key)?;
+        if n < 0.0 || n.fract() != 0.0 {
+            return Err(format!("'{key}' must be a non-negative integer"));
+        }
+        Ok(n as usize)
+    };
+    let until = || -> Result<Option<f64>, String> {
+        match m.get("until") {
+            None | Some(Value::Null) => Ok(None),
+            Some(Value::Number(n)) => Ok(Some(*n)),
+            _ => Err("'until' must be a number or null".into()),
+        }
+    };
+    let kind = match m.get("kind") {
+        Some(Value::String(s)) => s.as_str(),
+        _ => return Err("each fault needs a string 'kind'".into()),
+    };
+    Ok(match kind {
+        "gpu-slowdown" => Fault::GpuSlowdown {
+            gpu: idx("gpu")?,
+            factor: factor()?,
+            from_secs: num("from")?,
+            until_secs: until()?,
+        },
+        "link-degrade" => Fault::LinkDegrade {
+            node: idx("node")?,
+            factor: factor()?,
+            from_secs: num("from")?,
+            until_secs: until()?,
+        },
+        "gpu-loss" => Fault::GpuLoss {
+            gpu: idx("gpu")?,
+            at_secs: num("at")?,
+        },
+        "gpu-recovery" => Fault::GpuRecovery {
+            gpu: idx("gpu")?,
+            at_secs: num("at")?,
+        },
+        other => return Err(format!("unknown fault kind '{other}'")),
+    })
 }
 
 #[cfg(test)]

@@ -11,6 +11,16 @@
 //!   loss and recovery) compiled to resource service-rate edges the
 //!   executor fires as first-class DES events
 //!   (`hetpipe_core::exec::SegmentOpts`).
+//! - [`ScenarioScript`] / [`ScenarioEvent`] — the elastic superset:
+//!   lease events ([`ScenarioEvent::GpuGranted`] /
+//!   [`ScenarioEvent::GpuPreempted`]) model spot GPUs handed to the
+//!   job and taken back. Unavailable lease intervals compile to the
+//!   same rate-0 windows as GPU loss (min-composed with fault
+//!   windows), but leases also surface as *control-plane* transitions
+//!   ([`ScenarioScript::lease_transitions`]) the controller reacts to
+//!   with hysteresis: a preemption drops the GPU at a wave boundary,
+//!   a re-grant re-admits it (a **grow-splice**), and a flap shorter
+//!   than the hysteresis window produces no splice at all.
 //! - [`Monitor`] / [`Signal`] — the feedback path: a per-stage EWMA
 //!   of observed vs planned task durations folded from the span
 //!   trace, raising `Straggler` / `GpuLost` / `Recovered` signals.
@@ -27,6 +37,23 @@
 //!   cache-invalidating write, and the spliced plans stay
 //!   bit-identical to the in-process path (the service's warm starts
 //!   are answer-preserving).
+//!
+//! # Grow-splices: re-admission is as sound as eviction
+//!
+//! PR 5's splice argument was only exercised *shrinking* (dropping a
+//! straggler or a dead GPU); the elastic controller also splices to a
+//! **wider** pipeline (a re-granted or newly-granted GPU, with `Nm`
+//! re-raised when the widened pipeline allows it). The WSP soundness
+//! argument carries over unchanged because it never depended on the
+//! direction of the reshape: a drained wave boundary leaves *no*
+//! in-flight minibatch and every VW at the same wave count, so the
+//! continuation — whatever its shape — starts from the fully
+//! synchronized state, the most conservative configuration the
+//! staleness gate can see. The re-admitted GPU needs no weight
+//! history: it starts from the boundary wave's shadow-copy version
+//! exactly like every surviving GPU (PipeDream-2BW double buffering),
+//! and the grown plan is re-certified (`plan_fits_per_gpu`) and
+//! audited per-epoch like any other splice.
 //!
 //! # The wave-boundary splice and WSP staleness
 //!
@@ -65,7 +92,9 @@
 pub mod controller;
 pub mod fault;
 pub mod monitor;
+pub mod scenario;
 
 pub use controller::{run, Epoch, Policy, RuntimeParams, RuntimeReport};
 pub use fault::{Fault, FaultScript};
 pub use monitor::{Monitor, MonitorConfig, Signal};
+pub use scenario::{LeaseTransition, ScenarioEvent, ScenarioScript};

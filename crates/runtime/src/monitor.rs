@@ -11,8 +11,9 @@
 //!   threshold *relative to the severity the controller has already
 //!   reacted to* (so a re-planned straggler, whose slowdown is now
 //!   part of the plan, does not re-trigger);
-//! - [`Signal::Recovered`] — a previously-derated stage is back near
-//!   nominal;
+//! - [`Signal::Recovered`] — a previously-derated stage has been back
+//!   near nominal for at least the recovery hysteresis window (one
+//!   fast task after a blip is not a recovery);
 //! - [`Signal::GpuLost`] — a stage's task ran absurdly long: the
 //!   reservation-time signature of a dead (rate-0) GPU.
 //!
@@ -41,6 +42,17 @@ pub struct MonitorConfig {
     /// A single task whose observed/planned ratio exceeds this is a
     /// dead GPU (the rate-0 reservation signature), not a straggler.
     pub lost_ratio: f64,
+    /// Hysteresis for [`Signal::Recovered`]: the EWMA must stay below
+    /// `recover_ratio` for at least this long (simulated seconds)
+    /// before the signal is raised, so one fast task after a blip
+    /// does not trigger a re-admission splice.
+    pub recover_hysteresis_secs: f64,
+    /// Hysteresis for control-plane lease transitions: a grant or
+    /// preemption only becomes actionable if no opposite transition
+    /// on the same GPU follows within this window (simulated
+    /// seconds) — an oscillating lease that flaps faster than this
+    /// produces zero splices.
+    pub lease_hysteresis_secs: f64,
 }
 
 impl Default for MonitorConfig {
@@ -50,6 +62,8 @@ impl Default for MonitorConfig {
             straggler_ratio: 1.15,
             recover_ratio: 1.05,
             lost_ratio: 50.0,
+            recover_hysteresis_secs: 1.0,
+            lease_hysteresis_secs: 2.0,
         }
     }
 }
@@ -136,6 +150,10 @@ struct StageState {
     seen: usize,
     crossed_up: Option<SimTime>,
     crossed_down: Option<SimTime>,
+    /// First span end of the current below-recovery-threshold streak
+    /// (reset whenever the EWMA pops back above), for the recovery
+    /// hysteresis window.
+    below_since: Option<SimTime>,
     lost: Option<SimTime>,
 }
 
@@ -197,6 +215,7 @@ impl Monitor {
                 seen: 0,
                 crossed_up: None,
                 crossed_down: None,
+                below_since: None,
                 lost: None,
             });
             if ratio >= cfg.lost_ratio && st.lost.is_none() {
@@ -212,12 +231,20 @@ impl Monitor {
             if st.ewma > base * cfg.straggler_ratio && st.crossed_up.is_none() {
                 st.crossed_up = Some(span.end);
             }
-            if base > cfg.recover_ratio
-                && st.ewma < cfg.recover_ratio
-                && st.seen >= 3
-                && st.crossed_down.is_none()
-            {
-                st.crossed_down = Some(span.end);
+            if base > cfg.recover_ratio && st.ewma < cfg.recover_ratio && st.seen >= 3 {
+                // Recovery needs hysteresis: the EWMA must *stay*
+                // below the threshold for the configured window — a
+                // single fast task after a blip must not trigger a
+                // re-admission splice.
+                let since = *st.below_since.get_or_insert(span.end);
+                if st.crossed_down.is_none()
+                    && (span.end - since).as_secs() >= cfg.recover_hysteresis_secs
+                {
+                    st.crossed_down = Some(span.end);
+                }
+            } else {
+                st.below_since = None;
+                st.crossed_down = None;
             }
         }
 

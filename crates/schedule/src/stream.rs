@@ -16,6 +16,35 @@
 //! through its chunks in groups rather than letting arrival order
 //! decide the merge — and it is the stream contract the executor's
 //! `GpuStreamOrder` dispatch path consumes.
+//!
+//! # Splicing reshaped pipelines at drained wave boundaries
+//!
+//! [`ScheduleStream::resume_from`] / [`GpuStream::resume_from`]
+//! fast-forward a fresh stream of the *same* shape past a boundary.
+//! But an elastic splice usually *reshapes* the pipeline — a GPU was
+//! lost, preempted, or re-admitted, or `Nm` changed — and then there
+//! is no same-shape stream to resume: the correct continuation is a
+//! **fresh stream of the new shape**, minibatches renumbered from 1,
+//! with the splice's global wave/minibatch offsets applied outside the
+//! stream (the runtime controller owns that bookkeeping). This is
+//! sound because a wave boundary is a full drain point: every
+//! minibatch of the boundary wave has completed its backward and
+//! nothing beyond it has been dispatched, so the WSP state the new
+//! stream assumes (clean slate, wave 0 local) is exactly the state the
+//! drained pipeline is in — the boundary wave's push/pull bookkeeping
+//! is settled by the splice itself.
+//!
+//! `fresh_epoch_stream_is_the_spliced_continuation` pins the
+//! unchanged-shape specialization of that claim: for the drained base
+//! patterns ([`BasePattern::FillDrain`], [`BasePattern::Fused`]) a
+//! renumbered fresh stream emits op-for-op the `resume_from` tail,
+//! modulo the boundary wave's own gate (already satisfied by the
+//! splice). For [`BasePattern::Interleave`] (1F1B overlap across the
+//! boundary) the fresh stream re-warms instead of inheriting the
+//! resumed stream's in-flight window — still a correct continuation
+//! (minibatches ≤ boundary complete, > boundary untouched), just not
+//! op-identical; the re-warmup is the throughput cost of a splice, not
+//! a correctness gap.
 
 use crate::ops::{GpuOp, ScheduleOp};
 use crate::recompute::RecomputePolicy;
@@ -903,6 +932,64 @@ mod tests {
             .take(20)
             .collect();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn fresh_epoch_stream_is_the_spliced_continuation() {
+        // The reshaped-splice soundness claim, specialized to the
+        // unchanged shape where it is checkable op-for-op: at a
+        // drained wave boundary, a FRESH stream renumbered by the
+        // boundary offsets (mb += boundary_mb, wave += boundary+1)
+        // emits exactly the resume_from tail — except the boundary
+        // wave's own PullGate, which the splice has already satisfied.
+        // This is what licenses the controller to splice reshaped
+        // pipelines (different device set or Nm) with fresh streams of
+        // the new shape: a reshape has no old stream to resume.
+        use ScheduleOp::*;
+        let renumber = |op: &ScheduleOp, mb_off: u64, wave_off: u64| match *op {
+            Forward { mb } => Forward { mb: mb + mb_off },
+            Backward { mb } => Backward { mb: mb + mb_off },
+            Recompute { mb } => Recompute { mb: mb + mb_off },
+            FusedFwdBwd { mb } => FusedFwdBwd { mb: mb + mb_off },
+            Push { wave } => Push {
+                wave: wave + wave_off,
+            },
+            PullGate { wave } => PullGate {
+                wave: wave + wave_off,
+            },
+        };
+        // Drained patterns only: Interleave keeps 1F1B work in flight
+        // across the boundary, so a fresh epoch re-warms (correct but
+        // not op-identical — see the module docs).
+        for pattern in [BasePattern::FillDrain, BasePattern::Fused] {
+            for stage in [0usize, 2] {
+                for s_global in [0usize, 1] {
+                    let wsp = WspParams::new(3, s_global);
+                    let boundary_wave = 1u64;
+                    let boundary_mb = wsp.last_of_wave(boundary_wave);
+                    let resumed: Vec<ScheduleOp> = ScheduleStream::new(pattern, stage, wsp)
+                        .resume_from(boundary_wave, boundary_mb)
+                        .take(60)
+                        .collect();
+                    // Drop the boundary wave's own bookkeeping: the
+                    // splice settles waves <= boundary before the new
+                    // epoch starts.
+                    let resumed: Vec<ScheduleOp> = resumed
+                        .into_iter()
+                        .filter(|op| !matches!(op, PullGate { wave } if *wave <= boundary_wave))
+                        .collect();
+                    let fresh: Vec<ScheduleOp> = ScheduleStream::new(pattern, stage, wsp)
+                        .map(|op| renumber(&op, boundary_mb, boundary_wave + 1))
+                        .take(resumed.len())
+                        .collect();
+                    assert_eq!(
+                        fresh, resumed,
+                        "{pattern:?} stage {stage} s={s_global}: \
+                         fresh epoch is not the spliced continuation"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -91,7 +91,7 @@ fn runtime_params<'a>(
         sync_transfers: false,
         schedule,
         recompute,
-        script,
+        script: script.into(),
         policy,
         monitor: MonitorConfig::default(),
         max_reactions: 8,
