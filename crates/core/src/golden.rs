@@ -506,6 +506,7 @@ impl<'a> Exec<'a> {
             // no behavioural change (the frozen event logic above is
             // untouched).
             end: self.engine.now(),
+            events: self.engine.processed(),
             vws: self.states.into_iter().map(|s| s.stats).collect(),
             trace: self.trace,
             gpu_resources: self.gpu_res,

@@ -1,0 +1,630 @@
+//! The fleet's cross-engine channel: conservative WSP-gate
+//! synchronization over announced push landings.
+//!
+//! # Protocol
+//!
+//! A pull with target wave `w` is served, in the single-engine
+//! executor, at the first instant `S` at which the request is locally
+//! ready *and* every VW's push clock has reached `w + 1`; the pull
+//! carries version `min_clock(S) − 1`. The bus reconstructs exactly
+//! that instant from three monotone per-VW streams:
+//!
+//! - **Announces**: each push's landing time, reported at push
+//!   *start* (chunk arrivals are reserved up front — the certified
+//!   lookahead). Waves and landings are monotone per VW.
+//! - **Frontiers**: a lock-free monotone lower bound on each VW's
+//!   next action, published before every event pop.
+//! - **Polls**: a VW with a ready pull asks, before popping its next
+//!   local event at `bound`, whether the serve is decided.
+//!
+//! A poll resolves to [`ServePoll::Ready`] only when (a) every VW's
+//! target-wave push is announced — fixing the crossing time
+//! `T* = max` of those landings and hence `S = max(ready_since, T*)`
+//! — with `S ≤ bound`, and (b) every VW that could still announce a
+//! push is provably past `S`, so the version is final. "Provably
+//! past" folds the bus's *lookahead*: a push announced during an
+//! action at `t` lands no earlier than `t + min_step` (the VW's
+//! certified minimum push duration, always positive when transfers
+//! are timed), so an unannounced landing from VW `u` is bounded below
+//! by `floor(u) + min_step(u)`. If the same fold over every
+//! contribution — announced landings exactly, unannounced ones by
+//! their floors-plus-lookahead — already exceeds `bound`, the poll
+//! resolves to [`ServePoll::NotBefore`] carrying that certified lower
+//! bound; the engine caches it and pops every local event strictly
+//! before it with no further bus traffic.
+//!
+//! Otherwise the poll *registers* and returns [`ServePoll::Wait`]. A
+//! registration is a standing, sound description of the blocked VW's
+//! next action (`min(next local event, its own serve)`): it persists
+//! until the VW's next non-`Wait` verdict, so other polls may lean on
+//! it without racing. When every live VW is registered the bus
+//! applies the **quiescent rule**: the globally earliest candidate
+//! action `t*` (over every VW's next event and exactly-computable
+//! serve) is found, and the poller acts iff it achieves `t*` —
+//! serving at `t* = S` or popping at `t* = t_next` (serve wins ties,
+//! matching the in-process executor, which serves inside the crossing
+//! push's handler ahead of same-instant events). The earliest action
+//! is decidable because any push landing at or before `t*` would have
+//! had to start strictly before `t*` — in some VW's past, hence
+//! already announced.
+//!
+//! Every verdict is a pure function of simulated data (announced
+//! steps and registration inputs), never of wall-clock interleaving —
+//! frontier freshness affects only *when* a verdict becomes
+//! available, not its value. That is the determinism argument: any
+//! thread count computes the same serves, hence the same simulation.
+
+use crate::plan::SyncPlan;
+use hetpipe_core::{GateBus, ServePoll};
+use hetpipe_des::SimTime;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// A registered (blocked) poll: a sound standing description of the
+/// VW's next action, valid until its next non-`Wait` verdict.
+#[derive(Debug, Clone, Copy)]
+struct WaitInfo {
+    /// Target wave of the pending pull.
+    target: u64,
+    /// Instant the pull became locally serveable.
+    since: SimTime,
+    /// The VW's next local event (its polled bound).
+    t_next: SimTime,
+}
+
+#[derive(Debug)]
+struct VwSlot {
+    /// Announced push steps `(wave, lands)`; waves strictly
+    /// increasing, landings non-decreasing.
+    steps: Vec<(u64, SimTime)>,
+    waiting: Option<WaitInfo>,
+    done: bool,
+}
+
+impl VwSlot {
+    /// Landing time of the earliest announced push with wave
+    /// `≥ target` (waves are contiguous from 0, so this is wave
+    /// `target` itself when announced).
+    fn step_lands(&self, target: u64) -> Option<SimTime> {
+        let i = self.steps.partition_point(|&(w, _)| w < target);
+        self.steps.get(i).map(|&(_, lands)| lands)
+    }
+
+    /// This VW's push clock at instant `at`: `wave + 1` of its last
+    /// announced step landing at or before `at`.
+    fn clock_at(&self, at: SimTime) -> u64 {
+        let i = self.steps.partition_point(|&(_, lands)| lands <= at);
+        if i == 0 {
+            0
+        } else {
+            self.steps[i - 1].0 + 1
+        }
+    }
+}
+
+#[derive(Debug)]
+struct BusState {
+    slots: Vec<VwSlot>,
+    /// Bumped on every announce, finish, and all-blocked transition;
+    /// blocked drivers wait for it to change.
+    generation: u64,
+}
+
+/// The shared WSP gate state of a fleet run (see the module doc for
+/// the protocol). One instance per [`crate::run_fleet`] call.
+pub struct FleetBus {
+    state: Mutex<BusState>,
+    wake: Condvar,
+    /// Lock-free monotone lower bounds on each VW's next action
+    /// (nanoseconds), published on every event pop.
+    frontiers: Vec<AtomicU64>,
+    /// The certified gate/push cadence (diagnostics; the landings
+    /// themselves carry the timing).
+    plan: SyncPlan,
+    /// Per-VW lookahead: a certified lower bound on the duration of
+    /// any of the VW's pushes (announce → landing). Zero is always
+    /// sound (landings still fall strictly after the announcing
+    /// action); larger values turn `Wait` verdicts into `NotBefore`
+    /// horizons.
+    min_step: Vec<SimTime>,
+}
+
+impl FleetBus {
+    /// A bus for `vws` engines synchronizing under `plan`, with zero
+    /// lookahead (see [`FleetBus::set_min_steps`]).
+    pub fn new(vws: usize, plan: SyncPlan) -> FleetBus {
+        FleetBus {
+            state: Mutex::new(BusState {
+                slots: (0..vws)
+                    .map(|_| VwSlot {
+                        steps: Vec::new(),
+                        waiting: None,
+                        done: false,
+                    })
+                    .collect(),
+                generation: 0,
+            }),
+            wake: Condvar::new(),
+            frontiers: (0..vws).map(|_| AtomicU64::new(0)).collect(),
+            plan,
+            min_step: vec![SimTime::ZERO; vws],
+        }
+    }
+
+    /// Installs the per-VW minimum push durations (the conservative
+    /// lookahead). Must be called before the bus is shared: the bound
+    /// is baked into every subsequent verdict.
+    pub fn set_min_steps(&mut self, steps: Vec<SimTime>) {
+        assert_eq!(steps.len(), self.frontiers.len());
+        self.min_step = steps;
+    }
+
+    /// The certified sync-point constants this bus was built with.
+    pub fn plan(&self) -> SyncPlan {
+        self.plan
+    }
+
+    /// Current wake generation (capture before a stepping round;
+    /// compare in [`FleetBus::wait_change`]).
+    pub fn generation(&self) -> u64 {
+        self.state.lock().unwrap().generation
+    }
+
+    /// Blocks until the generation differs from `seen` or `timeout`
+    /// elapses (the timeout is a liveness safety net — frontier
+    /// publishes are lock-free and do not signal).
+    pub fn wait_change(&self, seen: u64, timeout: Duration) {
+        let st = self.state.lock().unwrap();
+        if st.generation != seen {
+            return;
+        }
+        let _unused = self.wake.wait_timeout(st, timeout).unwrap();
+    }
+
+    /// A sound lower bound on `u`'s next action: `∞` when done, the
+    /// registration's `min(t_next, since)` when blocked (its next
+    /// action is its local event or its own serve, which cannot
+    /// predate its request), else the published frontier.
+    fn action_floor(&self, st: &BusState, u: usize) -> SimTime {
+        let slot = &st.slots[u];
+        if slot.done {
+            return SimTime::MAX;
+        }
+        if let Some(w) = slot.waiting {
+            return w.t_next.min(w.since);
+        }
+        SimTime::from_nanos(self.frontiers[u].load(Ordering::Acquire))
+    }
+
+    /// A certified lower bound on any landing `u` has yet to
+    /// announce: the announce happens during an action at or past
+    /// `u`'s floor, and the landing follows it by at least `u`'s
+    /// minimum push duration — and strictly, since timed transfers
+    /// have positive length (the 1 ns fallback keeps zero-lookahead
+    /// buses exact).
+    fn unannounced_lb(&self, st: &BusState, u: usize) -> SimTime {
+        let gap = self.min_step[u].max(SimTime::from_nanos(1));
+        self.action_floor(st, u).saturating_add(gap)
+    }
+
+    /// The crossing time of `target` — the max of every VW's
+    /// target-wave landing — exact only when all are announced. New
+    /// announces can only add later steps, so an exact value is
+    /// final.
+    fn crossing(&self, st: &BusState, target: u64) -> Option<SimTime> {
+        let mut s = SimTime::ZERO;
+        for slot in &st.slots {
+            s = s.max(slot.step_lands(target)?);
+        }
+        Some(s)
+    }
+
+    /// The version a serve at `at` carries: `min_clock(at) − 1` over
+    /// the announced steps. Sound only once the caller has proven no
+    /// unannounced push can land at or before `at`.
+    fn version_at(&self, st: &BusState, at: SimTime) -> i64 {
+        st.slots
+            .iter()
+            .map(|slot| slot.clock_at(at))
+            .min()
+            .unwrap_or(0) as i64
+            - 1
+    }
+
+    /// The quiescent rule: with every live VW registered, find the
+    /// globally earliest candidate action `t*` and let `v` act iff it
+    /// achieves it (serve beats its own same-instant local event).
+    fn quiescent_verdict(&self, st: &BusState, v: usize) -> Option<ServePoll> {
+        if st.slots.iter().any(|s| !s.done && s.waiting.is_none()) {
+            return None;
+        }
+        // Registered targets all sit inside the WSP staleness window,
+        // so memoizing the crossing per distinct target keeps the
+        // whole verdict O(V) instead of O(V²).
+        let mut crossings: Vec<(u64, Option<SimTime>)> = Vec::new();
+        let mut t_star = SimTime::MAX;
+        let mut mine = None;
+        for (u, slot) in st.slots.iter().enumerate() {
+            let Some(w) = slot.waiting.filter(|_| !slot.done) else {
+                continue;
+            };
+            let x = match crossings.iter().find(|&&(t, _)| t == w.target) {
+                Some(&(_, x)) => x,
+                None => {
+                    let x = self.crossing(st, w.target);
+                    crossings.push((w.target, x));
+                    x
+                }
+            };
+            // An inexact serve needs a future announce, which happens
+            // at some VW's action ≥ t* with a landing strictly later —
+            // it can never achieve t*, so MAX is a sound stand-in.
+            let s_u = x.map_or(SimTime::MAX, |x| x.max(w.since));
+            t_star = t_star.min(w.t_next).min(s_u);
+            if u == v {
+                mine = Some((s_u, w.t_next, w.target));
+            }
+        }
+        let (s_v, t_next_v, target_v) = mine.expect("poller is registered");
+        if s_v <= t_next_v && s_v == t_star {
+            // All contributions to a t*-earliest serve are announced,
+            // and every other VW acts no earlier than t* (landings of
+            // anything it still announces fall strictly after) — the
+            // version is final.
+            return Some(ServePoll::Ready {
+                at: s_v,
+                version: self.version_at(st, s_v),
+            });
+        }
+        if t_next_v == t_star && t_star < s_v {
+            // v's own local event is the globally earliest action. If
+            // the serve is exact it happens at s_v itself; otherwise
+            // the missing announce occurs at some action ≥ t* and its
+            // landing follows by at least the announcer's lookahead.
+            let at_least = if s_v < SimTime::MAX {
+                s_v
+            } else {
+                let gap = st
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| !s.done && s.step_lands(target_v).is_none())
+                    .map(|(u, _)| self.min_step[u].max(SimTime::from_nanos(1)))
+                    .min()
+                    .unwrap_or(SimTime::from_nanos(1));
+                t_star.saturating_add(gap)
+            };
+            return Some(ServePoll::NotBefore { at_least });
+        }
+        None // Another VW achieves t*; stay registered.
+    }
+}
+
+impl GateBus for FleetBus {
+    fn vws(&self) -> usize {
+        self.frontiers.len()
+    }
+
+    fn announce_push(&self, vw: usize, wave: u64, lands: SimTime) {
+        let mut st = self.state.lock().unwrap();
+        let slot = &mut st.slots[vw];
+        debug_assert!(!slot.done, "announce after finish");
+        if let Some(&(last_wave, last_lands)) = slot.steps.last() {
+            debug_assert!(wave > last_wave, "waves announce in order");
+            debug_assert!(lands >= last_lands, "landings are monotone");
+        }
+        slot.steps.push((wave, lands));
+        st.generation += 1;
+        self.wake.notify_all();
+    }
+
+    fn publish_frontier(&self, vw: usize, at: SimTime) {
+        // Monotone by construction (the engine's clock only moves
+        // forward); Release pairs with the Acquire in `action_floor`.
+        self.frontiers[vw].store(at.as_nanos(), Ordering::Release);
+    }
+
+    fn poll_serve(
+        &self,
+        vw: usize,
+        target: u64,
+        ready_since: SimTime,
+        bound: SimTime,
+    ) -> ServePoll {
+        let mut st = self.state.lock().unwrap();
+        // Fold a certified lower bound on the serve over every
+        // contribution: announced target-wave landings exactly,
+        // unannounced ones by floor-plus-lookahead.
+        let mut serve_lb = ready_since;
+        let mut all_known = true;
+        for u in 0..st.slots.len() {
+            match st.slots[u].step_lands(target) {
+                Some(lands) => serve_lb = serve_lb.max(lands),
+                None if st.slots[u].done => {
+                    // `u` will never push the target wave: the pull is
+                    // permanently unservable, matching the in-process
+                    // executor idling an unserved request at the
+                    // horizon.
+                    st.slots[vw].waiting = None;
+                    return ServePoll::NotBefore {
+                        at_least: SimTime::MAX,
+                    };
+                }
+                None => {
+                    all_known = false;
+                    serve_lb = serve_lb.max(self.unannounced_lb(&st, u));
+                }
+            }
+        }
+        if serve_lb > bound {
+            // The certified lower bound already clears the bound: the
+            // engine pops every local event strictly before it with
+            // no further polls.
+            st.slots[vw].waiting = None;
+            return ServePoll::NotBefore { at_least: serve_lb };
+        }
+        if all_known {
+            // S = serve_lb is exact (every landing announced) and
+            // within the bound; the verdict is Ready as soon as the
+            // version is final — no VW whose pushes are still
+            // unbounded may land one at or before S. (The poller
+            // itself is covered by its bound: its next local event is
+            // at `bound ≥ S`, so it announces nothing before S.)
+            let s = serve_lb;
+            let version_final = (0..st.slots.len()).all(|u| {
+                u == vw
+                    || st.slots[u].done
+                    || self.action_floor(&st, u) >= s
+                    || self.unannounced_lb(&st, u) > s
+            });
+            if version_final {
+                st.slots[vw].waiting = None;
+                return ServePoll::Ready {
+                    at: s,
+                    version: self.version_at(&st, s),
+                };
+            }
+        }
+        // Undecided: register (a standing sound bound on v's next
+        // action) and try the quiescent rule.
+        let was_all_blocked = st
+            .slots
+            .iter()
+            .enumerate()
+            .all(|(u, s)| u == vw || s.done || s.waiting.is_some());
+        st.slots[vw].waiting = Some(WaitInfo {
+            target,
+            since: ready_since,
+            t_next: bound,
+        });
+        if let Some(verdict) = self.quiescent_verdict(&st, vw) {
+            st.slots[vw].waiting = None;
+            return verdict;
+        }
+        if !was_all_blocked {
+            // This registration completed the all-blocked set: wake
+            // the other drivers so the achieving VW re-polls into the
+            // quiescent rule.
+            st.generation += 1;
+            self.wake.notify_all();
+        }
+        ServePoll::Wait
+    }
+
+    fn finish(&self, vw: usize) {
+        let mut st = self.state.lock().unwrap();
+        st.slots[vw].done = true;
+        st.slots[vw].waiting = None;
+        st.generation += 1;
+        self.wake.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetpipe_core::WspParams;
+
+    fn bus(n: usize) -> FleetBus {
+        FleetBus::new(n, SyncPlan::derive(WspParams::new(4, 0)))
+    }
+
+    fn bus_with_step(n: usize, step: u64) -> FleetBus {
+        let mut b = bus(n);
+        b.set_min_steps(vec![SimTime::from_nanos(step); n]);
+        b
+    }
+
+    fn ns(n: u64) -> SimTime {
+        SimTime::from_nanos(n)
+    }
+
+    #[test]
+    fn serve_decided_once_all_landings_announced_and_frontiers_pass() {
+        let b = bus(2);
+        b.announce_push(0, 0, ns(100));
+        b.announce_push(1, 0, ns(150));
+        // VW 1 is past the crossing; VW 0 polls with its next event
+        // at 200.
+        b.publish_frontier(1, ns(160));
+        b.publish_frontier(0, ns(90));
+        assert_eq!(
+            b.poll_serve(0, 0, ns(90), ns(200)),
+            ServePoll::Ready {
+                at: ns(150),
+                version: 0
+            }
+        );
+    }
+
+    #[test]
+    fn unannounced_landing_past_bound_is_not_before() {
+        let b = bus(2);
+        b.announce_push(0, 0, ns(100));
+        // VW 1 has announced nothing but is provably past the bound;
+        // with zero lookahead its landing falls strictly after its
+        // floor, so the certified horizon is floor + 1 ns.
+        b.publish_frontier(1, ns(500));
+        assert_eq!(
+            b.poll_serve(0, 0, ns(90), ns(400)),
+            ServePoll::NotBefore { at_least: ns(501) }
+        );
+    }
+
+    #[test]
+    fn lookahead_excludes_a_lagging_pusher_within_its_min_step() {
+        let b = bus_with_step(2, 100);
+        b.announce_push(0, 0, ns(150));
+        // VW 1's floor is only 50, but its next push cannot land
+        // before 50 + 100 > bound — a zero-lookahead bus would Wait
+        // here.
+        b.publish_frontier(1, ns(50));
+        assert_eq!(
+            b.poll_serve(0, 0, ns(90), ns(140)),
+            ServePoll::NotBefore { at_least: ns(150) }
+        );
+    }
+
+    #[test]
+    fn lookahead_finalizes_the_version_past_lagging_frontiers() {
+        let b = bus_with_step(2, 100);
+        b.announce_push(0, 0, ns(100));
+        b.announce_push(1, 0, ns(150));
+        // Both landings are known (S = 150) but VW 1's frontier is
+        // still 60: zero lookahead cannot close the version, while
+        // 60 + 100 > 150 proves no further landing reaches S.
+        b.publish_frontier(0, ns(90));
+        b.publish_frontier(1, ns(60));
+        assert_eq!(
+            b.poll_serve(0, 0, ns(90), ns(200)),
+            ServePoll::Ready {
+                at: ns(150),
+                version: 0
+            }
+        );
+        let zero = bus(2);
+        zero.announce_push(0, 0, ns(100));
+        zero.announce_push(1, 0, ns(150));
+        zero.publish_frontier(0, ns(90));
+        zero.publish_frontier(1, ns(60));
+        assert_eq!(zero.poll_serve(0, 0, ns(90), ns(200)), ServePoll::Wait);
+    }
+
+    #[test]
+    fn lagging_frontier_blocks_and_registers() {
+        let b = bus(2);
+        b.announce_push(0, 0, ns(100));
+        b.publish_frontier(1, ns(50)); // Could still announce ≤ bound.
+        assert_eq!(b.poll_serve(0, 0, ns(90), ns(400)), ServePoll::Wait);
+        // The late announce resolves it.
+        b.announce_push(1, 0, ns(120));
+        b.publish_frontier(1, ns(130));
+        assert_eq!(
+            b.poll_serve(0, 0, ns(90), ns(400)),
+            ServePoll::Ready {
+                at: ns(120),
+                version: 0
+            }
+        );
+    }
+
+    #[test]
+    fn version_counts_every_wave_landed_by_the_serve() {
+        let b = bus(2);
+        b.announce_push(0, 0, ns(100));
+        b.announce_push(0, 1, ns(110));
+        b.announce_push(1, 0, ns(105));
+        b.announce_push(1, 1, ns(115));
+        b.publish_frontier(0, ns(120));
+        b.publish_frontier(1, ns(120));
+        // Target wave 0 serves at its crossing (105), but wave-1
+        // landings at 110/115 have not landed by then.
+        assert_eq!(
+            b.poll_serve(0, 0, ns(90), ns(200)),
+            ServePoll::Ready {
+                at: ns(105),
+                version: 0
+            }
+        );
+        // A later-ready request sees both waves in (VW 1 must be
+        // provably past the serve instant for the version to close).
+        b.publish_frontier(1, ns(160));
+        assert_eq!(
+            b.poll_serve(0, 0, ns(150), ns(200)),
+            ServePoll::Ready {
+                at: ns(150),
+                version: 1
+            }
+        );
+    }
+
+    #[test]
+    fn done_vw_without_target_wave_makes_pull_unservable() {
+        let b = bus(2);
+        b.announce_push(0, 0, ns(100));
+        b.finish(1);
+        assert_eq!(
+            b.poll_serve(0, 0, ns(90), ns(400)),
+            ServePoll::NotBefore {
+                at_least: SimTime::MAX
+            }
+        );
+    }
+
+    #[test]
+    fn quiescent_rule_decides_the_earliest_serve() {
+        let b = bus(2);
+        b.announce_push(0, 0, ns(100));
+        b.announce_push(1, 0, ns(150));
+        // Both registered: VW 1's frontier lags so the opportunistic
+        // path cannot finalize VW 0's version, but once both are
+        // blocked the earliest action is decidable.
+        b.publish_frontier(0, ns(90));
+        b.publish_frontier(1, ns(60));
+        assert_eq!(b.poll_serve(1, 0, ns(60), ns(600)), ServePoll::Wait);
+        // VW 0's poll: S_0 = 150, t_next = 500; VW 1: S_1 = 150,
+        // t_next = 600. t* = 150 achieved by VW 0's serve (and VW
+        // 1's, on its own re-poll).
+        assert_eq!(
+            b.poll_serve(0, 0, ns(90), ns(500)),
+            ServePoll::Ready {
+                at: ns(150),
+                version: 0
+            }
+        );
+        // VW 0 advances to its serve and publishes; VW 1's re-poll
+        // now closes through the opportunistic path.
+        b.publish_frontier(0, ns(150));
+        assert_eq!(
+            b.poll_serve(1, 0, ns(60), ns(600)),
+            ServePoll::Ready {
+                at: ns(150),
+                version: 0
+            }
+        );
+    }
+
+    #[test]
+    fn quiescent_rule_lets_the_earliest_local_event_proceed() {
+        let b = bus(2);
+        // No landings at all; both block. VW 0's next event at 80 is
+        // the globally earliest action; any serve needs an announce at
+        // an action ≥ 80 landing strictly later.
+        assert_eq!(b.poll_serve(1, 0, ns(10), ns(300)), ServePoll::Wait);
+        assert_eq!(
+            b.poll_serve(0, 0, ns(20), ns(80)),
+            ServePoll::NotBefore { at_least: ns(81) }
+        );
+    }
+
+    #[test]
+    fn generation_bumps_wake_waiters() {
+        let b = bus(2);
+        let g0 = b.generation();
+        b.announce_push(0, 0, ns(10));
+        assert_ne!(b.generation(), g0);
+        // wait_change returns immediately on a stale generation.
+        b.wait_change(g0, Duration::from_secs(5));
+    }
+}

@@ -1,0 +1,67 @@
+//! The parallel fleet simulator: one DES engine per virtual worker.
+//!
+//! The single-engine executor (`hetpipe_core::exec`) simulates every
+//! VW on one event queue; its only cross-VW coupling is the WSP gate
+//! (`min_clock` over all VWs' push clocks deciding pull serves) — but
+//! each push completion scans every VW's pending pull, so the loop is
+//! O(V²) in fleet size and inherently serial. This crate runs each
+//! VW's event stream on its own [`hetpipe_des::EngineCore`] instance
+//! (one engine per scoped thread-pool slot) and moves the WSP gate
+//! state behind a shared [`FleetBus`], the *only* cross-engine
+//! channel. Synchronization is conservative: an engine advances past
+//! a gate only when the serve is provably decided, so the parallel
+//! run is deterministic and bit-identical to the single-engine
+//! executor regardless of thread count.
+//!
+//! # Certificates → runtime sync rules
+//!
+//! Every runtime rule of the fleet decomposition is the operational
+//! form of a statically verified certificate from `hetpipe-verify`:
+//!
+//! - **VW isolation → the bus message types.** The isolation pass
+//!   certifies that every cross-VW dependency edge is a parameter-
+//!   server push→gate coupling (all other footprints are VW-private).
+//!   Accordingly the [`GateBus`] carries exactly three message kinds:
+//!   push-landing announces, monotone action frontiers, and pull-serve
+//!   polls — nothing else crosses engines, and the fleet topology
+//!   ([`FleetTopology`]) keeps each cell's GPU/NIC timelines
+//!   node-disjoint so no *resource* edge crosses either.
+//! - **Lookahead → the block points.** `hetpipe_verify::lookahead`
+//!   proves the closed form for where gates and pushes sit in every
+//!   committed op stream (gate of wave `w` after
+//!   `warmup + w·steady` stage-0 forwards; push of wave `w` at the
+//!   wave's last backward). [`SyncPlan`] *derives* its constants by
+//!   calling that closed form, and engines poll the bus only at those
+//!   points: a push's landing time is announced at push *start* (its
+//!   chunk arrivals are reserved up front), which is precisely the
+//!   lookahead that lets the conservative protocol decide serves
+//!   without rollback.
+//! - **Gate check → the advance rule.** The POR-model-checked
+//!   `ShadowGateProtocol` (`hetpipe_verify::gatecheck`) proves the
+//!   gate advance rule safe: a VW passes gate(`w`) only when *all*
+//!   VWs' push clocks have reached `w + 1`. [`FleetBus::poll_serve`]
+//!   implements the same rule over announced landings — `Ready` is
+//!   returned only when every VW's target-wave push has landed *and*
+//!   every still-running VW is provably past the serve instant, so
+//!   the decided `(time, version)` can never be invalidated by a
+//!   future announce.
+//!
+//! # Memory
+//!
+//! Each engine's span trace folds into a per-VW [`VwPartial`] (busy
+//! time, peak span occupancy, completions) the moment the engine
+//! finishes, and the trace is dropped unless the caller asked to keep
+//! it — fleet memory is O(VWs), not O(events).
+
+pub mod bus;
+pub mod driver;
+pub mod parity;
+pub mod plan;
+pub mod topo;
+
+pub use bus::FleetBus;
+pub use driver::{run_fleet, FleetConfig, FleetReport, VwPartial};
+pub use hetpipe_core::{GateBus, ServePoll};
+pub use parity::{merged_spans, trace_fingerprint};
+pub use plan::SyncPlan;
+pub use topo::FleetTopology;

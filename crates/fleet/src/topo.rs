@@ -1,0 +1,193 @@
+//! The fleet topology: homogeneous, node-disjoint replicated cells.
+//!
+//! A *cell* is one blueprint cluster hosting exactly one virtual
+//! worker; the fleet replicates it `n` times. Cells are node-disjoint
+//! and parameters are sharded VW-locally
+//! ([`hetpipe_core::pserver::ShardMap::build_vw_local`]), so no GPU,
+//! NIC, or shard timeline is shared between VWs — the resource half
+//! of the VW-isolation certificate holds *by construction*, and the
+//! parameter-server clock coupling (the certified sole cross-VW
+//! dependency class) is the only thing left for the
+//! [`crate::FleetBus`] to carry.
+//!
+//! The same topology expands to a single flat cluster with globally
+//! addressed devices ([`FleetTopology::expanded`]); running the
+//! legacy single-engine executor over that expansion is the oracle
+//! the fleet's parity tests and bench compare against, and
+//! [`FleetTopology::remap_resource`] maps each engine's private
+//! resource ids into the expansion's namespace so merged traces line
+//! up span-for-span.
+
+use hetpipe_cluster::{Cluster, DeviceId, Node};
+use hetpipe_core::VirtualWorker;
+use hetpipe_des::ResourceId;
+
+/// A fleet of `n_vws` identical, node-disjoint cells.
+#[derive(Debug, Clone)]
+pub struct FleetTopology {
+    cell: Cluster,
+    cell_vw: VirtualWorker,
+    n_vws: usize,
+}
+
+impl FleetTopology {
+    /// A fleet of `n_vws` copies of `cell`, each running a clone of
+    /// `cell_vw` (whose stage devices must be cell-local).
+    pub fn new(cell: Cluster, cell_vw: VirtualWorker, n_vws: usize) -> FleetTopology {
+        assert!(n_vws > 0, "a fleet has at least one VW");
+        assert!(
+            cell_vw.devices.iter().all(|d| d.0 < cell.device_count()),
+            "the blueprint VW must live on the cell"
+        );
+        FleetTopology {
+            cell,
+            cell_vw,
+            n_vws,
+        }
+    }
+
+    /// The blueprint cell cluster.
+    pub fn cell(&self) -> &Cluster {
+        &self.cell
+    }
+
+    /// The blueprint VW (cell-local device ids).
+    pub fn cell_vw(&self) -> &VirtualWorker {
+        &self.cell_vw
+    }
+
+    /// Number of VWs (= cells = engines).
+    pub fn n_vws(&self) -> usize {
+        self.n_vws
+    }
+
+    /// GPUs per cell.
+    pub fn devices_per_cell(&self) -> usize {
+        self.cell.device_count()
+    }
+
+    /// Nodes per cell.
+    pub fn nodes_per_cell(&self) -> usize {
+        self.cell.node_count()
+    }
+
+    /// Per-engine VW clones: engine `e` simulates `cell_vws()[e]`,
+    /// still addressed in cell-local device ids (each engine owns a
+    /// private copy of the cell's resources).
+    pub fn cell_vws(&self) -> Vec<VirtualWorker> {
+        (0..self.n_vws)
+            .map(|e| VirtualWorker {
+                index: e,
+                ..self.cell_vw.clone()
+            })
+            .collect()
+    }
+
+    /// The equivalent flat topology for the single-engine executor:
+    /// one cluster concatenating every cell's nodes, and the VWs
+    /// re-addressed to their cell's global device ids.
+    pub fn expanded(&self) -> (Cluster, Vec<VirtualWorker>) {
+        let mut cluster = Cluster::new();
+        for _ in 0..self.n_vws {
+            for node in self.cell.nodes() {
+                cluster.add_node(Node::new(node.gpu_kind, node.gpu_count));
+            }
+        }
+        let devs = self.devices_per_cell();
+        let vws = (0..self.n_vws)
+            .map(|e| VirtualWorker {
+                index: e,
+                devices: self
+                    .cell_vw
+                    .devices
+                    .iter()
+                    .map(|d| DeviceId(e * devs + d.0))
+                    .collect(),
+                plan: self.cell_vw.plan.clone(),
+                nm: self.cell_vw.nm,
+            })
+            .collect();
+        (cluster, vws)
+    }
+
+    /// Maps engine `e`'s private resource id into the expanded
+    /// cluster's resource namespace. Both executors lay pools out
+    /// identically — GPUs by device index first, then one NIC per
+    /// node — so local GPU `i` is global GPU `e·devs + i` and local
+    /// NIC `j` is global NIC `e·nodes + j` after the global GPU
+    /// block.
+    pub fn remap_resource(&self, e: usize, r: ResourceId) -> ResourceId {
+        let devs = self.devices_per_cell();
+        let nodes = self.nodes_per_cell();
+        debug_assert!(e < self.n_vws);
+        if r.0 < devs {
+            ResourceId(e * devs + r.0)
+        } else {
+            let nic = r.0 - devs;
+            debug_assert!(nic < nodes, "resource outside the cell pool");
+            ResourceId(self.n_vws * devs + e * nodes + nic)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetpipe_cluster::GpuKind;
+    use hetpipe_model::resnet152;
+    use hetpipe_partition::{PartitionProblem, PartitionSolver};
+
+    fn topology(nodes: usize, gpus_per_node: usize, n_vws: usize) -> FleetTopology {
+        let mut cell = Cluster::new();
+        for _ in 0..nodes {
+            cell.add_node(Node::new(GpuKind::Rtx2060, gpus_per_node));
+        }
+        let graph = resnet152(32);
+        let devices: Vec<DeviceId> = cell.devices().collect();
+        let gpus = devices.iter().map(|&d| cell.spec_of(d)).collect();
+        let links = VirtualWorker::links(&cell, &devices);
+        let plan = PartitionSolver::solve(&PartitionProblem::new(&graph, gpus, links, 4))
+            .expect("feasible cell");
+        let vw = VirtualWorker {
+            index: 0,
+            devices,
+            plan,
+            nm: 4,
+        };
+        FleetTopology::new(cell, vw, n_vws)
+    }
+
+    #[test]
+    fn expansion_replicates_cells_disjointly() {
+        let t = topology(2, 2, 3);
+        let (cluster, vws) = t.expanded();
+        assert_eq!(cluster.node_count(), 6);
+        assert_eq!(cluster.device_count(), 12);
+        assert_eq!(vws.len(), 3);
+        // Every VW's devices live on its own cell's nodes only.
+        for (e, vw) in vws.iter().enumerate() {
+            for &d in &vw.devices {
+                let node = cluster.node_of(d);
+                assert!(
+                    node.0 / t.nodes_per_cell() == e,
+                    "vw {e} device {d:?} strayed to node {node:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn resource_remap_is_injective_and_in_range() {
+        let t = topology(2, 2, 3);
+        let total = 3 * (4 + 2); // 4 GPUs + 2 NICs per cell.
+        let mut seen = std::collections::BTreeSet::new();
+        for e in 0..3 {
+            for r in 0..6 {
+                let g = t.remap_resource(e, ResourceId(r));
+                assert!(g.0 < total);
+                assert!(seen.insert(g.0), "collision at engine {e} resource {r}");
+            }
+        }
+        assert_eq!(seen.len(), total);
+    }
+}

@@ -111,6 +111,7 @@ pub use hetpipe_allreduce as allreduce;
 pub use hetpipe_cluster as cluster;
 pub use hetpipe_core as core;
 pub use hetpipe_des as des;
+pub use hetpipe_fleet as fleet;
 pub use hetpipe_model as model;
 pub use hetpipe_partition as partition;
 pub use hetpipe_plansvc as plansvc;

@@ -1,0 +1,218 @@
+//! Fleet ↔ legacy executor parity: the per-VW parallel decomposition
+//! must be *bit-identical* to the single-engine executor, not merely
+//! statistically close.
+//!
+//! Oracle: a fleet of node-disjoint replicated cells is, by the
+//! VW-isolation certificate, equivalent to one flat cluster whose
+//! nodes concatenate the cells ([`FleetTopology::expanded`]) driven by
+//! the legacy single-engine `exec::run`. The tests compare canonical
+//! span-multiset fingerprints and per-VW statistics:
+//!
+//! 1. a 1-thread fleet reproduces the legacy trace exactly, for every
+//!    schedule × recompute policy (on a two-node cell, so activation
+//!    transfers exercise the NIC timelines too);
+//! 2. an N-thread fleet produces the same partials and fingerprint as
+//!    the 1-thread fleet;
+//! 3. two 8-thread runs are identical to each other (no wall-clock
+//!    interleaving leaks into the simulation).
+
+use hetpipe::cluster::{Cluster, DeviceId, GpuKind, Node};
+use hetpipe::core::exec::{run, ExecParams, SegmentOpts};
+use hetpipe::core::pserver::ShardMap;
+use hetpipe::core::{VirtualWorker, WspParams};
+use hetpipe::des::SimTime;
+use hetpipe::fleet::{
+    merged_spans, run_fleet, trace_fingerprint, FleetConfig, FleetReport, FleetTopology,
+};
+use hetpipe::model::{resnet50, ModelGraph};
+use hetpipe::partition::{PartitionProblem, PartitionSolver};
+use hetpipe::schedule::{PipelineSchedule, RecomputePolicy, Schedule};
+
+const NM: usize = 4;
+
+/// A cell of `nodes` single-GPU nodes (inter-node pipeline links, so
+/// activation/gradient transfers occupy NICs) replicated `n_vws`
+/// times. The cell VW's stage devices follow the schedule's virtual
+/// stage expansion, exactly as the system builder lays them out.
+fn topology(graph: &ModelGraph, schedule: Schedule, nodes: usize, n_vws: usize) -> FleetTopology {
+    let mut cell = Cluster::new();
+    for _ in 0..nodes {
+        cell.add_node(Node::new(GpuKind::Rtx2060, 1));
+    }
+    let base: Vec<DeviceId> = cell.devices().collect();
+    let vk = schedule.virtual_stages(base.len());
+    let devices: Vec<DeviceId> = (0..vk).map(|s| base[s % base.len()]).collect();
+    let gpus = devices.iter().map(|&d| cell.spec_of(d)).collect();
+    let links = VirtualWorker::links(&cell, &devices);
+    let plan = PartitionSolver::solve(&PartitionProblem::new(graph, gpus, links, NM))
+        .expect("feasible cell");
+    let vw = VirtualWorker {
+        index: 0,
+        devices,
+        plan,
+        nm: NM,
+    };
+    FleetTopology::new(cell, vw, n_vws)
+}
+
+/// One parity case: the schedule shape both executors run.
+#[derive(Clone, Copy)]
+struct Case {
+    schedule: Schedule,
+    recompute: RecomputePolicy,
+    wsp: WspParams,
+}
+
+fn fleet(
+    topo: &FleetTopology,
+    graph: &ModelGraph,
+    shards: &ShardMap,
+    case: Case,
+    threads: usize,
+    horizon: SimTime,
+) -> FleetReport {
+    let vws = topo.cell_vws();
+    let cfg = FleetConfig {
+        cluster: topo.cell(),
+        graph,
+        vws: &vws,
+        wsp: case.wsp,
+        shards,
+        sync_transfers: true,
+        schedule: case.schedule,
+        recompute: case.recompute,
+        opts: SegmentOpts::default(),
+        threads,
+        keep_traces: true,
+    };
+    run_fleet(&cfg, horizon)
+}
+
+/// The legacy oracle: the expanded flat cluster on the single-engine
+/// executor, same VW-local shard map.
+fn legacy(
+    topo: &FleetTopology,
+    graph: &ModelGraph,
+    shards: &ShardMap,
+    case: Case,
+    horizon: SimTime,
+) -> (u64, hetpipe::core::exec::RunStats) {
+    let (cluster, vws) = topo.expanded();
+    let stats = run(
+        ExecParams {
+            cluster: &cluster,
+            graph,
+            vws: &vws,
+            wsp: case.wsp,
+            shards,
+            sync_transfers: true,
+            schedule: case.schedule,
+            recompute: case.recompute,
+        },
+        horizon,
+    );
+    (trace_fingerprint(stats.trace.spans()), stats)
+}
+
+#[test]
+fn single_thread_fleet_is_bit_identical_to_the_legacy_executor() {
+    let graph = resnet50(32);
+    let shards = ShardMap::build_vw_local(&graph);
+    // D = 0 is the tightest coupling: every pull blocks on every VW's
+    // push of the target wave — the hardest case for the bus.
+    let wsp = WspParams::new(NM, 0);
+    let horizon = SimTime::from_secs(3.0);
+    for schedule in Schedule::ALL {
+        for recompute in [RecomputePolicy::None, RecomputePolicy::BoundaryOnly] {
+            let case = Case {
+                schedule,
+                recompute,
+                wsp,
+            };
+            let topo = topology(&graph, schedule, 2, 2);
+            let report = fleet(&topo, &graph, &shards, case, 1, horizon);
+            let merged = merged_spans(&topo, &report);
+            let (legacy_fp, stats) = legacy(&topo, &graph, &shards, case, horizon);
+            assert!(!merged.is_empty(), "{schedule}: fleet recorded no spans");
+            assert_eq!(
+                trace_fingerprint(&merged),
+                legacy_fp,
+                "{schedule} (recompute {recompute}): fleet trace diverged from legacy"
+            );
+            for (p, v) in report.partials.iter().zip(&stats.vws) {
+                assert_eq!(
+                    p.completions,
+                    v.completions.len() as u64,
+                    "{schedule}: vw {} completions",
+                    p.vw
+                );
+                assert_eq!(
+                    p.waves_pushed, v.waves_pushed,
+                    "{schedule}: vw {} waves",
+                    p.vw
+                );
+                assert_eq!(
+                    p.pull_wait, v.pull_wait,
+                    "{schedule}: vw {} pull wait",
+                    p.vw
+                );
+                assert!(
+                    p.completions > 0,
+                    "{schedule}: vw {} made no progress",
+                    p.vw
+                );
+            }
+            assert_eq!(report.end, stats.end, "{schedule}: end instant");
+        }
+    }
+}
+
+#[test]
+fn multi_thread_fleet_matches_single_thread() {
+    let graph = resnet50(32);
+    let shards = ShardMap::build_vw_local(&graph);
+    let wsp = WspParams::new(NM, 1);
+    let horizon = SimTime::from_secs(3.0);
+    for schedule in [Schedule::HetPipeWave, Schedule::OneFOneB] {
+        let case = Case {
+            schedule,
+            recompute: RecomputePolicy::None,
+            wsp,
+        };
+        let topo = topology(&graph, schedule, 2, 4);
+        let one = fleet(&topo, &graph, &shards, case, 1, horizon);
+        let four = fleet(&topo, &graph, &shards, case, 4, horizon);
+        assert_eq!(one.partials, four.partials, "{schedule}: partials diverged");
+        assert_eq!(
+            trace_fingerprint(&merged_spans(&topo, &one)),
+            trace_fingerprint(&merged_spans(&topo, &four)),
+            "{schedule}: traces diverged across thread counts"
+        );
+        assert_eq!(four.threads, 4);
+    }
+}
+
+#[test]
+fn eight_thread_runs_are_deterministic() {
+    let graph = resnet50(32);
+    let shards = ShardMap::build_vw_local(&graph);
+    let wsp = WspParams::new(NM, 0);
+    let horizon = SimTime::from_secs(2.0);
+    let schedule = Schedule::HetPipeWave;
+    let case = Case {
+        schedule,
+        recompute: RecomputePolicy::None,
+        wsp,
+    };
+    let topo = topology(&graph, schedule, 1, 8);
+    let runs: Vec<FleetReport> = (0..2)
+        .map(|_| fleet(&topo, &graph, &shards, case, 8, horizon))
+        .collect();
+    assert_eq!(runs[0].partials, runs[1].partials);
+    assert_eq!(
+        trace_fingerprint(&merged_spans(&topo, &runs[0])),
+        trace_fingerprint(&merged_spans(&topo, &runs[1])),
+    );
+    assert_eq!(runs[0].events, runs[1].events);
+    assert!(runs[0].partials.iter().all(|p| p.completions > 0));
+}
